@@ -1,0 +1,100 @@
+package dynamips
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"dynamips/internal/experiments"
+)
+
+// The benchmark harness: one benchmark per paper table/figure, each
+// regenerating its rows from a shared pipeline built at reduced scale
+// (full scale is the cmd/dynamips default; the per-experiment analysis
+// cost is what the benchmarks isolate). BenchmarkBuildAtlasPipeline and
+// BenchmarkBuildCDNPipeline measure the generation side.
+
+var (
+	benchOnce  sync.Once
+	benchAtlas *experiments.AtlasData
+	benchCDN   *experiments.CDNData
+	benchErr   error
+)
+
+func benchData(b *testing.B) (*experiments.AtlasData, *experiments.CDNData) {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := experiments.Reduced()
+		benchAtlas, benchErr = experiments.BuildAtlas(cfg)
+		if benchErr != nil {
+			return
+		}
+		benchCDN, benchErr = experiments.BuildCDN(cfg)
+	})
+	if benchErr != nil {
+		b.Fatalf("building benchmark pipelines: %v", benchErr)
+	}
+	return benchAtlas, benchCDN
+}
+
+func benchAtlasExperiment(b *testing.B, name string) {
+	a, _ := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunAtlasExperiment(name, io.Discard, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCDNExperiment(b *testing.B, name string) {
+	_, c := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunCDNExperiment(name, io.Discard, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)          { benchAtlasExperiment(b, "table1") }
+func BenchmarkFig1(b *testing.B)            { benchAtlasExperiment(b, "fig1") }
+func BenchmarkSimultaneity(b *testing.B)    { benchAtlasExperiment(b, "simultaneity") }
+func BenchmarkTable2(b *testing.B)          { benchAtlasExperiment(b, "table2") }
+func BenchmarkFig5(b *testing.B)            { benchAtlasExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)            { benchAtlasExperiment(b, "fig6") }
+func BenchmarkFig8(b *testing.B)            { benchAtlasExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)            { benchAtlasExperiment(b, "fig9") }
+func BenchmarkSanitizeReport(b *testing.B)  { benchAtlasExperiment(b, "sanitize") }
+func BenchmarkFig2(b *testing.B)            { benchCDNExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)            { benchCDNExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)            { benchCDNExperiment(b, "fig4") }
+func BenchmarkFig7(b *testing.B)            { benchCDNExperiment(b, "fig7") }
+func BenchmarkGlobalDurations(b *testing.B) { benchCDNExperiment(b, "globaldur") }
+
+func BenchmarkBuildAtlasPipeline(b *testing.B) {
+	cfg := experiments.Reduced()
+	cfg.ProbeScale = 0.1
+	cfg.Hours = 8760
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BuildAtlas(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildCDNPipeline(b *testing.B) {
+	cfg := experiments.Reduced()
+	cfg.CDNScale = 0.05
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BuildCDN(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvolution(b *testing.B) { benchAtlasExperiment(b, "evolution") }
+func BenchmarkZmapBias(b *testing.B)  { benchAtlasExperiment(b, "zmapbias") }
+func BenchmarkTracking(b *testing.B)  { benchAtlasExperiment(b, "tracking") }

@@ -1,0 +1,413 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/signal"
+	"sort"
+
+	"dynamips/internal/atlas"
+	"dynamips/internal/bgp"
+	"dynamips/internal/cdn"
+	"dynamips/internal/core"
+	"dynamips/internal/experiments"
+	"dynamips/internal/isp"
+	"dynamips/internal/stats"
+)
+
+func cmdProfiles(args []string) error {
+	fs := newFlagSet("profiles")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %6s %3s %-8s %9s %6s %6s %6s\n",
+		"name", "asn", "cc", "backend", "delegated", "pool6", "pool4", "DSfrac")
+	for _, p := range isp.Profiles() {
+		backend := "radius"
+		if p.Backend == isp.BackendDHCP {
+			backend = "dhcp"
+		}
+		fmt.Printf("%-12s %6d %3s %-8s %9s %6s %6s %5.0f%%\n",
+			p.Name, p.ASN, p.Country, backend,
+			fmt.Sprintf("/%d", p.DelegatedLen),
+			fmt.Sprintf("/%d", p.PoolLen6),
+			fmt.Sprintf("/%d", p.PoolLen4),
+			100*p.DualStackFrac)
+	}
+	return nil
+}
+
+func cmdGen(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("gen: need a dataset kind (atlas or cdn)")
+	}
+	kind := args[0]
+	fs := newFlagSet("gen " + kind)
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("o", "-", "output file (default stdout)")
+	switch kind {
+	case "atlas":
+		profileName := fs.String("profile", "DTAG", "ISP profile name")
+		probes := fs.Int("probes", 100, "number of probes")
+		hours := fs.Int64("hours", 17520, "simulated horizon in hours")
+		raw := fs.Bool("raw", false, "emit hourly records instead of RLE series")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		return genAtlas(*profileName, *probes, *hours, *seed, *raw, *out)
+	case "cdn":
+		days := fs.Int("days", 150, "collection window in days")
+		scale := fs.Float64("scale", 1, "population scale factor")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		return genCDN(*days, *scale, *seed, *out)
+	default:
+		return fmt.Errorf("gen: unknown dataset kind %q", kind)
+	}
+}
+
+func openOut(path string) (*os.File, func(), error) {
+	if path == "-" || path == "" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("creating %s: %w", path, err)
+	}
+	return f, func() { f.Close() }, nil
+}
+
+func genAtlas(profileName string, probes int, hours, seed int64, raw bool, out string) error {
+	profile, ok := isp.ProfileByName(profileName)
+	if !ok {
+		return fmt.Errorf("unknown profile %q (see 'dynamips profiles')", profileName)
+	}
+	res, err := isp.Run(isp.Config{Profile: profile, Subscribers: probes * 2, Hours: hours, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fleet, err := atlas.BuildFleet(res, atlas.DefaultFleetConfig(probes, seed+1))
+	if err != nil {
+		return err
+	}
+	f, closeOut, err := openOut(out)
+	if err != nil {
+		return err
+	}
+	defer closeOut()
+	if raw {
+		var recs []atlas.Record
+		for i := range fleet.Series {
+			recs = append(recs, fleet.Series[i].Expand()...)
+		}
+		return atlas.WriteRecords(f, recs)
+	}
+	return atlas.WriteSeries(f, fleet.Series)
+}
+
+func genCDN(days int, scale float64, seed int64, out string) error {
+	cfg := cdn.DefaultGenConfig(seed)
+	cfg.Days = days
+	cfg.Scale = scale
+	ds, err := cdn.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	f, closeOut, err := openOut(out)
+	if err != nil {
+		return err
+	}
+	defer closeOut()
+	return cdn.WriteCSV(f, ds.Assocs)
+}
+
+// cmdAnalyzeCDN loads an association CSV and reruns the CDN analyses on
+// it: durations, degrees, trailing zeros. Without the generator's BGP
+// table, operators are unavailable, so the output covers the label-based
+// splits only.
+func cmdAnalyzeCDN(args []string) error {
+	fs := newFlagSet("analyze-cdn")
+	threshold := fs.Int("mobile-threshold", 350, "unique-/64 degree above which a /24 is labeled mobile")
+	pfx2as := fs.String("pfx2as", "", "pfx2as file for per-operator attribution (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("analyze-cdn: need one association CSV file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("opening associations: %w", err)
+	}
+	defer f.Close()
+	assocs, err := cdn.ReadCSV(bufio.NewReader(f))
+	if err != nil {
+		return err
+	}
+	mobile := cdn.MobileLabel(assocs, *threshold)
+	eps := cdn.Episodes(assocs, cdn.DefaultEpisodeConfig())
+	var fixedD, mobileD []float64
+	for _, ep := range eps {
+		if mobile[ep.K24] {
+			mobileD = append(mobileD, float64(ep.Days()))
+		} else {
+			fixedD = append(fixedD, float64(ep.Days()))
+		}
+	}
+	fmt.Printf("associations: %d, episodes: %d\n", len(assocs), len(eps))
+	if len(fixedD) > 0 {
+		fmt.Printf("fixed  durations: %s\n", stats.NewECDF(fixedD).Box())
+	}
+	if len(mobileD) > 0 {
+		fmt.Printf("mobile durations: %s\n", stats.NewECDF(mobileD).Box())
+	}
+	dd := cdn.Degrees(assocs, mobile)
+	fmt.Printf("degrees: mobile peak %.0f, fixed peak %.0f\n",
+		dd.MobileUnique.PeakX(), dd.FixedUnique.PeakX())
+
+	if *pfx2as != "" {
+		pf, err := os.Open(*pfx2as)
+		if err != nil {
+			return fmt.Errorf("opening pfx2as: %w", err)
+		}
+		defer pf.Close()
+		table, err := bgp.ReadPfx2as(pf)
+		if err != nil {
+			return err
+		}
+		perOp := map[uint32][]float64{}
+		for _, ep := range eps {
+			a := cdn.Association{K64: ep.K64}
+			if asn, _, ok := table.Origin(a.P64().Addr()); ok {
+				perOp[asn] = append(perOp[asn], float64(ep.Days()))
+			}
+		}
+		asns := make([]uint32, 0, len(perOp))
+		for asn := range perOp {
+			asns = append(asns, asn)
+		}
+		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+		fmt.Println("per-operator association durations:")
+		for _, asn := range asns {
+			fmt.Printf("  %-12s %s\n", table.Name(asn), stats.NewECDF(perOp[asn]).Box())
+		}
+	}
+
+	// Trailing zeros over unique fixed /64s (registry split needs the
+	// RIR table, which is built in).
+	seen := map[uint64]bool{}
+	var prefixes []netip.Prefix
+	for _, a := range assocs {
+		if mobile[a.K24] || seen[a.K64] {
+			continue
+		}
+		seen[a.K64] = true
+		prefixes = append(prefixes, a.P64())
+	}
+	b := core.ClassifyTrailingZeros(prefixes)
+	fmt.Printf("trailing zeros (fixed /64s): %.1f%% inferable;", 100*b.InferableFrac())
+	for _, l := range []int{48, 52, 56, 60} {
+		fmt.Printf(" /%d=%.2f", l, b.Frac(l))
+	}
+	fmt.Println()
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := newFlagSet("analyze")
+	pfx2as := fs.String("pfx2as", "", "pfx2as file for BGP classification (optional)")
+	format := fs.String("format", "series", "input format: series (RLE JSONL), records (hourly JSONL), or ripe (RIPE Atlas results)")
+	epoch := fs.Int64("epoch", 1409529600, "unix time of hour 0 for -format ripe (default: 2014-09-01, the paper's window start)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("analyze: need one dataset file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("opening dataset: %w", err)
+	}
+	defer f.Close()
+	var series []atlas.Series
+	switch *format {
+	case "series":
+		series, err = atlas.ReadSeries(bufio.NewReader(f))
+	case "records":
+		var recs []atlas.Record
+		recs, err = atlas.ReadRecords(bufio.NewReader(f))
+		if err == nil {
+			series = atlas.Compress(recs)
+		}
+	case "ripe":
+		var recs []atlas.Record
+		recs, err = atlas.ReadRIPEResults(bufio.NewReader(f), *epoch)
+		if err == nil {
+			series = atlas.Compress(recs)
+		}
+	default:
+		return fmt.Errorf("analyze: unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	table := &bgp.Table{}
+	if *pfx2as != "" {
+		pf, err := os.Open(*pfx2as)
+		if err != nil {
+			return fmt.Errorf("opening pfx2as: %w", err)
+		}
+		defer pf.Close()
+		table, err = bgp.ReadPfx2as(pf)
+		if err != nil {
+			return err
+		}
+	} else {
+		// Without a routing table, classify by the probes' own ASNs so
+		// sanitization still works at AS granularity.
+		for _, s := range series {
+			for _, sp := range s.V4 {
+				p, err := sp.Echo.Prefix(8)
+				if err == nil {
+					table.Announce(p, s.Probe.ASN)
+				}
+			}
+			for _, sp := range s.V6 {
+				p, err := sp.Echo.Prefix(20)
+				if err == nil {
+					table.Announce(p, s.Probe.ASN)
+				}
+			}
+		}
+	}
+	clean := atlas.Sanitize(series, table, atlas.DefaultSanitizeConfig())
+	fmt.Printf("probes: %d in, %d clean, drops: %v, splits: %d\n",
+		len(series), len(clean.Clean), clean.Drops, clean.VirtualSplits)
+
+	pas := core.Analyze(clean.Clean, core.DefaultExtractConfig())
+	rows := core.Table1(pas, nil)
+	fmt.Printf("\n%-12s %6s %8s %9s %9s %17s %9s\n",
+		"AS", "ASN", "probes", "v4chg", "DSprobes", "DS v4chg (share)", "v6chg")
+	for _, r := range rows {
+		fmt.Println(r.String())
+	}
+
+	durations := core.CollectDurations(pas)
+	periodic := core.DetectPeriodicRenumbering(durations, 0.05, 0.3)
+	if len(periodic) > 0 {
+		fmt.Println("\nperiodic renumbering detected:")
+		for _, p := range periodic {
+			fmt.Printf("  AS%-8d %-7s", p.ASN, p.Population)
+			for _, m := range p.Modes {
+				fmt.Printf(" %gh(%.0f%%)", m.Period, 100*m.Fraction)
+			}
+			fmt.Println()
+		}
+	}
+
+	perAS, pooled := core.SubscriberLengths(pas)
+	if pooled.N > 0 {
+		fmt.Println("\ninferred subscriber prefix lengths:")
+		asns := make([]uint32, 0, len(perAS))
+		for asn := range perAS {
+			asns = append(asns, asn)
+		}
+		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+		for _, asn := range asns {
+			h := perAS[asn]
+			fmt.Printf("  AS%-8d mode=/%d over %d probes\n", asn, h.ArgMax(), h.N)
+		}
+	}
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	fs := newFlagSet("experiment")
+	seed := fs.Int64("seed", 20201201, "pipeline seed")
+	hours := fs.Int64("hours", 50400, "Atlas horizon in hours")
+	probeScale := fs.Float64("probe-scale", 1, "probe count multiplier")
+	cdnScale := fs.Float64("cdn-scale", 1, "CDN population multiplier")
+	cdnDays := fs.Int("cdn-days", 150, "CDN window in days")
+	asJSON := fs.Bool("json", false, "emit the figure's data series as JSON (fig1/fig2/fig3/fig5/fig9)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("experiment: need a name (one of %v) or 'all'", experiments.Names)
+	}
+	cfg := experiments.Config{
+		Seed: *seed, Hours: *hours, ProbeScale: *probeScale,
+		CDNScale: *cdnScale, CDNDays: *cdnDays,
+	}
+	name := fs.Arg(0)
+	if *asJSON {
+		var (
+			a   *experiments.AtlasData
+			c   *experiments.CDNData
+			err error
+		)
+		if experiments.NeedsAtlas(name) {
+			if a, err = experiments.BuildAtlas(cfg); err != nil {
+				return err
+			}
+		} else {
+			if c, err = experiments.BuildCDN(cfg); err != nil {
+				return err
+			}
+		}
+		return experiments.WriteFigureJSON(os.Stdout, name, a, c)
+	}
+	if name != "all" {
+		return experiments.Run(name, os.Stdout, cfg)
+	}
+	// Build each pipeline once and run everything.
+	var (
+		a   *experiments.AtlasData
+		c   *experiments.CDNData
+		err error
+	)
+	for _, n := range experiments.Names {
+		fmt.Printf("==== %s ====\n", n)
+		if experiments.NeedsAtlas(n) {
+			if a == nil {
+				if a, err = experiments.BuildAtlas(cfg); err != nil {
+					return err
+				}
+			}
+			err = experiments.RunAtlasExperiment(n, os.Stdout, a)
+		} else {
+			if c == nil {
+				if c, err = experiments.BuildCDN(cfg); err != nil {
+					return err
+				}
+			}
+			err = experiments.RunCDNExperiment(n, os.Stdout, c)
+		}
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", n, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdServeEcho(args []string) error {
+	fs := newFlagSet("serve-echo")
+	listen := fs.String("listen", "127.0.0.1:8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := atlas.StartEchoServer(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("IP echo server on %s (GET returns %s header)\n", srv.Addr(), atlas.EchoHeader)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("shutting down")
+	return srv.Close()
+}

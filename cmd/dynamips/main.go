@@ -1,0 +1,70 @@
+// Command dynamips drives the DynamIPs reproduction pipeline:
+//
+//	dynamips profiles                      list the built-in ISP profiles
+//	dynamips gen atlas [flags]             generate a sanitizable IP-echo dataset (JSONL on stdout)
+//	dynamips gen cdn [flags]               generate CDN association tuples (CSV on stdout)
+//	dynamips analyze [flags] <series.jsonl>  sanitize + analyze an IP-echo dataset
+//	dynamips experiment <name|all> [flags] regenerate a paper table/figure
+//	dynamips serve-echo [-listen addr]     run the IP echo HTTP server
+//
+// Every generator is seeded; the same flags reproduce identical output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "profiles":
+		err = cmdProfiles(os.Args[2:])
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "analyze-cdn":
+		err = cmdAnalyzeCDN(os.Args[2:])
+	case "experiment":
+		err = cmdExperiment(os.Args[2:])
+	case "serve-echo":
+		err = cmdServeEcho(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "dynamips: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynamips:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: dynamips <command> [flags]
+
+commands:
+  profiles                 list built-in ground-truth ISP profiles
+  gen atlas|cdn            generate synthetic datasets (stdout)
+  analyze <series.jsonl>   sanitize and analyze an IP-echo dataset
+  analyze-cdn <assoc.csv>  rerun the CDN analyses on an association file
+  experiment <name|all>    regenerate a paper table/figure
+  serve-echo               run the IP echo HTTP server
+
+run 'dynamips <command> -h' for command flags
+`)
+}
+
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}

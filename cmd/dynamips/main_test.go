@@ -1,0 +1,131 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCmdProfiles(t *testing.T) {
+	if err := cmdProfiles(nil); err != nil {
+		t.Fatalf("cmdProfiles: %v", err)
+	}
+}
+
+func TestGenAtlasThenAnalyze(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "series.jsonl")
+	if err := cmdGen([]string{"atlas", "-profile", "Netcologne", "-probes", "25", "-hours", "4000", "-o", out}); err != nil {
+		t.Fatalf("gen atlas: %v", err)
+	}
+	st, err := os.Stat(out)
+	if err != nil || st.Size() == 0 {
+		t.Fatalf("output missing or empty: %v", err)
+	}
+	if err := cmdAnalyze([]string{out}); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+}
+
+func TestGenAtlasRawRecords(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "records.jsonl")
+	if err := cmdGen([]string{"atlas", "-profile", "Versatel", "-probes", "12", "-hours", "1500", "-raw", "-o", out}); err != nil {
+		t.Fatalf("gen atlas -raw: %v", err)
+	}
+	st, err := os.Stat(out)
+	if err != nil || st.Size() == 0 {
+		t.Fatalf("raw output missing: %v", err)
+	}
+}
+
+func TestGenCDNThenAnalyzeCDN(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "assoc.csv")
+	if err := cmdGen([]string{"cdn", "-scale", "0.03", "-days", "60", "-o", out}); err != nil {
+		t.Fatalf("gen cdn: %v", err)
+	}
+	if err := cmdAnalyzeCDN([]string{out}); err != nil {
+		t.Fatalf("analyze-cdn: %v", err)
+	}
+}
+
+func TestCmdErrors(t *testing.T) {
+	if err := cmdGen(nil); err == nil {
+		t.Error("gen without kind accepted")
+	}
+	if err := cmdGen([]string{"bogus"}); err == nil {
+		t.Error("gen bogus accepted")
+	}
+	if err := cmdGen([]string{"atlas", "-profile", "NoSuchISP", "-o", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := cmdAnalyze(nil); err == nil {
+		t.Error("analyze without file accepted")
+	}
+	if err := cmdAnalyze([]string{"/nonexistent/file.jsonl"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := cmdAnalyzeCDN(nil); err == nil {
+		t.Error("analyze-cdn without file accepted")
+	}
+	if err := cmdExperiment(nil); err == nil {
+		t.Error("experiment without name accepted")
+	}
+	if err := cmdExperiment([]string{"no-such-experiment"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestCmdExperimentSmall(t *testing.T) {
+	args := []string{"-hours", "4000", "-probe-scale", "0.05", "sanitize"}
+	if err := cmdExperiment(args); err != nil {
+		t.Fatalf("experiment sanitize: %v", err)
+	}
+}
+
+func TestAnalyzeRIPEFormat(t *testing.T) {
+	in := filepath.Join(t.TempDir(), "ripe.jsonl")
+	data := `{"prb_id":7,"timestamp":3600,"src_addr":"192.168.1.9","result":[{"af":4,"hdr":["X-Client-IP: 81.10.0.1"]}]}
+`
+	// Repeat enough hours to clear the one-month sanitizer minimum.
+	var lines []byte
+	for h := int64(0); h < 800; h++ {
+		lines = append(lines, []byte(
+			`{"prb_id":7,"timestamp":`+fmt.Sprint(3600*h)+`,"src_addr":"192.168.1.9","result":[{"af":4,"hdr":["X-Client-IP: 81.10.0.1"]}]}`+"\n")...)
+	}
+	_ = data
+	if err := os.WriteFile(in, lines, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAnalyze([]string{"-format", "ripe", "-epoch", "0", in}); err != nil {
+		t.Fatalf("analyze ripe: %v", err)
+	}
+	if err := cmdAnalyze([]string{"-format", "bogus", in}); err == nil {
+		t.Error("bogus format accepted")
+	}
+}
+
+func TestAnalyzeRecordsFormat(t *testing.T) {
+	series := filepath.Join(t.TempDir(), "records.jsonl")
+	if err := cmdGen([]string{"atlas", "-profile", "Versatel", "-probes", "10", "-hours", "1200", "-raw", "-o", series}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := cmdAnalyze([]string{"-format", "records", series}); err != nil {
+		t.Fatalf("analyze records: %v", err)
+	}
+}
+
+func TestAnalyzeCDNWithPfx2as(t *testing.T) {
+	dir := t.TempDir()
+	assoc := filepath.Join(dir, "assoc.csv")
+	if err := cmdGen([]string{"cdn", "-scale", "0.02", "-days", "40", "-o", assoc}); err != nil {
+		t.Fatalf("gen cdn: %v", err)
+	}
+	pfx := filepath.Join(dir, "pfx2as.txt")
+	table := "87.128.0.0\t10\t3320\n2003::\t19\t3320\n"
+	if err := os.WriteFile(pfx, []byte(table), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAnalyzeCDN([]string{"-pfx2as", pfx, assoc}); err != nil {
+		t.Fatalf("analyze-cdn with pfx2as: %v", err)
+	}
+}

@@ -1,0 +1,145 @@
+package dynamips
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	p, ok := ProfileByName("DTAG")
+	if !ok {
+		t.Fatal("DTAG profile missing")
+	}
+	res, err := SimulateAS(p, 120, 4000, 1)
+	if err != nil {
+		t.Fatalf("SimulateAS: %v", err)
+	}
+	fleet, err := BuildFleet(res, 60, 2)
+	if err != nil {
+		t.Fatalf("BuildFleet: %v", err)
+	}
+	clean := Sanitize(fleet.Series, fleet.BGP)
+	if len(clean) == 0 {
+		t.Fatal("sanitization removed everything")
+	}
+	pas := Analyze(clean)
+	if len(pas) != len(clean) {
+		t.Fatalf("analyzed %d of %d", len(pas), len(clean))
+	}
+}
+
+func TestFacadeProfiles(t *testing.T) {
+	if len(Profiles()) < 10 {
+		t.Error("fewer than 10 profiles")
+	}
+	if len(ExperimentNames()) != 17 {
+		t.Errorf("experiments = %v", ExperimentNames())
+	}
+	if Version == "" {
+		t.Error("empty version")
+	}
+}
+
+func TestFacadeRunExperiment(t *testing.T) {
+	cfg := ReducedExperimentConfig()
+	cfg.CDNScale = 0.05
+	var buf bytes.Buffer
+	if err := RunExperiment("fig3", &buf, cfg); err != nil {
+		t.Fatalf("RunExperiment: %v", err)
+	}
+	if !strings.Contains(buf.String(), "RIPENCC") {
+		t.Errorf("fig3 output: %q", buf.String())
+	}
+	if err := RunExperiment("no-such", &buf, cfg); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFacadePipelines(t *testing.T) {
+	cfg := ReducedExperimentConfig()
+	cfg.ProbeScale = 0.05
+	cfg.Hours = 8760
+	a, err := BuildAtlasPipeline(cfg)
+	if err != nil {
+		t.Fatalf("BuildAtlasPipeline: %v", err)
+	}
+	if len(a.PAS) == 0 {
+		t.Error("empty atlas pipeline")
+	}
+	cfg.CDNScale = 0.05
+	c, err := BuildCDNPipeline(cfg)
+	if err != nil {
+		t.Fatalf("BuildCDNPipeline: %v", err)
+	}
+	if len(c.Episodes) == 0 {
+		t.Error("empty cdn pipeline")
+	}
+}
+
+func TestFacadeApplications(t *testing.T) {
+	p, _ := ProfileByName("DTAG")
+	res, err := SimulateAS(p, 150, 6000, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := BuildFleet(res, 80, 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := Sanitize(fleet.Series, fleet.BGP)
+	pas := Analyze(clean)
+
+	st, err := LearnHitlistStructure(3320, pas, fleet.BGP, 0.5)
+	if err != nil {
+		t.Fatalf("LearnHitlistStructure: %v", err)
+	}
+	var lan netip.Prefix
+	for _, sub := range res.Subscribers {
+		if len(sub.V6) > 0 {
+			lan = sub.V6[0].LAN
+			break
+		}
+	}
+	if !lan.IsValid() {
+		t.Fatal("no dual-stack subscriber")
+	}
+	l := NewHitlist(st)
+	l.Observe(lan, 3320, 0)
+	if l.Len() != 1 {
+		t.Errorf("hitlist len = %d", l.Len())
+	}
+	if _, err := NewScanPlan(lan, st.PoolLen, st.SubscriberLen, true); err != nil {
+		t.Errorf("NewScanPlan: %v", err)
+	}
+	if _, err := DeriveAnonymizePolicy(3320, pas, 8); err != nil {
+		t.Errorf("DeriveAnonymizePolicy: %v", err)
+	}
+	rep := MeasureTracking(clean)
+	if rep.Devices == 0 {
+		t.Error("tracking saw no devices")
+	}
+}
+
+func TestFacadeBlocking(t *testing.T) {
+	p, _ := ProfileByName("DTAG")
+	res, err := SimulateAS(p, 120, 5000, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := BuildFleet(res, 60, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pas := Analyze(Sanitize(fleet.Series, fleet.BGP))
+	adv, err := AdviseBlocking(3320, pas, 0.5)
+	if err != nil {
+		t.Fatalf("AdviseBlocking: %v", err)
+	}
+	b := NewBlocklist(adv)
+	b.BlockV6(netip.MustParseAddr("2003:1000:0:1100::1"), 3320, 0)
+	if !b.Blocked(netip.MustParseAddr("2003:1000:0:11ff::2"), 1) {
+		t.Error("delegation-wide block missing")
+	}
+}

@@ -1,0 +1,113 @@
+// Anonymization by truncation: the paper's privacy application (§6).
+// Sharing IPv6 datasets often "anonymizes" addresses by truncating them to
+// a fixed prefix — Google Analytics masks to /48. The paper shows this is
+// fallacious: Netcologne delegates entire /48s to individual subscribers,
+// so a /48-truncated record still identifies one household.
+//
+// This example measures, against simulation ground truth, how many
+// truncated prefixes still isolate a single subscriber under (a) the naive
+// global /48 policy and (b) a per-AS policy derived from the inferred
+// subscriber boundary (truncate strictly above it so each released prefix
+// aggregates many subscribers).
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+
+	"dynamips"
+	"dynamips/internal/core"
+	"dynamips/internal/isp"
+	"dynamips/internal/netutil"
+)
+
+// kAnonymity measures instantaneous re-identifiability: at a snapshot
+// hour, each subscriber's current LAN /64 is truncated to the given
+// length; a released prefix that covers exactly one concurrent subscriber
+// still identifies a household. It returns the singleton count and the
+// number of released prefixes.
+func kAnonymity(res *isp.Result, truncate int, at int64) (singletons, prefixes int) {
+	subsPer := make(map[netip.Prefix]int)
+	for _, sub := range res.Subscribers {
+		var cur netip.Prefix
+		for _, st := range sub.V6 {
+			if st.Start > at {
+				break
+			}
+			cur = st.LAN
+		}
+		if !cur.IsValid() {
+			continue
+		}
+		subsPer[netutil.PrefixAt(cur.Addr(), truncate)]++
+	}
+	for _, n := range subsPer {
+		if n == 1 {
+			singletons++
+		}
+	}
+	return singletons, len(subsPer)
+}
+
+func report(name string) {
+	profile, ok := dynamips.ProfileByName(name)
+	if !ok {
+		log.Fatalf("missing profile %s", name)
+	}
+	res, err := dynamips.SimulateAS(profile, 400, 8760, 21)
+	if err != nil {
+		log.Fatalf("simulate %s: %v", name, err)
+	}
+	fleet, err := dynamips.BuildFleet(res, 200, 22)
+	if err != nil {
+		log.Fatalf("fleet %s: %v", name, err)
+	}
+	pas := dynamips.Analyze(dynamips.Sanitize(fleet.Series, fleet.BGP))
+	perAS, _ := core.SubscriberLengths(pas)
+	h := perAS[profile.ASN]
+	if h == nil || h.N == 0 {
+		log.Fatalf("no subscriber-length inference for %s", name)
+	}
+	subscriberLen := h.ArgMax()
+	// Releasing just above the subscriber boundary is not enough when
+	// pools are sparsely occupied; aggregate to the inferred dynamic
+	// pool, where the data shows many subscribers actually live. This
+	// is the paper's "per-network approach to obfuscating IPv6
+	// datasets" (§6).
+	safeLen := subscriberLen - 8
+	if dists := core.UniquePrefixes(pas, fleet.BGP)[profile.ASN]; dists != nil {
+		if pool, ok := core.InferPoolBoundary(dists, 4); ok && pool < safeLen {
+			safeLen = pool
+		}
+	}
+	if safeLen < profile.BGP6.Bits() {
+		safeLen = profile.BGP6.Bits()
+	}
+
+	at := res.Hours / 2
+	s48, p48 := kAnonymity(res, 48, at)
+	sSafe, pSafe := kAnonymity(res, safeLen, at)
+	fmt.Printf("%-10s inferred subscriber boundary /%d\n", name, subscriberLen)
+	fmt.Printf("           naive /48 truncation:  %4d of %4d released prefixes identify ONE subscriber (%.0f%%)\n",
+		s48, p48, pct(s48, p48))
+	fmt.Printf("           boundary-aware /%d:    %4d of %4d released prefixes identify one subscriber (%.0f%%)\n\n",
+		safeLen, sSafe, pSafe, pct(sSafe, pSafe))
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func main() {
+	fmt.Println("anonymization by truncation: does the released prefix still identify a household?")
+	fmt.Println()
+	for _, name := range []string{"Netcologne", "DTAG", "Kabel DE"} {
+		report(name)
+	}
+	fmt.Println("(the paper: a /48 boundary \"would consist of a single subscriber in the")
+	fmt.Println(" case of Netcologne!\" — §5.3)")
+}

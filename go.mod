@@ -1,0 +1,3 @@
+module dynamips
+
+go 1.22

@@ -1,0 +1,59 @@
+package atlas
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+)
+
+// Prober is the probe-side measurement loop: it performs IP echo
+// measurements against a live echo endpoint and accumulates Records on
+// the hourly grid, exactly the data path a real Atlas probe follows. The
+// caller supplies the virtual hour per measurement (real deployments pass
+// wall-clock hours; tests compress time).
+type Prober struct {
+	ProbeID int
+	// Family tags the records (4 or 6); the echoed address family is
+	// whatever the transport used.
+	Family int
+	// Client performs the echo measurement.
+	Client *EchoClient
+	// Src is the address reported as src_addr (a residential IPv4 probe
+	// reports its RFC 1918 address; an IPv6 probe mirrors the echo).
+	Src netip.Addr
+
+	records []Record
+}
+
+// MeasureAt performs one echo measurement and records it at the given
+// hour.
+func (p *Prober) MeasureAt(ctx context.Context, hour int64) (Record, error) {
+	if p.Client == nil {
+		return Record{}, fmt.Errorf("atlas: prober without client")
+	}
+	addr, err := p.Client.Measure(ctx)
+	if err != nil {
+		return Record{}, fmt.Errorf("atlas: probe %d at hour %d: %w", p.ProbeID, hour, err)
+	}
+	src := p.Src
+	if !src.IsValid() {
+		src = addr // IPv6 probes report their own address as src_addr
+	}
+	rec := Record{ProbeID: p.ProbeID, Hour: hour, Family: p.Family, Echo: addr, Src: src}
+	p.records = append(p.records, rec)
+	return rec, nil
+}
+
+// Records returns everything measured so far.
+func (p *Prober) Records() []Record { return p.records }
+
+// Series compresses the measurements into an RLE series.
+func (p *Prober) Series() Series {
+	all := Compress(p.records)
+	if len(all) == 0 {
+		return Series{Probe: Probe{ID: p.ProbeID}}
+	}
+	ser := all[0]
+	ser.Probe.ID = p.ProbeID
+	return ser
+}

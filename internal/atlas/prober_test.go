@@ -1,0 +1,70 @@
+package atlas
+
+import (
+	"context"
+	"testing"
+)
+
+func TestProberEndToEnd(t *testing.T) {
+	srv, err := StartEchoServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("StartEchoServer: %v", err)
+	}
+	defer srv.Close()
+	p := &Prober{
+		ProbeID: 42,
+		Family:  4,
+		Client:  &EchoClient{URL: srv.URL()},
+		Src:     privateProbeSrc,
+	}
+	ctx := context.Background()
+	for h := int64(0); h < 5; h++ {
+		rec, err := p.MeasureAt(ctx, h)
+		if err != nil {
+			t.Fatalf("MeasureAt(%d): %v", h, err)
+		}
+		if !rec.Echo.IsLoopback() {
+			t.Fatalf("echoed %v", rec.Echo)
+		}
+		if rec.Src != privateProbeSrc {
+			t.Fatalf("src = %v", rec.Src)
+		}
+	}
+	if len(p.Records()) != 5 {
+		t.Fatalf("records = %d", len(p.Records()))
+	}
+	ser := p.Series()
+	if ser.Probe.ID != 42 {
+		t.Errorf("series probe = %d", ser.Probe.ID)
+	}
+	// Five identical hourly measurements compress to one span.
+	if len(ser.V4) != 1 || ser.V4[0].Hours() != 5 {
+		t.Errorf("series spans = %+v", ser.V4)
+	}
+}
+
+func TestProberWithoutClient(t *testing.T) {
+	p := &Prober{ProbeID: 1, Family: 4}
+	if _, err := p.MeasureAt(context.Background(), 0); err == nil {
+		t.Error("prober without client measured")
+	}
+	if ser := p.Series(); ser.Probe.ID != 1 || len(ser.V4) != 0 {
+		t.Errorf("empty series = %+v", ser)
+	}
+}
+
+func TestProberV6SrcMirrorsEcho(t *testing.T) {
+	srv, err := StartEchoServer("[::1]:0")
+	if err != nil {
+		t.Skip("IPv6 loopback unavailable:", err)
+	}
+	defer srv.Close()
+	p := &Prober{ProbeID: 7, Family: 6, Client: &EchoClient{URL: srv.URL()}}
+	rec, err := p.MeasureAt(context.Background(), 3)
+	if err != nil {
+		t.Fatalf("MeasureAt: %v", err)
+	}
+	if rec.Src != rec.Echo {
+		t.Errorf("v6 src %v != echo %v", rec.Src, rec.Echo)
+	}
+}

@@ -1,0 +1,276 @@
+// Package atlas models the RIPE Atlas "IP echo" dataset (§3.1): probes in
+// home networks perform hourly HTTP GETs against an echo server that
+// returns the publicly visible client address in an X-Client-IP header.
+//
+// The package provides the record schema and JSONL codec, run-length
+// encoded observation series, a real net/http echo server and probe
+// client, a fleet generator that derives probe observations from
+// internal/isp ground truth (with the anomaly types Appendix A.1
+// describes), and the full sanitization pipeline from that appendix.
+package atlas
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"dynamips/internal/netutil"
+)
+
+// TestAddr is the RIPE NCC address probes echoed while being tested before
+// distribution; Appendix A.1 filters all entries carrying it.
+var TestAddr = netip.MustParseAddr("193.0.0.78")
+
+// Probe is one Atlas probe's metadata.
+type Probe struct {
+	ID           int      `json:"prb_id"`
+	ASN          uint32   `json:"asn"`
+	Tags         []string `json:"tags,omitempty"`
+	SubscriberID int      `json:"subscriber_id"`
+}
+
+// Record is one hourly IP-echo measurement, the JSONL interchange unit.
+type Record struct {
+	ProbeID int        `json:"prb_id"`
+	Hour    int64      `json:"hour"`
+	Family  int        `json:"af"` // 4 or 6
+	Echo    netip.Addr `json:"x_client_ip"`
+	Src     netip.Addr `json:"src_addr"`
+}
+
+// Span is a run-length encoded stretch of identical hourly observations:
+// the probe reported the same (Echo, Src) pair every hour in [Start, End].
+type Span struct {
+	Start int64      `json:"start"`
+	End   int64      `json:"end"` // inclusive
+	Echo  netip.Addr `json:"x_client_ip"`
+	Src   netip.Addr `json:"src_addr"`
+}
+
+// Hours returns the number of hourly observations the span covers.
+func (s Span) Hours() int64 { return s.End - s.Start + 1 }
+
+// Prefix64 returns the /64 of the echoed address (IPv6 spans).
+func (s Span) Prefix64() netip.Prefix { return netutil.Prefix64(s.Echo) }
+
+// Series is one probe's full observation history, RLE per family.
+type Series struct {
+	Probe Probe  `json:"probe"`
+	V4    []Span `json:"v4"`
+	V6    []Span `json:"v6"`
+}
+
+// ObservedHours returns the total hours with at least one family observed,
+// approximated as the max of the two families' coverage.
+func (s *Series) ObservedHours() int64 {
+	var h4, h6 int64
+	for _, sp := range s.V4 {
+		h4 += sp.Hours()
+	}
+	for _, sp := range s.V6 {
+		h6 += sp.Hours()
+	}
+	return max(h4, h6)
+}
+
+// DualStack reports whether the probe yielded more than a month of both
+// IPv4 and IPv6 measurements, the paper's dual-stack probe criterion
+// (Table 1, fn. 3).
+func (s *Series) DualStack(minHours int64) bool {
+	var h4, h6 int64
+	for _, sp := range s.V4 {
+		h4 += sp.Hours()
+	}
+	for _, sp := range s.V6 {
+		h6 += sp.Hours()
+	}
+	return h4 >= minHours && h6 >= minHours
+}
+
+// Expand converts a series to hourly records (both families interleaved by
+// hour then family), the raw form of the public dataset.
+func (s *Series) Expand() []Record {
+	var recs []Record
+	for _, sp := range s.V4 {
+		for h := sp.Start; h <= sp.End; h++ {
+			recs = append(recs, Record{ProbeID: s.Probe.ID, Hour: h, Family: 4, Echo: sp.Echo, Src: sp.Src})
+		}
+	}
+	for _, sp := range s.V6 {
+		for h := sp.Start; h <= sp.End; h++ {
+			recs = append(recs, Record{ProbeID: s.Probe.ID, Hour: h, Family: 6, Echo: sp.Echo, Src: sp.Src})
+		}
+	}
+	return recs
+}
+
+// Compress rebuilds RLE series from hourly records. Records may arrive in
+// any order; output spans are maximal runs of identical (Echo, Src) at
+// contiguous hours. Probe metadata beyond the ID is left zero — callers
+// re-attach it from their probe table.
+func Compress(recs []Record) []Series {
+	type key struct {
+		probe  int
+		family int
+	}
+	byKey := make(map[key][]Record)
+	for _, r := range recs {
+		k := key{r.ProbeID, r.Family}
+		byKey[k] = append(byKey[k], r)
+	}
+	byProbe := make(map[int]*Series)
+	var order []int
+	for k, rs := range byKey {
+		// Insertion sort is avoided: sort by hour.
+		sortRecords(rs)
+		ser, ok := byProbe[k.probe]
+		if !ok {
+			ser = &Series{Probe: Probe{ID: k.probe}}
+			byProbe[k.probe] = ser
+			order = append(order, k.probe)
+		}
+		var spans []Span
+		for _, r := range rs {
+			n := len(spans)
+			if n > 0 && spans[n-1].End+1 == r.Hour && spans[n-1].Echo == r.Echo && spans[n-1].Src == r.Src {
+				spans[n-1].End = r.Hour
+				continue
+			}
+			if n > 0 && spans[n-1].End >= r.Hour {
+				continue // duplicate hour
+			}
+			spans = append(spans, Span{Start: r.Hour, End: r.Hour, Echo: r.Echo, Src: r.Src})
+		}
+		if k.family == 4 {
+			ser.V4 = spans
+		} else {
+			ser.V6 = spans
+		}
+	}
+	sortInts(order)
+	out := make([]Series, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byProbe[id])
+	}
+	return out
+}
+
+func sortRecords(rs []Record) {
+	// Small helper kept allocation-free; hours are nearly sorted in
+	// generated data, so insertion-style sort.Slice is fine.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Hour < rs[j-1].Hour; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// WriteRecords writes records as JSON lines.
+func WriteRecords(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("atlas: encoding record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRecords parses JSON lines into records.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("atlas: reading records: %w", err)
+	}
+	return recs, nil
+}
+
+// WriteSeries writes RLE series as JSON lines (one series per line).
+func WriteSeries(w io.Writer, series []Series) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range series {
+		if err := enc.Encode(&series[i]); err != nil {
+			return fmt.Errorf("atlas: encoding series %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSeries parses JSONL series, validating each probe's span layout.
+func ReadSeries(r io.Reader) ([]Series, error) {
+	var out []Series
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ser Series
+		if err := json.Unmarshal(sc.Bytes(), &ser); err != nil {
+			return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+		}
+		if err := ValidateSeries(&ser); err != nil {
+			return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+		}
+		out = append(out, ser)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("atlas: reading series: %w", err)
+	}
+	return out, nil
+}
+
+// ValidateSeries checks the invariants every analysis assumes: spans
+// sorted by start, non-overlapping, non-inverted, with valid echoed
+// addresses of the right family.
+func ValidateSeries(s *Series) error {
+	check := func(spans []Span, family string, want4 bool) error {
+		for i, sp := range spans {
+			if sp.End < sp.Start {
+				return fmt.Errorf("probe %d %s span %d inverted", s.Probe.ID, family, i)
+			}
+			if !sp.Echo.IsValid() {
+				return fmt.Errorf("probe %d %s span %d has no echoed address", s.Probe.ID, family, i)
+			}
+			if sp.Echo.Unmap().Is4() != want4 {
+				return fmt.Errorf("probe %d %s span %d wrong family: %v", s.Probe.ID, family, i, sp.Echo)
+			}
+			if i > 0 && sp.Start <= spans[i-1].End {
+				return fmt.Errorf("probe %d %s spans %d/%d overlap or are unsorted", s.Probe.ID, family, i-1, i)
+			}
+		}
+		return nil
+	}
+	if err := check(s.V4, "v4", true); err != nil {
+		return err
+	}
+	return check(s.V6, "v6", false)
+}

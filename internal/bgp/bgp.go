@@ -1,0 +1,152 @@
+// Package bgp models the routed-prefix view the paper uses to classify
+// address changes: a RIB mapping prefixes to origin ASNs, equivalent to the
+// Routeviews pfx2as dataset ([1] in the paper). The analyzer asks "did this
+// assignment change cross a routed BGP prefix boundary?" (Table 2) and
+// "which ASN does this address belong to?" (the CDN pipeline's
+// ASN-mismatch filter, §4.1).
+//
+// The package includes a text codec compatible with the Routeviews
+// pfx2as format (one "prefix<TAB>length<TAB>asn" line per entry).
+package bgp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dynamips/internal/rtrie"
+)
+
+// Table is a RIB keyed by routed prefix with origin-ASN values.
+// The zero value is empty and ready to use.
+type Table struct {
+	trie  rtrie.Trie[uint32]
+	names map[uint32]string
+}
+
+// Announce inserts (or replaces) a routed prefix with its origin ASN.
+func (t *Table) Announce(p netip.Prefix, asn uint32) {
+	t.trie.Insert(p, asn)
+}
+
+// SetName attaches a human-readable operator name to an ASN for reporting.
+func (t *Table) SetName(asn uint32, name string) {
+	if t.names == nil {
+		t.names = make(map[uint32]string)
+	}
+	t.names[asn] = name
+}
+
+// Name returns the operator name for an ASN, or "AS<n>".
+func (t *Table) Name(asn uint32) string {
+	if n, ok := t.names[asn]; ok {
+		return n
+	}
+	return fmt.Sprintf("AS%d", asn)
+}
+
+// Len returns the number of routed prefixes.
+func (t *Table) Len() int { return t.trie.Len() }
+
+// Origin returns the origin ASN and routed BGP prefix covering a.
+func (t *Table) Origin(a netip.Addr) (asn uint32, routed netip.Prefix, ok bool) {
+	return t.trie.Lookup(a)
+}
+
+// OriginOfPrefix returns the origin ASN and routed BGP prefix covering a
+// prefix's network address.
+func (t *Table) OriginOfPrefix(p netip.Prefix) (asn uint32, routed netip.Prefix, ok bool) {
+	return t.trie.Lookup(p.Addr())
+}
+
+// SameRoutedPrefix reports whether two addresses fall inside the same
+// routed BGP prefix. Addresses outside the table never match.
+func (t *Table) SameRoutedPrefix(a, b netip.Addr) bool {
+	_, pa, oka := t.trie.Lookup(a)
+	_, pb, okb := t.trie.Lookup(b)
+	return oka && okb && pa == pb
+}
+
+// Entry is one (prefix, origin ASN) pair of the RIB.
+type Entry struct {
+	Prefix netip.Prefix
+	ASN    uint32
+}
+
+// Entries returns the RIB contents sorted by prefix string for stable
+// output.
+func (t *Table) Entries() []Entry {
+	var es []Entry
+	t.trie.Walk(func(p netip.Prefix, asn uint32) bool {
+		es = append(es, Entry{p, asn})
+		return true
+	})
+	sort.Slice(es, func(i, j int) bool { return es[i].Prefix.String() < es[j].Prefix.String() })
+	return es
+}
+
+// WritePfx2as writes the table in Routeviews pfx2as text format:
+// "network<TAB>prefixlen<TAB>asn", one entry per line.
+func (t *Table) WritePfx2as(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var werr error
+	t.trie.Walk(func(p netip.Prefix, asn uint32) bool {
+		_, werr = fmt.Fprintf(bw, "%s\t%d\t%d\n", p.Addr(), p.Bits(), asn)
+		return werr == nil
+	})
+	if werr != nil {
+		return fmt.Errorf("bgp: writing pfx2as: %w", werr)
+	}
+	return bw.Flush()
+}
+
+// ReadPfx2as parses a Routeviews-style pfx2as stream into a new Table.
+// Blank lines and lines starting with '#' are skipped. Multi-origin
+// entries ("asn1_asn2" or "asn1,asn2") keep the first origin, matching
+// common pfx2as consumers.
+func ReadPfx2as(r io.Reader) (*Table, error) {
+	t := &Table{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bgp: pfx2as line %d: want 3 fields, got %d", line, len(fields))
+		}
+		addr, err := netip.ParseAddr(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bgp: pfx2as line %d: %w", line, err)
+		}
+		bits, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("bgp: pfx2as line %d: bad length: %w", line, err)
+		}
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			return nil, fmt.Errorf("bgp: pfx2as line %d: %w", line, err)
+		}
+		asField := fields[2]
+		if i := strings.IndexAny(asField, "_,"); i >= 0 {
+			asField = asField[:i]
+		}
+		asn, err := strconv.ParseUint(asField, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bgp: pfx2as line %d: bad asn: %w", line, err)
+		}
+		t.Announce(p, uint32(asn))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bgp: reading pfx2as: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,69 @@
+package cdn
+
+import (
+	"sort"
+	"testing"
+)
+
+func benchAssocs(b *testing.B) []Association {
+	b.Helper()
+	cfg := DefaultGenConfig(9)
+	cfg.Scale = 0.1
+	ds, err := Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds.Assocs
+}
+
+// BenchmarkDegreesMapJoin measures the production join (hash maps keyed by
+// /24 and /64).
+func BenchmarkDegreesMapJoin(b *testing.B) {
+	assocs := benchAssocs(b)
+	mobile := MobileLabel(assocs, 350)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Degrees(assocs, mobile)
+	}
+}
+
+// BenchmarkDegreesSortMerge is the ablation baseline called out in
+// DESIGN.md: the same unique-/64-per-/24 computation done by sorting the
+// association list and merging runs instead of hashing.
+func BenchmarkDegreesSortMerge(b *testing.B) {
+	assocs := benchAssocs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sorted := append([]Association(nil), assocs...)
+		sort.Slice(sorted, func(x, y int) bool {
+			if sorted[x].K24 != sorted[y].K24 {
+				return sorted[x].K24 < sorted[y].K24
+			}
+			return sorted[x].K64 < sorted[y].K64
+		})
+		var (
+			uniq  int
+			total int
+		)
+		for j := 0; j < len(sorted); j++ {
+			if j == 0 || sorted[j].K24 != sorted[j-1].K24 || sorted[j].K64 != sorted[j-1].K64 {
+				uniq++
+			}
+			if j == len(sorted)-1 || sorted[j].K24 != sorted[j+1].K24 {
+				total += uniq
+				uniq = 0
+			}
+		}
+		if total == 0 {
+			b.Fatal("no degrees")
+		}
+	}
+}
+
+func BenchmarkMobileLabel(b *testing.B) {
+	assocs := benchAssocs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MobileLabel(assocs, 350)
+	}
+}

@@ -1,0 +1,75 @@
+package cdn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"dynamips/internal/netutil"
+)
+
+// WriteCSV writes associations as "v4_prefix24,v6_prefix64,day,hits"
+// lines with a header comment, the interchange format of
+// `dynamips gen cdn`.
+func WriteCSV(w io.Writer, assocs []Association) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# v4_prefix24,v6_prefix64,day,hits"); err != nil {
+		return fmt.Errorf("cdn: writing header: %w", err)
+	}
+	for _, a := range assocs {
+		if _, err := fmt.Fprintf(bw, "%s,%s,%d,%d\n", a.P24(), a.P64(), a.Day, a.Hits); err != nil {
+			return fmt.Errorf("cdn: writing association: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the association CSV format. Blank lines and lines
+// starting with '#' are skipped. Prefixes longer than the aggregation
+// granularity are rejected.
+func ReadCSV(r io.Reader) ([]Association, error) {
+	var out []Association
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 8*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("cdn: line %d: want 4 fields, got %d", line, len(fields))
+		}
+		p24, err := netip.ParsePrefix(fields[0])
+		if err != nil || p24.Bits() != 24 || !p24.Addr().Is4() {
+			return nil, fmt.Errorf("cdn: line %d: bad IPv4 /24 %q", line, fields[0])
+		}
+		p64, err := netip.ParsePrefix(fields[1])
+		if err != nil || p64.Bits() != 64 || !p64.Addr().Is6() || p64.Addr().Unmap().Is4() {
+			return nil, fmt.Errorf("cdn: line %d: bad IPv6 /64 %q", line, fields[1])
+		}
+		day, err := strconv.ParseUint(fields[2], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("cdn: line %d: bad day: %w", line, err)
+		}
+		hits, err := strconv.ParseUint(fields[3], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("cdn: line %d: bad hits: %w", line, err)
+		}
+		out = append(out, Association{
+			K24:  netutil.U32(p24.Masked().Addr()) >> 8,
+			K64:  netutil.Key64(p64.Masked().Addr()),
+			Day:  uint16(day),
+			Hits: uint32(hits),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cdn: reading associations: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package cdn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := DefaultGenConfig(5)
+	cfg.Scale = 0.03
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds.Assocs); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got) != len(ds.Assocs) {
+		t.Fatalf("round trip %d of %d associations", len(got), len(ds.Assocs))
+	}
+	for i := range got {
+		if got[i] != ds.Assocs[i] {
+			t.Fatalf("association %d differs: %+v vs %+v", i, got[i], ds.Assocs[i])
+		}
+	}
+}
+
+func TestReadCSVSkipsCommentsAndBlanks(t *testing.T) {
+	in := `# header
+81.16.10.0/24,2003:1000:0:100::/64,3,9
+
+# another comment
+81.16.11.0/24,2003:1000:0:200::/64,4,1
+`
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got) != 2 || got[0].Day != 3 || got[1].Hits != 1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"81.16.10.0/24,2003::/64,3",         // too few fields
+		"81.16.10.0/23,2003::/64,3,1",       // wrong v4 length
+		"2003::/64,2003::/64,3,1",           // v6 where v4 expected
+		"81.16.10.0/24,2003::/56,3,1",       // wrong v6 length
+		"81.16.10.0/24,10.0.0.0/24,3,1",     // v4 where v6 expected
+		"81.16.10.0/24,2003::/64,notaday,1", // bad day
+		"81.16.10.0/24,2003::/64,3,nothits", // bad hits
+		"81.16.10.0/24,2003::/64,99999,1",   // day overflows uint16
+		"garbage,2003::/64,3,1",             // unparsable prefix
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadCSV(%q) did not fail", c)
+		}
+	}
+}

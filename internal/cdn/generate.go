@@ -1,0 +1,228 @@
+package cdn
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"dynamips/internal/bgp"
+	"dynamips/internal/cgnat"
+	"dynamips/internal/netutil"
+	"dynamips/internal/rir"
+)
+
+// GenConfig shapes a synthetic RUM collection run.
+type GenConfig struct {
+	// Days is the collection window (the paper's is ~150 days).
+	Days int
+	// Scale multiplies every operator's subscriber count (1.0 ≈ tens of
+	// thousands of subscribers; the paper's population is documented as
+	// the full-scale equivalent in DESIGN.md).
+	Scale float64
+	// Seed makes the run reproducible.
+	Seed int64
+	// ActivityProb is the per-day probability a subscriber generates
+	// RUM transactions (browsing clients are not seen every day).
+	ActivityProb float64
+	// MismatchFrac is the fraction of raw associations whose IPv4 and
+	// IPv6 come from different ASes (clients switching networks between
+	// connections, §4.1); the filter must remove them.
+	MismatchFrac float64
+	// Operators overrides the built-in operator set when non-nil.
+	Operators []Operator
+}
+
+// DefaultGenConfig returns the experiments' configuration.
+func DefaultGenConfig(seed int64) GenConfig {
+	return GenConfig{Days: 150, Scale: 1, Seed: seed, ActivityProb: 0.75, MismatchFrac: 0.01}
+}
+
+// Dataset is a generated and filtered association collection.
+type Dataset struct {
+	Assocs []Association
+	// RawCount counts associations before the ASN-mismatch filter;
+	// Mismatches counts what the filter removed.
+	RawCount   int
+	Mismatches int
+	Days       int
+	Operators  []Operator
+	BGP        *bgp.Table
+	RIR        *rir.Table
+	// TruthMobile maps each operator ASN to its mobile ground truth.
+	TruthMobile map[uint32]bool
+}
+
+// Generate synthesizes the RUM dataset: per-subscriber association
+// episodes sampled daily, aggregated to (/24, /64, day) tuples, then run
+// through the ASN-mismatch filter exactly as the paper's pipeline does.
+func Generate(cfg GenConfig) (*Dataset, error) {
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("cdn: non-positive window")
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.ActivityProb <= 0 || cfg.ActivityProb > 1 {
+		cfg.ActivityProb = 0.75
+	}
+	ops := cfg.Operators
+	if ops == nil {
+		ops = Operators()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{
+		Days:        cfg.Days,
+		Operators:   ops,
+		BGP:         &bgp.Table{},
+		RIR:         rir.Default(),
+		TruthMobile: make(map[uint32]bool),
+	}
+	for _, op := range ops {
+		ds.BGP.Announce(op.BGP4, op.ASN)
+		ds.BGP.Announce(op.BGP6, op.ASN)
+		ds.BGP.SetName(op.ASN, op.Name)
+		ds.TruthMobile[op.ASN] = op.Mobile
+	}
+	var raw []Association
+	for oi, op := range ops {
+		if err := generateOperator(&raw, op, ops, oi, cfg, rng); err != nil {
+			return nil, err
+		}
+	}
+	ds.RawCount = len(raw)
+	// The paper's pre-processing: discard associations whose IPv4 and
+	// IPv6 ASNs disagree (§4.1).
+	ds.Assocs = raw[:0]
+	for _, a := range raw {
+		asn4, _, ok4 := ds.BGP.Origin(a.P24().Addr())
+		asn6, _, ok6 := ds.BGP.Origin(a.P64().Addr())
+		if !ok4 || !ok6 || asn4 != asn6 {
+			ds.Mismatches++
+			continue
+		}
+		ds.Assocs = append(ds.Assocs, a)
+	}
+	return ds, nil
+}
+
+// sub24Count returns the operator's /24 pool size.
+func sub24Count(op Operator, scale float64) uint32 {
+	subs := int(float64(op.Subscribers) * scale)
+	n := uint32(subs/op.UsersPer24) + 1
+	return n
+}
+
+// pick24 returns the /24 key for a subscriber's current attachment: a
+// draw from the operator's /24 pool. Fixed-line IPv4 changes usually land
+// in a different /24 (Table 2's Diff /24 column), and CGNAT remaps freely,
+// so both populations draw per association episode.
+func pick24(op Operator, n24 uint32, rng *rand.Rand) (uint32, error) {
+	idx := uint32(rng.Intn(int(n24)))
+	p, err := netutil.SubPrefix(op.BGP4, 24, uint64(idx))
+	if err != nil {
+		return 0, fmt.Errorf("cdn: carving /24 for %s: %w", op.Name, err)
+	}
+	return netutil.U32(p.Addr()) >> 8, nil
+}
+
+// new64 draws a fresh /64 for a subscriber, honoring the operator's
+// delegation structure: with probability ZeroFrac the bits below the
+// delegated length are zero (a zeroing CPE), otherwise they are random
+// (scrambling CPEs or direct /64 assignment).
+func new64(op Operator, rng *rand.Rand) uint64 {
+	span := op.BGP6.Bits() // bits fixed by the aggregate
+	hi, _ := netutil.U128(op.BGP6.Addr())
+	random := rng.Uint64()
+	// Fill bits below the aggregate with randomness, then zero the
+	// delegation's host-side bits when the CPE zeroes them.
+	mask := ^uint64(0) >> uint(span)
+	hi |= random & mask
+	if op.DelegatedLen < 64 && rng.Float64() < op.ZeroFrac {
+		hi &^= 1<<uint(64-op.DelegatedLen) - 1
+	}
+	return hi
+}
+
+func generateOperator(out *[]Association, op Operator, all []Operator, oi int, cfg GenConfig, rng *rand.Rand) error {
+	subs := int(float64(op.Subscribers) * cfg.Scale)
+	if subs <= 0 {
+		subs = 1
+	}
+	n24 := sub24Count(op, cfg.Scale)
+	activity := op.Activity
+	if activity <= 0 {
+		activity = cfg.ActivityProb
+	}
+	// Mobile subscribers sit behind a CGNAT gateway (§2.1): the gateway
+	// binds each one to a public address via deterministic port blocks,
+	// fixing the /24 of its first association; later remaps move it
+	// across the gateway's addresses.
+	var gw *cgnat.Gateway
+	if op.Mobile {
+		var public []netip.Prefix
+		for i := uint32(0); i < n24; i++ {
+			p, err := netutil.SubPrefix(op.BGP4, 24, uint64(i))
+			if err != nil {
+				return fmt.Errorf("cdn: cgnat pool for %s: %w", op.Name, err)
+			}
+			public = append(public, p)
+		}
+		gw = cgnat.NewGateway(cgnat.DefaultConfig(public...))
+	}
+	for sub := 0; sub < subs; sub++ {
+		day := 0
+		var k64 uint64
+		haveV6 := false
+		firstEpisode := true
+		for day < cfg.Days {
+			// One association episode: a (/24, /64) pair holding for
+			// the drawn duration.
+			var durDays int
+			if op.StableFrac > 0 && rng.Float64() < op.StableFrac {
+				durDays = cfg.Days
+			} else {
+				durDays = 1 + int(rng.ExpFloat64()*op.AssocMeanDays)
+			}
+			end := min(day+durDays, cfg.Days)
+			var k24 uint32
+			if gw != nil && firstEpisode {
+				b, err := gw.Bind(fmt.Sprintf("%s-%d", op.Name, sub))
+				if err != nil {
+					return fmt.Errorf("cdn: cgnat bind for %s: %w", op.Name, err)
+				}
+				k24 = netutil.U32(b.Public) >> 8
+			} else {
+				var err error
+				k24, err = pick24(op, n24, rng)
+				if err != nil {
+					return err
+				}
+			}
+			firstEpisode = false
+			if !haveV6 || rng.Float64() >= op.KeepV6Frac {
+				k64 = new64(op, rng)
+				haveV6 = true
+			}
+			hits := uint32(1 + rng.Intn(40))
+			for d := day; d < end; d++ {
+				if rng.Float64() >= activity {
+					continue
+				}
+				a := Association{K24: k24, K64: k64, Day: uint16(d), Hits: hits}
+				if cfg.MismatchFrac > 0 && rng.Float64() < cfg.MismatchFrac && len(all) > 1 {
+					// The client reported over another operator's IPv4
+					// (e.g. phone on WiFi vs cellular): corrupt the /24.
+					other := all[(oi+1+rng.Intn(len(all)-1))%len(all)]
+					ok24, err := pick24(other, sub24Count(other, cfg.Scale), rng)
+					if err != nil {
+						return err
+					}
+					a.K24 = ok24
+				}
+				*out = append(*out, a)
+			}
+			day = end
+		}
+	}
+	return nil
+}

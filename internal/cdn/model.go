@@ -1,0 +1,129 @@
+// Package cdn models the paper's CDN Real-User-Monitoring dataset (§4.1):
+// IPv4↔IPv6 address associations from dual-stacked clients, aggregated to
+// (IPv4 /24, IPv6 /64, day) tuples. The real dataset (32.7 billion
+// associations) is proprietary; this package generates a synthetic
+// population from per-operator models that encode the paper's published
+// findings — fixed vs. mobile duration regimes, CGNAT multiplexing
+// degrees, per-registry trailing-zero structure — at a configurable scale,
+// and implements the paper's aggregation, ASN-mismatch filtering,
+// mobile/fixed labeling, and §4/§5.3 analyses on the same tuple schema.
+package cdn
+
+import (
+	"net/netip"
+
+	"dynamips/internal/netutil"
+	"dynamips/internal/rir"
+)
+
+// Association is one aggregated (IPv4 /24, IPv6 /64, day) observation with
+// its RUM hit count. Prefixes are stored as compact keys: K24 is the /24
+// network right-shifted 8 bits; K64 is the /64 network component.
+type Association struct {
+	K24  uint32
+	K64  uint64
+	Day  uint16
+	Hits uint32
+}
+
+// P24 returns the IPv4 /24 prefix.
+func (a Association) P24() netip.Prefix {
+	return netip.PrefixFrom(netutil.AddrFromU32(a.K24<<8), 24)
+}
+
+// P64 returns the IPv6 /64 prefix.
+func (a Association) P64() netip.Prefix {
+	return netip.PrefixFrom(netutil.AddrFrom128(a.K64, 0), 64)
+}
+
+// Operator is a ground-truth model of one network's dual-stack behavior.
+type Operator struct {
+	Name   string
+	ASN    uint32
+	Mobile bool
+	// Registry is the delegating RIR (ground truth; analyses re-derive
+	// it from the prefixes).
+	Registry rir.Registry
+
+	// BGP4 and BGP6 are the operator's announced prefixes; the /24 pool
+	// and subscriber /64s are carved from them.
+	BGP4 netip.Prefix
+	BGP6 netip.Prefix
+
+	// Subscribers is the scaled dual-stack population.
+	Subscribers int
+	// UsersPer24 controls IPv4 multiplexing: how many concurrent
+	// subscribers share one /24 (fixed: 150–200 via NAT per home;
+	// mobile CGNAT: hundreds sharing few /24s, §4.3).
+	UsersPer24 int
+
+	// AssocMeanDays is the mean association duration; durations are
+	// exponential with a point mass of StableFrac lasting the whole
+	// window (ARIN fixed lines, §4.2).
+	AssocMeanDays float64
+	StableFrac    float64
+
+	// DelegatedLen is the subscriber delegation length; ZeroFrac is the
+	// share of /64s with the bits below the delegation zeroed (Orange:
+	// 99.7% — §5.3). Mobile operators delegate bare /64s (ZeroFrac 0).
+	DelegatedLen int
+	ZeroFrac     float64
+
+	// KeepV6Frac is the probability a subscriber keeps its /64 across an
+	// association change (only the IPv4 side moved). Fixed-line /64s
+	// outlive IPv4 addresses; mobile /64s mostly die with the session
+	// ("87% of unique /64s have a connectivity of one", §4.3).
+	KeepV6Frac float64
+	// Activity overrides GenConfig.ActivityProb for this operator:
+	// the per-day probability a subscriber produces RUM traffic. Mobile
+	// clients are seen far more sparsely than fixed lines. Zero uses
+	// the config default.
+	Activity float64
+}
+
+// Operators returns the built-in ground-truth operator set: the six ISPs
+// of Fig. 2 plus generic fixed and mobile operators in every registry
+// (including EE Ltd., the long-duration British mobile outlier of §4.2).
+// Subscriber counts are a scaled-down stand-in for the paper's 2.1 billion
+// unique /64s; Scale in GenConfig multiplies them.
+func Operators() []Operator {
+	p := netip.MustParsePrefix
+	return []Operator{
+		// Fig. 2's fixed ISPs. Association durations track the shorter
+		// of the two families (dual-stack IPv4, mostly).
+		{Name: "DTAG", ASN: 3320, Registry: rir.RIPENCC, BGP4: p("87.128.0.0/10"), BGP6: p("2003::/19"),
+			Subscribers: 420, UsersPer24: 12, AssocMeanDays: 10, DelegatedLen: 56, ZeroFrac: 0.75, KeepV6Frac: 0.5},
+		{Name: "Orange", ASN: 3215, Registry: rir.RIPENCC, BGP4: p("90.0.0.0/9"), BGP6: p("2a01:c000::/19"),
+			Subscribers: 1400, UsersPer24: 70, AssocMeanDays: 65, StableFrac: 0.05, DelegatedLen: 56, ZeroFrac: 0.997, KeepV6Frac: 0.6},
+		{Name: "LGI", ASN: 6830, Registry: rir.RIPENCC, BGP4: p("84.104.0.0/14"), BGP6: p("2001:4c40::/22"),
+			Subscribers: 1200, UsersPer24: 65, AssocMeanDays: 45, StableFrac: 0.05, DelegatedLen: 60, ZeroFrac: 0.7, KeepV6Frac: 0.6},
+		{Name: "BT", ASN: 2856, Registry: rir.RIPENCC, BGP4: p("86.128.0.0/11"), BGP6: p("2a00:2300::/28"),
+			Subscribers: 380, UsersPer24: 25, AssocMeanDays: 20, DelegatedLen: 56, ZeroFrac: 0.8, KeepV6Frac: 0.55},
+		{Name: "Comcast", ASN: 7922, Registry: rir.ARIN, BGP4: p("73.0.0.0/8"), BGP6: p("2601::/20"),
+			Subscribers: 2800, UsersPer24: 120, AssocMeanDays: 130, StableFrac: 0.18, DelegatedLen: 60, ZeroFrac: 0.6, KeepV6Frac: 0.6},
+		{Name: "Proximus", ASN: 5432, Registry: rir.RIPENCC, BGP4: p("91.176.0.0/13"), BGP6: p("2a02:a000::/21"),
+			Subscribers: 1000, UsersPer24: 65, AssocMeanDays: 50, StableFrac: 0.05, DelegatedLen: 56, ZeroFrac: 0.85, KeepV6Frac: 0.6},
+		// Generic fixed operators per registry (Fig. 3's fixed boxes).
+		{Name: "US Fiber", ASN: 64610, Registry: rir.ARIN, BGP4: p("66.60.0.0/15"), BGP6: p("2600:8800::/28"),
+			Subscribers: 5600, UsersPer24: 130, AssocMeanDays: 150, StableFrac: 0.25, DelegatedLen: 60, ZeroFrac: 0.55, KeepV6Frac: 0.6},
+		{Name: "JP Broadband", ASN: 64620, Registry: rir.APNIC, BGP4: p("60.60.0.0/15"), BGP6: p("2400:4000::/26"),
+			Subscribers: 4400, UsersPer24: 90, AssocMeanDays: 90, StableFrac: 0.15, DelegatedLen: 48, ZeroFrac: 0.6, KeepV6Frac: 0.6},
+		{Name: "BR Cable", ASN: 64630, Registry: rir.LACNIC, BGP4: p("177.32.0.0/14"), BGP6: p("2804:1000::/28"),
+			Subscribers: 3600, UsersPer24: 70, AssocMeanDays: 75, StableFrac: 0.12, DelegatedLen: 64, ZeroFrac: 0.12, KeepV6Frac: 0.6},
+		{Name: "ZA DSL", ASN: 64640, Registry: rir.AFRINIC, BGP4: p("41.0.0.0/13"), BGP6: p("2c0f:f000::/28"),
+			Subscribers: 2800, UsersPer24: 80, AssocMeanDays: 80, StableFrac: 0.12, DelegatedLen: 56, ZeroFrac: 0.9, KeepV6Frac: 0.6},
+		{Name: "EU Fiber", ASN: 64650, Registry: rir.RIPENCC, BGP4: p("77.64.0.0/14"), BGP6: p("2a05:4000::/26"),
+			Subscribers: 4000, UsersPer24: 120, AssocMeanDays: 120, StableFrac: 0.2, DelegatedLen: 56, ZeroFrac: 0.8, KeepV6Frac: 0.6},
+		// Mobile operators (Fig. 3's mobile boxes, Fig. 4a's degrees).
+		{Name: "US Mobile", ASN: 64710, Mobile: true, Registry: rir.ARIN, BGP4: p("172.32.0.0/14"), BGP6: p("2600:1000::/28"),
+			Subscribers: 550, UsersPer24: 300, AssocMeanDays: 1.3, DelegatedLen: 64, KeepV6Frac: 0.25, Activity: 0.12},
+		{Name: "EE Ltd", ASN: 12576, Mobile: true, Registry: rir.RIPENCC, BGP4: p("31.64.0.0/13"), BGP6: p("2a01:4c00::/26"),
+			Subscribers: 450, UsersPer24: 300, AssocMeanDays: 18, DelegatedLen: 64, KeepV6Frac: 0.25, Activity: 0.5},
+		{Name: "IN Mobile", ASN: 64720, Mobile: true, Registry: rir.APNIC, BGP4: p("106.192.0.0/11"), BGP6: p("2401:4900::/26"),
+			Subscribers: 620, UsersPer24: 320, AssocMeanDays: 1.2, DelegatedLen: 64, KeepV6Frac: 0.25, Activity: 0.12},
+		{Name: "MX Mobile", ASN: 64730, Mobile: true, Registry: rir.LACNIC, BGP4: p("189.128.0.0/12"), BGP6: p("2806:100::/26"),
+			Subscribers: 520, UsersPer24: 300, AssocMeanDays: 1.2, DelegatedLen: 64, KeepV6Frac: 0.25, Activity: 0.12},
+		{Name: "KE Mobile", ASN: 64740, Mobile: true, Registry: rir.AFRINIC, BGP4: p("105.160.0.0/12"), BGP6: p("2c0f:fe00::/26"),
+			Subscribers: 470, UsersPer24: 290, AssocMeanDays: 1.3, DelegatedLen: 64, KeepV6Frac: 0.25, Activity: 0.12},
+	}
+}

@@ -1,0 +1,196 @@
+// Package cgnat implements the Carrier-Grade NAT substrate the paper
+// describes for cellular and address-starved fixed networks (§2.1): CPEs
+// receive private addresses from the RFC 6598 shared space and reach the
+// Internet through an upstream NAT that multiplexes many subscribers onto
+// few public addresses — the mechanism behind §4.3's mobile /24s carrying
+// ~10^5 IPv6 /64 associations.
+//
+// The gateway implements deterministic port-block allocation (each
+// subscriber gets contiguous port blocks on one public address), the
+// scheme operators deploy for logging-free subscriber attribution.
+package cgnat
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"dynamips/internal/netutil"
+)
+
+// SharedSpace is the RFC 6598 address block reserved for CGN inside
+// addressing (100.64.0.0/10).
+var SharedSpace = netip.MustParsePrefix("100.64.0.0/10")
+
+// Config sizes a gateway.
+type Config struct {
+	// Public lists the gateway's public IPv4 prefixes.
+	Public []netip.Prefix
+	// PortsPerBlock is the size of each allocated port block.
+	PortsPerBlock int
+	// BlocksPerSubscriber is how many blocks a subscriber may hold.
+	BlocksPerSubscriber int
+	// PortFloor is the lowest translated port (well-known ports are
+	// never handed out).
+	PortFloor int
+}
+
+// DefaultConfig matches common deployments: 512-port blocks, up to 4 per
+// subscriber, translated ports above 1024.
+func DefaultConfig(public ...netip.Prefix) Config {
+	return Config{Public: public, PortsPerBlock: 512, BlocksPerSubscriber: 4, PortFloor: 1024}
+}
+
+// Binding is one subscriber's port-block allocation.
+type Binding struct {
+	Subscriber string
+	Public     netip.Addr
+	// Blocks lists [start, start+PortsPerBlock) port ranges.
+	Blocks []int
+}
+
+// Errors.
+var (
+	ErrExhausted  = errors.New("cgnat: public ports exhausted")
+	ErrNoBinding  = errors.New("cgnat: no binding")
+	ErrBadPrivate = errors.New("cgnat: address outside the shared space")
+)
+
+// Gateway multiplexes subscribers onto public addresses with
+// deterministic port-block allocation. It is not safe for concurrent use.
+type Gateway struct {
+	cfg       Config
+	blocksPer int // usable blocks per public address
+	byName    map[string]*Binding
+	next      int // global block cursor
+	capacity  int // total blocks
+	addrs     []netip.Addr
+}
+
+// NewGateway builds a gateway; it panics on configuration bugs.
+func NewGateway(cfg Config) *Gateway {
+	if len(cfg.Public) == 0 {
+		panic("cgnat: no public prefixes")
+	}
+	if cfg.PortsPerBlock <= 0 || cfg.BlocksPerSubscriber <= 0 {
+		panic("cgnat: non-positive block sizing")
+	}
+	if cfg.PortFloor < 0 || cfg.PortFloor >= 65536 {
+		panic("cgnat: bad port floor")
+	}
+	g := &Gateway{cfg: cfg, byName: make(map[string]*Binding)}
+	g.blocksPer = (65536 - cfg.PortFloor) / cfg.PortsPerBlock
+	for _, p := range cfg.Public {
+		if !p.Addr().Unmap().Is4() {
+			panic(fmt.Sprintf("cgnat: non-IPv4 public prefix %v", p))
+		}
+		size := 1 << uint(32-p.Bits())
+		for i := 0; i < size; i++ {
+			a, err := netutil.HostAddr(p, uint64(i))
+			if err != nil {
+				panic(err)
+			}
+			g.addrs = append(g.addrs, a)
+		}
+	}
+	g.capacity = len(g.addrs) * g.blocksPer
+	return g
+}
+
+// Capacity returns the total number of port blocks.
+func (g *Gateway) Capacity() int { return g.capacity }
+
+// Subscribers returns the number of bound subscribers.
+func (g *Gateway) Subscribers() int { return len(g.byName) }
+
+// Bind allocates the subscriber's first port block (idempotent).
+func (g *Gateway) Bind(subscriber string) (*Binding, error) {
+	if b, ok := g.byName[subscriber]; ok {
+		return b, nil
+	}
+	b := &Binding{Subscriber: subscriber}
+	if err := g.grow(b); err != nil {
+		return nil, err
+	}
+	g.byName[subscriber] = b
+	return b, nil
+}
+
+// grow adds one block to a binding. Blocks for one subscriber stay on one
+// public address, so attribution needs only (address, port block, time).
+func (g *Gateway) grow(b *Binding) error {
+	if g.next >= g.capacity {
+		return ErrExhausted
+	}
+	addrIdx := g.next / g.blocksPer
+	blockIdx := g.next % g.blocksPer
+	pub := g.addrs[addrIdx]
+	if len(b.Blocks) > 0 && b.Public != pub {
+		// Deterministic schemes do not straddle addresses; the
+		// subscriber is out of blocks on its address.
+		return ErrExhausted
+	}
+	b.Public = pub
+	b.Blocks = append(b.Blocks, g.cfg.PortFloor+blockIdx*g.cfg.PortsPerBlock)
+	g.next++
+	return nil
+}
+
+// Translate maps a subscriber's flow (identified by an internal ordinal)
+// to its public (address, port). New flows consume ports from the
+// subscriber's blocks, growing the binding up to BlocksPerSubscriber.
+func (g *Gateway) Translate(subscriber string, flow int) (netip.Addr, int, error) {
+	b, ok := g.byName[subscriber]
+	if !ok {
+		var err error
+		b, err = g.Bind(subscriber)
+		if err != nil {
+			return netip.Addr{}, 0, err
+		}
+	}
+	need := flow/g.cfg.PortsPerBlock + 1
+	for len(b.Blocks) < need {
+		if len(b.Blocks) >= g.cfg.BlocksPerSubscriber {
+			return netip.Addr{}, 0, fmt.Errorf("%w: subscriber %s at block limit", ErrExhausted, subscriber)
+		}
+		if err := g.grow(b); err != nil {
+			return netip.Addr{}, 0, err
+		}
+	}
+	block := b.Blocks[flow/g.cfg.PortsPerBlock]
+	return b.Public, block + flow%g.cfg.PortsPerBlock, nil
+}
+
+// Release frees a subscriber's binding. Deterministic CGN does not reuse
+// blocks until the address cursor wraps; this gateway simply forgets the
+// binding (ports are reclaimed when the gateway is rebuilt, as operators
+// do on maintenance windows).
+func (g *Gateway) Release(subscriber string) {
+	delete(g.byName, subscriber)
+}
+
+// Attribute answers the abuse-desk question: which subscriber used this
+// public (address, port)? Deterministic allocation makes this a pure
+// computation over bindings — no per-flow logs needed.
+func (g *Gateway) Attribute(public netip.Addr, port int) (string, error) {
+	for name, b := range g.byName {
+		if b.Public != public {
+			continue
+		}
+		for _, start := range b.Blocks {
+			if port >= start && port < start+g.cfg.PortsPerBlock {
+				return name, nil
+			}
+		}
+	}
+	return "", ErrNoBinding
+}
+
+// PrivateAddr deterministically assigns a subscriber ordinal an address in
+// the RFC 6598 shared space — what the CPE's WAN side sees under CGN.
+func PrivateAddr(ordinal int) (netip.Addr, error) {
+	if ordinal < 0 || uint64(ordinal) >= 1<<22 {
+		return netip.Addr{}, fmt.Errorf("%w: ordinal %d", ErrBadPrivate, ordinal)
+	}
+	return netutil.HostAddr(SharedSpace, uint64(ordinal))
+}

@@ -1,0 +1,176 @@
+package cgnat
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"testing"
+)
+
+func testGateway() *Gateway {
+	return NewGateway(DefaultConfig(netip.MustParsePrefix("203.0.113.0/30")))
+}
+
+func TestCapacity(t *testing.T) {
+	g := testGateway()
+	// 4 public addresses x (65536-1024)/512 = 126 blocks each.
+	if g.Capacity() != 4*126 {
+		t.Errorf("Capacity = %d, want %d", g.Capacity(), 4*126)
+	}
+}
+
+func TestBindAndTranslate(t *testing.T) {
+	g := testGateway()
+	b, err := g.Bind("sub-1")
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if !netip.MustParsePrefix("203.0.113.0/30").Contains(b.Public) {
+		t.Errorf("public %v outside pool", b.Public)
+	}
+	if len(b.Blocks) != 1 || b.Blocks[0] != 1024 {
+		t.Errorf("blocks = %v", b.Blocks)
+	}
+	// Idempotent.
+	b2, _ := g.Bind("sub-1")
+	if b2 != b {
+		t.Error("rebind created a new binding")
+	}
+
+	pub, port, err := g.Translate("sub-1", 0)
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	if pub != b.Public || port != 1024 {
+		t.Errorf("flow 0 -> %v:%d", pub, port)
+	}
+	// Flow beyond the first block grows the binding on the same address.
+	pub2, port2, err := g.Translate("sub-1", 700)
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	if pub2 != b.Public {
+		t.Error("binding straddled public addresses")
+	}
+	if port2 != b.Blocks[1]+700-512 {
+		t.Errorf("flow 700 -> port %d, blocks %v", port2, b.Blocks)
+	}
+}
+
+func TestTranslateBlockLimit(t *testing.T) {
+	g := testGateway()
+	// 4 blocks x 512 ports = flows 0..2047 fine, 2048 over the limit.
+	if _, _, err := g.Translate("sub-1", 2047); err != nil {
+		t.Fatalf("flow 2047: %v", err)
+	}
+	if _, _, err := g.Translate("sub-1", 2048); !errors.Is(err, ErrExhausted) {
+		t.Errorf("flow 2048 err = %v, want exhaustion", err)
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	g := testGateway()
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("sub-%d", i)
+		if _, err := g.Bind(name); err != nil {
+			t.Fatalf("Bind %s: %v", name, err)
+		}
+	}
+	// Every allocated (addr, port) attributes back to its subscriber.
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("sub-%d", i)
+		pub, port, err := g.Translate(name, 17)
+		if err != nil {
+			t.Fatalf("Translate %s: %v", name, err)
+		}
+		got, err := g.Attribute(pub, port)
+		if err != nil || got != name {
+			t.Errorf("Attribute(%v:%d) = %q, %v; want %q", pub, port, got, err, name)
+		}
+	}
+	if _, err := g.Attribute(netip.MustParseAddr("203.0.113.0"), 80); !errors.Is(err, ErrNoBinding) {
+		t.Errorf("well-known port attributed: %v", err)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	g := NewGateway(Config{
+		Public:              []netip.Prefix{netip.MustParsePrefix("203.0.113.0/32")},
+		PortsPerBlock:       16384,
+		BlocksPerSubscriber: 1,
+		PortFloor:           1024,
+	})
+	// (65536-1024)/16384 = 3 blocks total.
+	for i := 0; i < 3; i++ {
+		if _, err := g.Bind(fmt.Sprintf("s%d", i)); err != nil {
+			t.Fatalf("Bind %d: %v", i, err)
+		}
+	}
+	if _, err := g.Bind("overflow"); !errors.Is(err, ErrExhausted) {
+		t.Errorf("4th subscriber err = %v", err)
+	}
+	g.Release("s0")
+	if g.Subscribers() != 2 {
+		t.Errorf("Subscribers = %d", g.Subscribers())
+	}
+}
+
+func TestNoPortOverlapAcrossSubscribers(t *testing.T) {
+	g := testGateway()
+	type key struct {
+		pub  netip.Addr
+		port int
+	}
+	seen := map[key]string{}
+	for i := 0; i < 60; i++ {
+		name := fmt.Sprintf("s%d", i)
+		for flow := 0; flow < 520; flow += 173 {
+			pub, port, err := g.Translate(name, flow)
+			if err != nil {
+				t.Fatalf("Translate %s/%d: %v", name, flow, err)
+			}
+			k := key{pub, port}
+			if owner, dup := seen[k]; dup && owner != name {
+				t.Fatalf("%v:%d shared by %s and %s", pub, port, owner, name)
+			}
+			seen[k] = name
+		}
+	}
+}
+
+func TestPrivateAddr(t *testing.T) {
+	a, err := PrivateAddr(0)
+	if err != nil || a != netip.MustParseAddr("100.64.0.0") {
+		t.Errorf("PrivateAddr(0) = %v, %v", a, err)
+	}
+	a, err = PrivateAddr(300)
+	if err != nil || !SharedSpace.Contains(a) {
+		t.Errorf("PrivateAddr(300) = %v, %v", a, err)
+	}
+	if _, err := PrivateAddr(-1); err == nil {
+		t.Error("negative ordinal accepted")
+	}
+	if _, err := PrivateAddr(1 << 23); err == nil {
+		t.Error("out-of-space ordinal accepted")
+	}
+}
+
+func TestNewGatewayPanics(t *testing.T) {
+	pub := []netip.Prefix{netip.MustParsePrefix("203.0.113.0/30")}
+	for name, cfg := range map[string]Config{
+		"no public":  {PortsPerBlock: 512, BlocksPerSubscriber: 1},
+		"zero block": {Public: pub, BlocksPerSubscriber: 1},
+		"bad floor":  {Public: pub, PortsPerBlock: 512, BlocksPerSubscriber: 1, PortFloor: 70000},
+		"v6 public": {Public: []netip.Prefix{netip.MustParsePrefix("2001:db8::/64")},
+			PortsPerBlock: 512, BlocksPerSubscriber: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewGateway did not panic", name)
+				}
+			}()
+			NewGateway(cfg)
+		}()
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"dynamips/internal/atlas"
+	"dynamips/internal/isp"
+)
+
+// TestEndToEndNetcologne verifies the /48-delegating, 24h-coupled profile
+// end to end: the analyzer must recover the /48 subscriber boundary the
+// paper verified against Netcologne's documentation, plus the 24h modes
+// and near-total change simultaneity.
+func TestEndToEndNetcologne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline in -short mode")
+	}
+	profile, ok := isp.ProfileByName("Netcologne")
+	if !ok {
+		t.Fatal("Netcologne profile missing")
+	}
+	res, err := isp.Run(isp.Config{Profile: profile, Subscribers: 120, Hours: 17520, Seed: 301})
+	if err != nil {
+		t.Fatalf("isp.Run: %v", err)
+	}
+	fleet, err := atlas.BuildFleet(res, atlas.DefaultFleetConfig(60, 302))
+	if err != nil {
+		t.Fatalf("BuildFleet: %v", err)
+	}
+	clean := atlas.Sanitize(fleet.Series, fleet.BGP, atlas.DefaultSanitizeConfig())
+	pas := Analyze(clean.Clean, DefaultExtractConfig())
+
+	perAS, _ := SubscriberLengths(pas)
+	h := perAS[8422]
+	if h == nil || h.N == 0 {
+		t.Fatal("no subscriber inference")
+	}
+	if h.ArgMax() != 48 {
+		t.Errorf("inferred subscriber length /%d, want /48", h.ArgMax())
+	}
+	if h.Fraction(48) < 0.9 {
+		t.Errorf("inferred /48 fraction = %v", h.Fraction(48))
+	}
+
+	durations := CollectDurations(pas)
+	periodic := DetectPeriodicRenumbering(durations, 0.05, 0.3)
+	found := map[string]bool{}
+	for _, p := range periodic {
+		if p.ASN == 8422 && p.Modes[0].Period == 24 {
+			found[p.Population] = true
+		}
+	}
+	for _, pop := range []string{"v4-nds", "v4-ds", "v6"} {
+		if !found[pop] {
+			t.Errorf("24h mode missing in %s (periodic=%v)", pop, periodic)
+		}
+	}
+
+	sim := MeasureSimultaneity(pas)[8422]
+	if sim == nil || sim.Fraction() < 0.9 {
+		t.Errorf("simultaneity = %+v, want > 0.9", sim)
+	}
+}
+
+// TestEndToEndBT checks BT's two-mode spatial signature (Fig. 5: one mode
+// at 28–32 from cross-pool jumps, one at 41–54 within pools) and the
+// 2-week IPv4 period.
+func TestEndToEndBT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline in -short mode")
+	}
+	profile, ok := isp.ProfileByName("BT")
+	if !ok {
+		t.Fatal("BT profile missing")
+	}
+	res, err := isp.Run(isp.Config{Profile: profile, Subscribers: 400, Hours: 50400, Seed: 303})
+	if err != nil {
+		t.Fatalf("isp.Run: %v", err)
+	}
+	fleet, err := atlas.BuildFleet(res, atlas.DefaultFleetConfig(200, 304))
+	if err != nil {
+		t.Fatalf("BuildFleet: %v", err)
+	}
+	clean := atlas.Sanitize(fleet.Series, fleet.BGP, atlas.DefaultSanitizeConfig())
+	pas := Analyze(clean.Clean, DefaultExtractConfig())
+
+	durations := CollectDurations(pas)
+	periodic := DetectPeriodicRenumbering(durations, 0.05, 0.3)
+	has2w := false
+	for _, p := range periodic {
+		if p.ASN == 2856 && p.Population == "v4-nds" && p.Modes[0].Period == 336 {
+			has2w = true
+		}
+	}
+	if !has2w {
+		t.Errorf("BT 2-week v4 mode not detected: %+v", periodic)
+	}
+
+	spec := CPLSpectra(pas)[2856]
+	if spec == nil || spec.TotalChanges() == 0 {
+		t.Fatal("no BT CPL spectrum")
+	}
+	var low, high int
+	for n := 24; n <= 39; n++ {
+		low += spec.Changes[n]
+	}
+	for n := 40; n <= 55; n++ {
+		high += spec.Changes[n]
+	}
+	if low == 0 || high == 0 {
+		t.Errorf("BT CPL bimodality missing: low=%d high=%d", low, high)
+	}
+	if spec.MassAtLeast(24) < 0.95 {
+		t.Errorf("BT CPL mass >= 24 is %v", spec.MassAtLeast(24))
+	}
+}

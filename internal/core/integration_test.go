@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"dynamips/internal/atlas"
+	"dynamips/internal/isp"
+)
+
+// TestEndToEndDTAG runs the full pipeline — ISP simulation, probe fleet
+// with anomalies, sanitization, analysis — and checks that the analyzer
+// recovers the generator's ground truth: 24 h periodic renumbering, high
+// change simultaneity, /56 subscriber boundaries, /40 pool boundaries, and
+// v6 changes that stay inside one routed BGP prefix.
+func TestEndToEndDTAG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline in -short mode")
+	}
+	profile, ok := isp.ProfileByName("DTAG")
+	if !ok {
+		t.Fatal("DTAG profile missing")
+	}
+	res, err := isp.Run(isp.Config{Profile: profile, Subscribers: 400, Hours: 26280, Seed: 101})
+	if err != nil {
+		t.Fatalf("isp.Run: %v", err)
+	}
+	fleet, err := atlas.BuildFleet(res, atlas.DefaultFleetConfig(300, 202))
+	if err != nil {
+		t.Fatalf("BuildFleet: %v", err)
+	}
+	clean := atlas.Sanitize(fleet.Series, fleet.BGP, atlas.DefaultSanitizeConfig())
+	if len(clean.Clean) < 150 {
+		t.Fatalf("only %d probes survived sanitization (drops: %v)", len(clean.Clean), clean.Drops)
+	}
+	pas := Analyze(clean.Clean, DefaultExtractConfig())
+
+	// Temporal ground truth: DTAG's non-dual-stack population renumbers
+	// every 24 h; dual-stack durations are longer on average.
+	durations := CollectDurations(pas)
+	d := durations[3320]
+	if d == nil {
+		t.Fatal("no durations for AS3320")
+	}
+	periodic := DetectPeriodicRenumbering(durations, 0.05, 0.3)
+	found24NDS := false
+	for _, p := range periodic {
+		if p.ASN == 3320 && p.Population == "v4-nds" && p.Modes[0].Period == 24 {
+			found24NDS = true
+		}
+	}
+	if !found24NDS {
+		t.Errorf("24h non-dual-stack renumbering not detected: %+v", periodic)
+	}
+
+	// Simultaneity: most DTAG v6 changes co-occur with v4 changes
+	// (paper: 90.6%).
+	sim := MeasureSimultaneity(pas)
+	if s := sim[3320]; s == nil || s.Fraction() < 0.8 {
+		t.Errorf("simultaneity = %+v, want > 0.8", sim[3320])
+	}
+
+	// Spatial ground truth: CPL mass at or above the /40 pool boundary.
+	spec := CPLSpectra(pas)[3320]
+	if spec == nil || spec.TotalChanges() == 0 {
+		t.Fatal("no CPL spectrum")
+	}
+	if mass := spec.MassAtLeast(40); mass < 0.9 {
+		t.Errorf("CPL mass >= 40 is %v, want > 0.9", mass)
+	}
+	// Scramblers contribute a visible population of probes with CPL >= 56
+	// changes (the paper: "close to 100 probes contribute at least one
+	// change with a common prefix length larger or equal to 56").
+	probes56 := 0
+	for n := 56; n <= 64; n++ {
+		probes56 += spec.Probes[n]
+	}
+	if probes56 < 10 {
+		t.Errorf("probes with CPL>=56 changes = %d, want >= 10 (scrambling CPEs)", probes56)
+	}
+
+	// Pool boundary: /40 pools should emerge from unique-prefix counts.
+	dists := UniquePrefixes(pas, fleet.BGP)
+	if d40 := dists[3320]; d40 == nil {
+		t.Fatal("no unique-prefix distribution")
+	} else if l, ok := InferPoolBoundary(d40, 8); !ok || l < 32 || l > 44 {
+		t.Errorf("InferPoolBoundary = (%d, %v), want ~40", l, ok)
+	}
+
+	// Subscriber boundary: the dominant inferred length is /56 (zeroing
+	// CPEs), with a secondary /64 population (scrambling CPEs).
+	perAS, _ := SubscriberLengths(pas)
+	h := perAS[3320]
+	if h == nil || h.N == 0 {
+		t.Fatal("no subscriber-length histogram")
+	}
+	if h.Fraction(56) < 0.4 {
+		t.Errorf("inferred /56 fraction = %v, want > 0.4", h.Fraction(56))
+	}
+	if h.Fraction(64) < 0.05 {
+		t.Errorf("inferred /64 fraction = %v, want >= 0.05 (scramblers)", h.Fraction(64))
+	}
+
+	// Table 2 ground truth: v6 changes stay within the single announced
+	// aggregate; a quarter-ish of v4 changes cross BGP prefixes.
+	t2 := Table2(pas, fleet.BGP)[3320]
+	if t2 == nil {
+		t.Fatal("no Table 2 row")
+	}
+	d24, db4, db6 := t2.Pct()
+	if d24 < 80 {
+		t.Errorf("Diff /24 = %v%%, want > 80%%", d24)
+	}
+	if db4 < 15 || db4 > 40 {
+		t.Errorf("Diff BGP v4 = %v%%, want ~27%%", db4)
+	}
+	if db6 > 2 {
+		t.Errorf("Diff BGP v6 = %v%%, want ~0%%", db6)
+	}
+
+	// Table 1 structure: a dominant DTAG row; AS-switch virtual probes
+	// may contribute small foreign-AS rows.
+	rows := Table1(pas, map[uint32]string{3320: "DTAG"})
+	if len(rows) == 0 || rows[0].ASN != 3320 || rows[0].DSProbes == 0 || rows[0].V6Changes == 0 {
+		t.Errorf("Table 1: %+v", rows)
+	}
+}

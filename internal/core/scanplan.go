@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+
+	"dynamips/internal/netutil"
+)
+
+// ScanPlan is the §6 active-probing product: given where a target was
+// last seen and the AS's learned addressing structure, the set of /64s
+// worth rescanning after the target's prefix changed.
+type ScanPlan struct {
+	// Pool is the dynamic pool the target's assignments stay inside
+	// (§5.2's long-term locality, e.g. a /40).
+	Pool netip.Prefix
+	// SubscriberLen is the per-subscriber delegation length (§5.3); a
+	// zeroing CPE announces only the delegation-aligned /64.
+	SubscriberLen int
+	// Aligned restricts candidates to delegation-aligned /64s. Disable
+	// for CPE populations known to scramble their sub-/64 bits.
+	Aligned bool
+}
+
+// NewScanPlan derives a plan from a last-seen /64 and learned structure.
+func NewScanPlan(lastSeen netip.Prefix, poolLen, subscriberLen int, aligned bool) (ScanPlan, error) {
+	if !lastSeen.Addr().Is6() || lastSeen.Addr().Unmap().Is4() {
+		return ScanPlan{}, fmt.Errorf("core: scan plan needs an IPv6 /64, got %v", lastSeen)
+	}
+	if poolLen <= 0 || poolLen > subscriberLen || subscriberLen > 64 {
+		return ScanPlan{}, fmt.Errorf("core: inconsistent lengths pool /%d, subscriber /%d", poolLen, subscriberLen)
+	}
+	return ScanPlan{
+		Pool:          netutil.PrefixAt(lastSeen.Addr(), poolLen),
+		SubscriberLen: subscriberLen,
+		Aligned:       aligned,
+	}, nil
+}
+
+// Size returns the number of candidate /64s the plan visits.
+func (p ScanPlan) Size() uint64 {
+	if p.Aligned {
+		return 1 << uint(p.SubscriberLen-p.Pool.Bits())
+	}
+	return 1 << uint(64-p.Pool.Bits())
+}
+
+// ReductionVsBGP returns how many times smaller the plan is than scanning
+// every /64 of the routed announcement.
+func (p ScanPlan) ReductionVsBGP(announcement netip.Prefix) float64 {
+	full := float64(uint64(1) << uint(min(63, 64-announcement.Bits())))
+	return full / float64(p.Size())
+}
+
+// Contains reports whether a /64 is in the plan's candidate set.
+func (p ScanPlan) Contains(target netip.Prefix) bool {
+	if !p.Pool.Contains(target.Addr()) {
+		return false
+	}
+	if !p.Aligned {
+		return true
+	}
+	return netutil.ZeroBitsBefore64(target) >= 64-p.SubscriberLen
+}
+
+// Candidates visits the plan's /64s in order, stopping when fn returns
+// false. For aligned plans this walks one /64 per delegation; unaligned
+// plans walk every /64 (callers should check Size first).
+func (p ScanPlan) Candidates(fn func(netip.Prefix) bool) error {
+	step := p.SubscriberLen
+	if !p.Aligned {
+		step = 64
+	}
+	n := uint64(1) << uint(step-p.Pool.Bits())
+	for i := uint64(0); i < n; i++ {
+		d, err := netutil.SubPrefix(p.Pool, step, i)
+		if err != nil {
+			return fmt.Errorf("core: enumerating scan plan: %w", err)
+		}
+		if !fn(netip.PrefixFrom(d.Addr(), 64)) {
+			return nil
+		}
+	}
+	return nil
+}

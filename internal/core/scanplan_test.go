@@ -1,0 +1,103 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestNewScanPlan(t *testing.T) {
+	last := netip.MustParsePrefix("2003:1000:40:ab00::/64")
+	p, err := NewScanPlan(last, 40, 56, true)
+	if err != nil {
+		t.Fatalf("NewScanPlan: %v", err)
+	}
+	if p.Pool != netip.MustParsePrefix("2003:1000::/40") {
+		t.Errorf("Pool = %v", p.Pool)
+	}
+	if p.Size() != 1<<16 {
+		t.Errorf("Size = %d, want 65536", p.Size())
+	}
+	if r := p.ReductionVsBGP(netip.MustParsePrefix("2003::/19")); r != float64(uint64(1)<<45)/65536 {
+		t.Errorf("ReductionVsBGP = %v", r)
+	}
+}
+
+func TestScanPlanErrors(t *testing.T) {
+	v4 := netip.MustParsePrefix("10.0.0.0/24")
+	if _, err := NewScanPlan(v4, 40, 56, true); err == nil {
+		t.Error("IPv4 input accepted")
+	}
+	last := netip.MustParsePrefix("2003::/64")
+	if _, err := NewScanPlan(last, 60, 56, true); err == nil {
+		t.Error("pool longer than subscriber accepted")
+	}
+	if _, err := NewScanPlan(last, 40, 96, true); err == nil {
+		t.Error("subscriber longer than /64 accepted")
+	}
+}
+
+func TestScanPlanContains(t *testing.T) {
+	p, _ := NewScanPlan(netip.MustParsePrefix("2003:1000:40:ab00::/64"), 40, 56, true)
+	cases := []struct {
+		pfx  string
+		want bool
+	}{
+		{"2003:1000:40:cd00::/64", true},  // aligned, same pool
+		{"2003:1000:40:cd01::/64", false}, // unaligned
+		{"2003:1100:0:cd00::/64", false},  // other pool
+		{"2003:1000:40:0:1::/64", true},   // low /64 of some delegation
+	}
+	for _, c := range cases {
+		if got := p.Contains(netip.MustParsePrefix(c.pfx)); got != c.want {
+			t.Errorf("Contains(%s) = %v, want %v", c.pfx, got, c.want)
+		}
+	}
+	// Unaligned plans accept everything in the pool.
+	u, _ := NewScanPlan(netip.MustParsePrefix("2003:1000:40:ab00::/64"), 40, 56, false)
+	if !u.Contains(netip.MustParsePrefix("2003:1000:40:cd01::/64")) {
+		t.Error("unaligned plan rejected in-pool /64")
+	}
+	if u.Size() != 1<<24 {
+		t.Errorf("unaligned Size = %d", u.Size())
+	}
+}
+
+func TestScanPlanCandidates(t *testing.T) {
+	// Small plan: /60 pool, /62 delegations -> 4 candidates.
+	p, err := NewScanPlan(netip.MustParsePrefix("2001:db8:0:10::/64"), 60, 62, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := p.Candidates(func(c netip.Prefix) bool {
+		got = append(got, c.String())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"2001:db8:0:10::/64", "2001:db8:0:14::/64",
+		"2001:db8:0:18::/64", "2001:db8:0:1c::/64",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("candidate %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	// Early stop.
+	n := 0
+	p.Candidates(func(netip.Prefix) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+	// Every candidate satisfies Contains.
+	p.Candidates(func(c netip.Prefix) bool {
+		if !p.Contains(c) {
+			t.Fatalf("candidate %v not contained in its own plan", c)
+		}
+		return true
+	})
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+
+	"dynamips/internal/bgp"
+	"dynamips/internal/netutil"
+	"dynamips/internal/stats"
+)
+
+// CPLSpectrum is Fig. 5's data for one AS: for each common-prefix length
+// n in [0, 64], how many IPv6 assignment changes had n leading bits in
+// common between the previous and next /64, and how many probes observed
+// at least one such change.
+type CPLSpectrum struct {
+	ASN     uint32
+	Changes [65]int
+	Probes  [65]int
+}
+
+// TotalChanges sums the change counts.
+func (c *CPLSpectrum) TotalChanges() int {
+	n := 0
+	for _, v := range c.Changes {
+		n += v
+	}
+	return n
+}
+
+// ModeCPL returns the CPL with the most changes.
+func (c *CPLSpectrum) ModeCPL() int {
+	best, bestN := 0, -1
+	for n, v := range c.Changes {
+		if v > bestN {
+			best, bestN = n, v
+		}
+	}
+	return best
+}
+
+// MassAtLeast returns the fraction of changes with CPL >= n.
+func (c *CPLSpectrum) MassAtLeast(n int) float64 {
+	tot, cnt := 0, 0
+	for i, v := range c.Changes {
+		tot += v
+		if i >= n {
+			cnt += v
+		}
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(cnt) / float64(tot)
+}
+
+// CPLSpectra computes Fig. 5 for every AS.
+func CPLSpectra(pas []ProbeAnalysis) map[uint32]*CPLSpectrum {
+	out := make(map[uint32]*CPLSpectrum)
+	for _, pa := range pas {
+		spec := out[pa.Probe.ASN]
+		if spec == nil {
+			spec = &CPLSpectrum{ASN: pa.Probe.ASN}
+			out[pa.Probe.ASN] = spec
+		}
+		var seen [65]bool
+		ChangePairs(pa.V6, false, func(prev, next Assignment[netip.Prefix]) {
+			n := netutil.CommonPrefixLen64(prev.Value, next.Value)
+			spec.Changes[n]++
+			seen[n] = true
+		})
+		for n, ok := range seen {
+			if ok {
+				spec.Probes[n]++
+			}
+		}
+	}
+	return out
+}
+
+// UniquePrefixLengths are Fig. 8's prefix lengths.
+var UniquePrefixLengths = []int{64, 56, 48, 40, 32, 24, 16}
+
+// UniquePrefixDist is Fig. 8 for one AS: the distribution over probes of
+// the number of unique prefixes observed at each length, plus unique
+// routed BGP prefixes.
+type UniquePrefixDist struct {
+	ASN     uint32
+	PerLen  map[int]*stats.ECDF // length -> distribution of unique counts
+	BGPDist *stats.ECDF
+}
+
+// UniquePrefixes computes Fig. 8 for every AS. Probes without IPv6
+// observations are skipped. A nil table leaves the BGP distribution
+// empty.
+func UniquePrefixes(pas []ProbeAnalysis, table *bgp.Table) map[uint32]*UniquePrefixDist {
+	out := make(map[uint32]*UniquePrefixDist)
+	for _, pa := range pas {
+		if len(pa.V6) == 0 {
+			continue
+		}
+		d := out[pa.Probe.ASN]
+		if d == nil {
+			d = &UniquePrefixDist{ASN: pa.Probe.ASN, PerLen: make(map[int]*stats.ECDF), BGPDist: &stats.ECDF{}}
+			for _, l := range UniquePrefixLengths {
+				d.PerLen[l] = &stats.ECDF{}
+			}
+			out[pa.Probe.ASN] = d
+		}
+		uniq := make(map[int]map[netip.Prefix]bool, len(UniquePrefixLengths))
+		for _, l := range UniquePrefixLengths {
+			uniq[l] = make(map[netip.Prefix]bool)
+		}
+		bgpUniq := make(map[netip.Prefix]bool)
+		for _, a := range pa.V6 {
+			for _, l := range UniquePrefixLengths {
+				uniq[l][netutil.PrefixAt(a.Value.Addr(), l)] = true
+			}
+			if table != nil {
+				if _, routed, ok := table.OriginOfPrefix(a.Value); ok {
+					bgpUniq[routed] = true
+				}
+			}
+		}
+		for _, l := range UniquePrefixLengths {
+			d.PerLen[l].Add(float64(len(uniq[l])))
+		}
+		d.BGPDist.Add(float64(len(bgpUniq)))
+	}
+	return out
+}
+
+// InferPoolBoundary estimates the AS's dynamic-pool prefix length (§5.2):
+// the longest length L at which even heavy-churn probes (the 90th
+// percentile) see at most maxUnique distinct /L prefixes over their
+// lifetimes, while seeing many more at longer lengths. The paper finds
+// /40 for many domestic ISPs. The high quantile is deliberate: the
+// localization evidence comes from probes with many changes, and CPE
+// prefix-scrambling inflates low-churn probes' /64 counts without saying
+// anything about pools.
+func InferPoolBoundary(d *UniquePrefixDist, maxUnique float64) (length int, ok bool) {
+	const q = 0.9
+	// Without enough movement at the /64 level there is nothing to
+	// localize.
+	if e64 := d.PerLen[64]; e64 == nil || e64.Len() == 0 || e64.Quantile(q) <= maxUnique {
+		return 0, false
+	}
+	lens := append([]int(nil), UniquePrefixLengths...)
+	sort.Ints(lens) // ascending: 16 … 64
+	for i := len(lens) - 2; i >= 0; i-- {
+		e := d.PerLen[lens[i]]
+		if e == nil || e.Len() == 0 {
+			continue
+		}
+		if e.Quantile(q) <= maxUnique {
+			return lens[i], true
+		}
+	}
+	return 0, false
+}
+
+// Table2Row quantifies how often assignments jump across prefix
+// boundaries for one AS (Table 2).
+type Table2Row struct {
+	ASN        uint32
+	V4Changes  int
+	V6Changes  int
+	Diff24     int // v4 changes crossing a /24 boundary
+	DiffBGP4   int // v4 changes crossing routed BGP prefixes
+	DiffBGP6   int // v6 changes crossing routed BGP prefixes
+	V4Unrouted int // v4 changes with at least one unrouted endpoint
+	V6Unrouted int
+}
+
+// Pct returns the three percentages the paper's Table 2 prints.
+func (r Table2Row) Pct() (diff24, diffBGP4, diffBGP6 float64) {
+	pct := func(n, d int) float64 {
+		if d == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(d)
+	}
+	return pct(r.Diff24, r.V4Changes), pct(r.DiffBGP4, r.V4Changes), pct(r.DiffBGP6, r.V6Changes)
+}
+
+// Table2 computes boundary-crossing rates per AS.
+func Table2(pas []ProbeAnalysis, table *bgp.Table) map[uint32]*Table2Row {
+	out := make(map[uint32]*Table2Row)
+	for _, pa := range pas {
+		r := out[pa.Probe.ASN]
+		if r == nil {
+			r = &Table2Row{ASN: pa.Probe.ASN}
+			out[pa.Probe.ASN] = r
+		}
+		ChangePairs(pa.V4, false, func(prev, next Assignment[netip.Addr]) {
+			r.V4Changes++
+			if !netutil.SameAtLength(prev.Value, next.Value, 24) {
+				r.Diff24++
+			}
+			_, p1, ok1 := table.Origin(prev.Value)
+			_, p2, ok2 := table.Origin(next.Value)
+			switch {
+			case !ok1 || !ok2:
+				r.V4Unrouted++
+			case p1 != p2:
+				r.DiffBGP4++
+			}
+		})
+		ChangePairs(pa.V6, false, func(prev, next Assignment[netip.Prefix]) {
+			r.V6Changes++
+			_, p1, ok1 := table.OriginOfPrefix(prev.Value)
+			_, p2, ok2 := table.OriginOfPrefix(next.Value)
+			switch {
+			case !ok1 || !ok2:
+				r.V6Unrouted++
+			case p1 != p2:
+				r.DiffBGP6++
+			}
+		})
+	}
+	return out
+}

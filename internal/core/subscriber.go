@@ -1,0 +1,103 @@
+package core
+
+import (
+	"net/netip"
+
+	"dynamips/internal/netutil"
+	"dynamips/internal/stats"
+)
+
+// InferSubscriberLength applies the paper's RIPE Atlas subscriber-boundary
+// technique (§5.3) to one probe: the number of bits immediately above the
+// /64 boundary that were zero in every /64 the probe observed is
+// subtracted from 64, yielding the prefix length likely delegated to the
+// subscriber. The boolean is false when the probe observed fewer than two
+// distinct /64s (no inference possible — a single /64 sharing zeros may be
+// chance) or when no zero run exists.
+func InferSubscriberLength(v6 []Assignment[netip.Prefix]) (length int, ok bool) {
+	uniq := make(map[netip.Prefix]bool)
+	var prefixes []netip.Prefix
+	for _, a := range v6 {
+		if !uniq[a.Value] {
+			uniq[a.Value] = true
+			prefixes = append(prefixes, a.Value)
+		}
+	}
+	if len(prefixes) < 2 {
+		return 0, false
+	}
+	zeros := netutil.ZeroBitsBefore64Of(prefixes)
+	if zeros == 0 {
+		return 64, true // no shared zero bits: the subscriber holds a /64
+	}
+	if zeros > 32 {
+		zeros = 32 // shorter than /32 is implausible for a subscriber
+	}
+	return 64 - zeros, true
+}
+
+// SubscriberLengths computes the per-AS histogram of inferred subscriber
+// prefix lengths over probes with at least one IPv6 change (Fig. 6), and
+// the pooled histogram over all such probes (Fig. 9).
+func SubscriberLengths(pas []ProbeAnalysis) (perAS map[uint32]*stats.IntHistogram, pooled *stats.IntHistogram) {
+	perAS = make(map[uint32]*stats.IntHistogram)
+	pooled = stats.NewIntHistogram(64)
+	for _, pa := range pas {
+		if Changes(pa.V6) == 0 {
+			continue
+		}
+		l, ok := InferSubscriberLength(pa.V6)
+		if !ok {
+			continue
+		}
+		h := perAS[pa.Probe.ASN]
+		if h == nil {
+			h = stats.NewIntHistogram(64)
+			perAS[pa.Probe.ASN] = h
+		}
+		h.Add(l)
+		pooled.Add(l)
+	}
+	return perAS, pooled
+}
+
+// TrailingZeroBuckets classifies a set of observed /64 prefixes by their
+// nibble-aligned trailing-zero run, the paper's CDN technique (§5.3,
+// Fig. 7): the returned map counts prefixes whose longest zero run ends at
+// the /60, /56, /52, and /48 boundaries; Total counts all prefixes and
+// Inferable those with any nibble-aligned run.
+type TrailingZeroBuckets struct {
+	Counts    map[int]int // inferred delegated length -> count
+	Total     int
+	Inferable int
+}
+
+// InferableFrac is the share of prefixes whose delegation length the
+// technique recovers (the percentages in Fig. 7's panel titles).
+func (b *TrailingZeroBuckets) InferableFrac() float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.Inferable) / float64(b.Total)
+}
+
+// Frac returns the fraction of all prefixes classified at the length.
+func (b *TrailingZeroBuckets) Frac(length int) float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.Counts[length]) / float64(b.Total)
+}
+
+// ClassifyTrailingZeros buckets /64 prefixes by inferred delegation length.
+func ClassifyTrailingZeros(prefixes []netip.Prefix) *TrailingZeroBuckets {
+	b := &TrailingZeroBuckets{Counts: make(map[int]int)}
+	for _, p := range prefixes {
+		b.Total++
+		if l, ok := netutil.InferredDelegation(p); ok {
+			b.Counts[l]++
+			b.Inferable++
+		}
+	}
+	return b
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table1Row summarizes assignment changes for one AS (the paper's
+// Table 1).
+type Table1Row struct {
+	Name        string
+	ASN         uint32
+	Probes      int
+	V4Changes   int
+	DSProbes    int
+	DSV4Changes int
+	V6Changes   int
+}
+
+// DSV4Share is the "(NN%)" column: the dual-stack share of all IPv4
+// changes.
+func (r Table1Row) DSV4Share() float64 {
+	if r.V4Changes == 0 {
+		return 0
+	}
+	return float64(r.DSV4Changes) / float64(r.V4Changes)
+}
+
+// String renders the row like the paper's table.
+func (r Table1Row) String() string {
+	return fmt.Sprintf("%-12s %6d %8d %9d %9d %10d (%2.0f%%) %9d",
+		r.Name, r.ASN, r.Probes, r.V4Changes, r.DSProbes, r.DSV4Changes, 100*r.DSV4Share(), r.V6Changes)
+}
+
+// Table1 aggregates per-AS change counts over analyzed probes. names maps
+// ASN to operator name (unknown ASNs render as AS<n>).
+func Table1(pas []ProbeAnalysis, names map[uint32]string) []Table1Row {
+	rows := make(map[uint32]*Table1Row)
+	for _, pa := range pas {
+		r := rows[pa.Probe.ASN]
+		if r == nil {
+			name := names[pa.Probe.ASN]
+			if name == "" {
+				name = fmt.Sprintf("AS%d", pa.Probe.ASN)
+			}
+			r = &Table1Row{Name: name, ASN: pa.Probe.ASN}
+			rows[pa.Probe.ASN] = r
+		}
+		r.Probes++
+		v4 := Changes(pa.V4)
+		r.V4Changes += v4
+		if pa.DualStack {
+			r.DSProbes++
+			r.DSV4Changes += v4
+			r.V6Changes += Changes(pa.V6)
+		}
+	}
+	out := make([]Table1Row, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DSProbes != out[j].DSProbes {
+			return out[i].DSProbes > out[j].DSProbes
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	return out
+}

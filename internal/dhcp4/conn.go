@@ -1,0 +1,139 @@
+package dhcp4
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Serve answers DHCP messages arriving on conn with replies from srv until
+// conn is closed or a non-temporary read error occurs. Replies go back to
+// the packet's source address (the unicast relay model; link-layer
+// broadcast is out of scope for the simulator). Serve returns net.ErrClosed
+// once the listener is closed.
+//
+// srv is not safe for concurrent use, so Serve processes packets strictly
+// in arrival order.
+func Serve(conn net.PacketConn, srv *Server) error {
+	buf := make([]byte, 1500)
+	for {
+		n, src, err := conn.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return net.ErrClosed
+			}
+			return fmt.Errorf("dhcp4: read: %w", err)
+		}
+		req, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue // malformed datagrams are dropped, as on a real server
+		}
+		rep, err := srv.Handle(req)
+		if err != nil || rep == nil {
+			continue
+		}
+		if _, err := conn.WriteTo(rep.Marshal(), src); err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return net.ErrClosed
+			}
+			return fmt.Errorf("dhcp4: write: %w", err)
+		}
+	}
+}
+
+// Client performs DHCP exchanges over a PacketConn against a server
+// address. It is a minimal CPE-side implementation sufficient for the
+// DORA and renewal flows.
+type Client struct {
+	Conn    net.PacketConn
+	Server  net.Addr
+	HW      HWAddr
+	Timeout time.Duration
+
+	xid uint32
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 2 * time.Second
+	}
+	return c.Timeout
+}
+
+func (c *Client) exchange(req *Message) (*Message, error) {
+	if _, err := c.Conn.WriteTo(req.Marshal(), c.Server); err != nil {
+		return nil, fmt.Errorf("dhcp4: client write: %w", err)
+	}
+	deadline := time.Now().Add(c.timeout())
+	if err := c.Conn.SetReadDeadline(deadline); err != nil {
+		return nil, fmt.Errorf("dhcp4: set deadline: %w", err)
+	}
+	buf := make([]byte, 1500)
+	for {
+		n, _, err := c.Conn.ReadFrom(buf)
+		if err != nil {
+			return nil, fmt.Errorf("dhcp4: client read: %w", err)
+		}
+		rep, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue
+		}
+		if rep.XID == req.XID && rep.CHAddr == c.HW {
+			return rep, nil
+		}
+	}
+}
+
+// Acquire runs the DORA exchange over the wire and returns the lease.
+func (c *Client) Acquire() (Lease, error) {
+	c.xid++
+	offer, err := c.exchange(NewMessage(Discover, c.xid, c.HW))
+	if err != nil {
+		return Lease{}, err
+	}
+	if offer.Type() != Offer {
+		return Lease{}, fmt.Errorf("dhcp4: expected OFFER, got %v", offer.Type())
+	}
+	req := NewMessage(Request, c.xid, c.HW)
+	req.SetAddrOption(OptRequestedIP, offer.YIAddr)
+	ack, err := c.exchange(req)
+	if err != nil {
+		return Lease{}, err
+	}
+	if ack.Type() != ACK {
+		return Lease{}, fmt.Errorf("dhcp4: expected ACK, got %v", ack.Type())
+	}
+	lease, _ := ack.U32Option(OptLeaseTime)
+	return Lease{Addr: ack.YIAddr, HW: c.HW, Expiry: time.Now().Unix() + int64(lease)}, nil
+}
+
+// Renew extends an existing lease over the wire (the RFC 2131 RENEWING
+// state: a unicast REQUEST with the current address in ciaddr). It fails
+// when the server NAKs, at which point the client must re-Acquire.
+func (c *Client) Renew(l Lease) (Lease, error) {
+	c.xid++
+	req := NewMessage(Request, c.xid, c.HW)
+	req.CIAddr = l.Addr
+	rep, err := c.exchange(req)
+	if err != nil {
+		return Lease{}, err
+	}
+	if rep.Type() != ACK {
+		return Lease{}, fmt.Errorf("dhcp4: renew of %v got %v", l.Addr, rep.Type())
+	}
+	lease, _ := rep.U32Option(OptLeaseTime)
+	return Lease{Addr: rep.YIAddr, HW: c.HW, Expiry: time.Now().Unix() + int64(lease)}, nil
+}
+
+// Release notifies the server that the client's lease can be reclaimed.
+// DHCP RELEASE elicits no reply.
+func (c *Client) Release(l Lease) error {
+	c.xid++
+	rel := NewMessage(Release, c.xid, c.HW)
+	rel.CIAddr = l.Addr
+	if _, err := c.Conn.WriteTo(rel.Marshal(), c.Server); err != nil {
+		return fmt.Errorf("dhcp4: client write: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package dhcp4
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestUnmarshalNeverPanics feeds random and mutated-valid byte slices to
+// the decoder: it may reject them, but must never panic — servers parse
+// attacker-controlled datagrams.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Unmarshal panicked: %v", r)
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(400)
+		b := make([]byte, n)
+		rng.Read(b)
+		Unmarshal(b) //nolint:errcheck // errors are expected
+	}
+	// Bit-flipped valid messages.
+	valid := NewMessage(Request, 7, hw(1))
+	valid.SetU32Option(OptLeaseTime, 3600)
+	wire := valid.Marshal()
+	for i := 0; i < 5000; i++ {
+		b := append([]byte(nil), wire...)
+		for k := 0; k < 3; k++ {
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		}
+		if m, err := Unmarshal(b); err == nil && m == nil {
+			t.Fatal("nil message without error")
+		}
+	}
+}
+
+// TestHandleMalformedOptions: a message with a present but wrong-sized
+// option must not crash the server state machine.
+func TestHandleMalformedOptions(t *testing.T) {
+	srv, _ := newTestServer(3600, true)
+	req := NewMessage(Request, 1, hw(1))
+	req.Options[OptRequestedIP] = []byte{1, 2} // wrong length
+	rep, err := srv.Handle(req)
+	if err != nil {
+		t.Fatalf("Handle: %v", err)
+	}
+	if rep.Type() != NAK {
+		t.Errorf("malformed requested IP got %v", rep.Type())
+	}
+	// No message type option at all.
+	anon := &Message{Options: map[byte][]byte{}}
+	if _, err := srv.Handle(anon); err == nil {
+		t.Error("typeless message accepted")
+	}
+}

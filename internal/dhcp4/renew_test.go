@@ -1,0 +1,64 @@
+package dhcp4
+
+import (
+	"net"
+	"testing"
+)
+
+func TestServerSetsT1T2(t *testing.T) {
+	srv, _ := newTestServer(3600, true)
+	offer, err := srv.Handle(NewMessage(Discover, 1, hw(1)))
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	t1, ok1 := offer.U32Option(OptRenewalTime)
+	t2, ok2 := offer.U32Option(OptRebindingTime)
+	if !ok1 || !ok2 {
+		t.Fatal("T1/T2 missing from OFFER")
+	}
+	if t1 != 1800 || t2 != 3150 {
+		t.Errorf("T1=%d T2=%d, want 1800, 3150", t1, t2)
+	}
+}
+
+func TestClientRenewOverUDP(t *testing.T) {
+	srv, _ := newTestServer(3600, true)
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer pc.Close()
+	go Serve(pc, srv)
+
+	cc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("client listen: %v", err)
+	}
+	defer cc.Close()
+	cl := &Client{Conn: cc, Server: pc.LocalAddr(), HW: hw(9)}
+	l, err := cl.Acquire()
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	l2, err := cl.Renew(l)
+	if err != nil {
+		t.Fatalf("Renew: %v", err)
+	}
+	if l2.Addr != l.Addr {
+		t.Errorf("renew moved %v -> %v", l.Addr, l2.Addr)
+	}
+	// After the server loses state, the renewal NAKs and a fresh
+	// acquisition yields a different address — the paper's outage model
+	// observed over the wire.
+	srv.LoseState()
+	if _, err := cl.Renew(l2); err == nil {
+		t.Fatal("renew after LoseState succeeded")
+	}
+	l3, err := cl.Acquire()
+	if err != nil {
+		t.Fatalf("re-Acquire: %v", err)
+	}
+	if l3.Addr == l2.Addr {
+		t.Error("address unchanged across server state loss")
+	}
+}

@@ -1,0 +1,100 @@
+package dhcp6
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Serve answers DHCPv6 messages arriving on conn until it is closed,
+// returning net.ErrClosed. Replies go to the packet's source (the
+// relay/unicast model). Malformed datagrams are dropped.
+func Serve(conn net.PacketConn, srv *Server) error {
+	buf := make([]byte, 1500)
+	for {
+		n, src, err := conn.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return net.ErrClosed
+			}
+			return fmt.Errorf("dhcp6: read: %w", err)
+		}
+		req, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue
+		}
+		rep, err := srv.Handle(req)
+		if err != nil || rep == nil {
+			continue
+		}
+		if _, err := conn.WriteTo(rep.Marshal(), src); err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return net.ErrClosed
+			}
+			return fmt.Errorf("dhcp6: write: %w", err)
+		}
+	}
+}
+
+// Client performs requesting-router exchanges over a PacketConn.
+type Client struct {
+	Conn    net.PacketConn
+	Server  net.Addr
+	DUID    DUID
+	Timeout time.Duration
+
+	txn uint32
+}
+
+func (c *Client) exchange(req *Message) (*Message, error) {
+	if _, err := c.Conn.WriteTo(req.Marshal(), c.Server); err != nil {
+		return nil, fmt.Errorf("dhcp6: client write: %w", err)
+	}
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	if err := c.Conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, fmt.Errorf("dhcp6: set deadline: %w", err)
+	}
+	buf := make([]byte, 1500)
+	for {
+		n, _, err := c.Conn.ReadFrom(buf)
+		if err != nil {
+			return nil, fmt.Errorf("dhcp6: client read: %w", err)
+		}
+		rep, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue
+		}
+		if rep.TxnID == req.TxnID {
+			return rep, nil
+		}
+	}
+}
+
+// AcquirePD runs Solicit/Advertise/Request/Reply over the wire and returns
+// the delegated prefix binding.
+func (c *Client) AcquirePD() (Binding, error) {
+	c.txn++
+	adv, err := c.exchange(NewMessage(Solicit, c.txn, c.DUID))
+	if err != nil {
+		return Binding{}, err
+	}
+	if adv.Type != Advertise || len(adv.IAPDs) == 0 || len(adv.IAPDs[0].Prefixes) == 0 {
+		return Binding{}, fmt.Errorf("dhcp6: no advertisement")
+	}
+	req := NewMessage(Request, c.txn, c.DUID)
+	req.ServerID = adv.ServerID
+	req.IAPDs = []IAPD{{IAID: adv.IAPDs[0].IAID, Prefixes: adv.IAPDs[0].Prefixes}}
+	rep, err := c.exchange(req)
+	if err != nil {
+		return Binding{}, err
+	}
+	if rep.Type != Reply || len(rep.IAPDs) == 0 || len(rep.IAPDs[0].Prefixes) == 0 {
+		return Binding{}, fmt.Errorf("dhcp6: request rejected")
+	}
+	p := rep.IAPDs[0].Prefixes[0]
+	return Binding{Prefix: p.Prefix, Client: c.DUID.String(), Expiry: time.Now().Unix() + int64(p.Valid)}, nil
+}

@@ -1,0 +1,34 @@
+package dhcp6
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+// TestUnmarshalNeverPanics: the decoder parses attacker-controlled
+// datagrams and must never panic.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Unmarshal panicked: %v", r)
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, rng.Intn(300))
+		rng.Read(b)
+		Unmarshal(b) //nolint:errcheck // errors are expected
+	}
+	valid := NewMessage(Request, 7, duid(1))
+	valid.IAPDs = []IAPD{{IAID: 1, Prefixes: []IAPrefix{{Valid: 60, Preferred: 60,
+		Prefix: netip.MustParsePrefix("2003:1000:0:1100::/56")}}}}
+	wire := valid.Marshal()
+	for i := 0; i < 5000; i++ {
+		b := append([]byte(nil), wire...)
+		for k := 0; k < 3; k++ {
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		}
+		Unmarshal(b) //nolint:errcheck
+	}
+}

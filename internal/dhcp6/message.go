@@ -1,0 +1,270 @@
+// Package dhcp6 implements the subset of DHCPv6 (RFC 8415) with prefix
+// delegation (RFC 3633, folded into RFC 8415's IA_PD) that residential ISPs
+// use to delegate IPv6 prefixes to CPE devices. The paper's IPv6 analyses
+// are entirely about the dynamics of these delegated prefixes: internal/isp
+// drives this package's Server as the IPv6 delegation machinery, and the
+// CPE models decide which /64 of the delegation the subscriber LAN sees.
+package dhcp6
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// MessageType is the DHCPv6 message type.
+type MessageType byte
+
+// RFC 8415 §7.3 message types (subset).
+const (
+	Solicit   MessageType = 1
+	Advertise MessageType = 2
+	Request   MessageType = 3
+	Confirm   MessageType = 4
+	Renew     MessageType = 5
+	Rebind    MessageType = 6
+	Reply     MessageType = 7
+	Release   MessageType = 8
+)
+
+var mtNames = map[MessageType]string{
+	Solicit: "SOLICIT", Advertise: "ADVERTISE", Request: "REQUEST",
+	Confirm: "CONFIRM", Renew: "RENEW", Rebind: "REBIND", Reply: "REPLY",
+	Release: "RELEASE",
+}
+
+// String returns the RFC name of the message type.
+func (m MessageType) String() string {
+	if s, ok := mtNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE(%d)", byte(m))
+}
+
+// Option codes (RFC 8415 §21).
+const (
+	OptClientID    uint16 = 1
+	OptServerID    uint16 = 2
+	OptIAPD        uint16 = 25
+	OptIAPrefix    uint16 = 26
+	OptStatusCode  uint16 = 13
+	OptRapidCommit uint16 = 14
+)
+
+// Status codes (RFC 8415 §21.13).
+const (
+	StatusSuccess       uint16 = 0
+	StatusNoBinding     uint16 = 3
+	StatusNotOnLink     uint16 = 4
+	StatusNoPrefixAvail uint16 = 6
+)
+
+// Errors returned by Unmarshal.
+var (
+	ErrShortMessage = errors.New("dhcp6: message too short")
+	ErrBadOption    = errors.New("dhcp6: malformed option")
+)
+
+// DUID identifies a DHCPv6 endpoint. The simulator uses DUID-LL built
+// from the CPE's MAC; any opaque bytes are accepted on the wire.
+type DUID []byte
+
+// DUIDLL builds a DUID-LL (type 3, ethernet) from a MAC address.
+func DUIDLL(mac [6]byte) DUID {
+	d := make(DUID, 10)
+	binary.BigEndian.PutUint16(d, 3) // DUID-LL
+	binary.BigEndian.PutUint16(d[2:], 1)
+	copy(d[4:], mac[:])
+	return d
+}
+
+// String renders the DUID in hex.
+func (d DUID) String() string { return fmt.Sprintf("%x", []byte(d)) }
+
+// IAPrefix is one delegated prefix inside an IA_PD.
+type IAPrefix struct {
+	Preferred uint32
+	Valid     uint32
+	Prefix    netip.Prefix
+}
+
+// IAPD is an Identity Association for Prefix Delegation.
+type IAPD struct {
+	IAID     uint32
+	T1, T2   uint32
+	Prefixes []IAPrefix
+	Status   uint16 // StatusSuccess unless the server reports otherwise
+	StatusOK bool   // whether a status-code option was present
+}
+
+// Message is a DHCPv6 message.
+type Message struct {
+	Type MessageType
+	// TxnID uses 24 bits on the wire.
+	TxnID    uint32
+	ClientID DUID
+	ServerID DUID
+	IAPDs    []IAPD
+	Status   uint16
+	StatusOK bool
+	// RapidCommit carries RFC 8415 §18.2.1's two-message fast path: a
+	// Solicit with it set asks the server to commit immediately with a
+	// Reply instead of an Advertise.
+	RapidCommit bool
+}
+
+// NewMessage builds a message with the given type, transaction and client
+// identity.
+func NewMessage(mt MessageType, txn uint32, client DUID) *Message {
+	return &Message{Type: mt, TxnID: txn & 0xffffff, ClientID: client}
+}
+
+func appendOption(b []byte, code uint16, data []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[:], code)
+	binary.BigEndian.PutUint16(hdr[2:], uint16(len(data)))
+	b = append(b, hdr[:]...)
+	return append(b, data...)
+}
+
+func marshalIAPD(ia IAPD) []byte {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint32(b, ia.IAID)
+	binary.BigEndian.PutUint32(b[4:], ia.T1)
+	binary.BigEndian.PutUint32(b[8:], ia.T2)
+	for _, p := range ia.Prefixes {
+		pp := make([]byte, 25)
+		binary.BigEndian.PutUint32(pp, p.Preferred)
+		binary.BigEndian.PutUint32(pp[4:], p.Valid)
+		pp[8] = byte(p.Prefix.Bits())
+		a16 := p.Prefix.Addr().As16()
+		copy(pp[9:], a16[:])
+		b = appendOption(b, OptIAPrefix, pp)
+	}
+	if ia.StatusOK {
+		sc := make([]byte, 2)
+		binary.BigEndian.PutUint16(sc, ia.Status)
+		b = appendOption(b, OptStatusCode, sc)
+	}
+	return b
+}
+
+// Marshal encodes the message to wire format.
+func (m *Message) Marshal() []byte {
+	b := make([]byte, 4, 128)
+	b[0] = byte(m.Type)
+	b[1] = byte(m.TxnID >> 16)
+	b[2] = byte(m.TxnID >> 8)
+	b[3] = byte(m.TxnID)
+	if len(m.ClientID) > 0 {
+		b = appendOption(b, OptClientID, m.ClientID)
+	}
+	if len(m.ServerID) > 0 {
+		b = appendOption(b, OptServerID, m.ServerID)
+	}
+	for _, ia := range m.IAPDs {
+		b = appendOption(b, OptIAPD, marshalIAPD(ia))
+	}
+	if m.RapidCommit {
+		b = appendOption(b, OptRapidCommit, nil)
+	}
+	if m.StatusOK {
+		sc := make([]byte, 2)
+		binary.BigEndian.PutUint16(sc, m.Status)
+		b = appendOption(b, OptStatusCode, sc)
+	}
+	return b
+}
+
+func parseIAPD(data []byte) (IAPD, error) {
+	var ia IAPD
+	if len(data) < 12 {
+		return ia, fmt.Errorf("%w: IA_PD body %d bytes", ErrBadOption, len(data))
+	}
+	ia.IAID = binary.BigEndian.Uint32(data)
+	ia.T1 = binary.BigEndian.Uint32(data[4:])
+	ia.T2 = binary.BigEndian.Uint32(data[8:])
+	rest := data[12:]
+	for len(rest) > 0 {
+		if len(rest) < 4 {
+			return ia, fmt.Errorf("%w: truncated IA_PD sub-option", ErrBadOption)
+		}
+		code := binary.BigEndian.Uint16(rest)
+		l := int(binary.BigEndian.Uint16(rest[2:]))
+		if 4+l > len(rest) {
+			return ia, fmt.Errorf("%w: IA_PD sub-option overrun", ErrBadOption)
+		}
+		body := rest[4 : 4+l]
+		switch code {
+		case OptIAPrefix:
+			if l < 25 {
+				return ia, fmt.Errorf("%w: IAPREFIX body %d bytes", ErrBadOption, l)
+			}
+			plen := int(body[8])
+			addr := netip.AddrFrom16([16]byte(body[9:25]))
+			p, err := addr.Prefix(plen)
+			if err != nil {
+				return ia, fmt.Errorf("%w: IAPREFIX %v/%d", ErrBadOption, addr, plen)
+			}
+			ia.Prefixes = append(ia.Prefixes, IAPrefix{
+				Preferred: binary.BigEndian.Uint32(body),
+				Valid:     binary.BigEndian.Uint32(body[4:]),
+				Prefix:    p,
+			})
+		case OptStatusCode:
+			if l < 2 {
+				return ia, fmt.Errorf("%w: status code body %d bytes", ErrBadOption, l)
+			}
+			ia.Status = binary.BigEndian.Uint16(body)
+			ia.StatusOK = true
+		}
+		rest = rest[4+l:]
+	}
+	return ia, nil
+}
+
+// Unmarshal decodes a wire-format DHCPv6 message.
+func Unmarshal(b []byte) (*Message, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrShortMessage, len(b))
+	}
+	m := &Message{
+		Type:  MessageType(b[0]),
+		TxnID: uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]),
+	}
+	rest := b[4:]
+	for len(rest) > 0 {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: truncated option header", ErrBadOption)
+		}
+		code := binary.BigEndian.Uint16(rest)
+		l := int(binary.BigEndian.Uint16(rest[2:]))
+		if 4+l > len(rest) {
+			return nil, fmt.Errorf("%w: option %d overruns message", ErrBadOption, code)
+		}
+		body := rest[4 : 4+l]
+		switch code {
+		case OptClientID:
+			m.ClientID = append(DUID(nil), body...)
+		case OptServerID:
+			m.ServerID = append(DUID(nil), body...)
+		case OptIAPD:
+			ia, err := parseIAPD(body)
+			if err != nil {
+				return nil, err
+			}
+			m.IAPDs = append(m.IAPDs, ia)
+		case OptStatusCode:
+			if l < 2 {
+				return nil, fmt.Errorf("%w: status code body %d bytes", ErrBadOption, l)
+			}
+			m.Status = binary.BigEndian.Uint16(body)
+			m.StatusOK = true
+		case OptRapidCommit:
+			m.RapidCommit = true
+		}
+		rest = rest[4+l:]
+	}
+	return m, nil
+}

@@ -1,0 +1,401 @@
+package dhcp6
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"dynamips/internal/netutil"
+)
+
+// Clock supplies time in seconds; simulations drive a virtual clock.
+type Clock interface {
+	Now() int64
+}
+
+// ClockFunc adapts a function to the Clock interface.
+type ClockFunc func() int64
+
+// Now implements Clock.
+func (f ClockFunc) Now() int64 { return f() }
+
+// ErrPoolExhausted is returned when no delegation is available.
+var ErrPoolExhausted = errors.New("dhcp6: delegation pool exhausted")
+
+// ServerConfig configures a prefix-delegation server.
+type ServerConfig struct {
+	// Pools are the blocks delegations are carved from (e.g. a per-region
+	// /40 inside the ISP's aggregate, §5.2).
+	Pools []netip.Prefix
+	// DelegatedLen is the delegated-prefix length handed to CPEs
+	// (commonly /56 per RIPE-690; Netcologne uses /48, Kabel DE CPEs
+	// request /62 — §5.3).
+	DelegatedLen int
+	// ValidSeconds is the delegation's valid lifetime.
+	ValidSeconds uint32
+	// Sticky mirrors dhcp4.ServerConfig.Sticky: remember expired
+	// bindings and re-delegate the same prefix to a returning CPE.
+	Sticky bool
+	// Stride spreads delegations across the pool: the n-th fresh
+	// delegation uses slot (n*Stride) mod poolsize. Real delegation
+	// servers scatter assignments over the pool; sequential allocation
+	// would concentrate every active delegation in the lowest /48.
+	// Even strides are rounded up to stay coprime with power-of-two
+	// pool sizes. Zero means 1 (sequential).
+	Stride uint64
+	// ServerDUID identifies the server.
+	ServerDUID DUID
+}
+
+// Binding is one active delegation.
+type Binding struct {
+	Prefix netip.Prefix
+	Client string // DUID as map key
+	Expiry int64
+}
+
+// Server delegates prefixes from its pools, implementing the
+// Solicit/Advertise/Request/Reply and Renew/Reply flows over IA_PD.
+// It is not safe for concurrent use.
+type Server struct {
+	cfg      ServerConfig
+	clock    Clock
+	byClient map[string]*Binding
+	byPrefix map[netip.Prefix]*Binding
+	offers   map[string]netip.Prefix
+	expiry   bindingHeap
+	cursor   int
+	offset   uint64
+	freed    []netip.Prefix
+	total    uint64
+}
+
+// NewServer builds a Server. It panics on configuration bugs: no pools,
+// a delegated length not inside the pools, or a zero lifetime.
+func NewServer(cfg ServerConfig, clock Clock) *Server {
+	if len(cfg.Pools) == 0 {
+		panic("dhcp6: no pools configured")
+	}
+	if cfg.ValidSeconds == 0 {
+		panic("dhcp6: zero valid lifetime")
+	}
+	var total uint64
+	for _, p := range cfg.Pools {
+		if !p.Addr().Is6() || p.Addr().Unmap().Is4() {
+			panic(fmt.Sprintf("dhcp6: non-IPv6 pool %v", p))
+		}
+		if cfg.DelegatedLen < p.Bits() || cfg.DelegatedLen > 64 {
+			panic(fmt.Sprintf("dhcp6: delegated length /%d incompatible with pool %v", cfg.DelegatedLen, p))
+		}
+		total += 1 << uint(cfg.DelegatedLen-p.Bits())
+	}
+	if len(cfg.ServerDUID) == 0 {
+		cfg.ServerDUID = DUIDLL([6]byte{0x02, 0, 0, 0, 0, 1})
+	}
+	if cfg.Stride == 0 {
+		cfg.Stride = 1
+	}
+	if cfg.Stride%2 == 0 {
+		cfg.Stride++
+	}
+	return &Server{
+		cfg:      cfg,
+		clock:    clock,
+		byClient: make(map[string]*Binding),
+		byPrefix: make(map[netip.Prefix]*Binding),
+		offers:   make(map[string]netip.Prefix),
+		total:    total,
+	}
+}
+
+// Capacity returns the number of delegations the pools can hold.
+func (s *Server) Capacity() uint64 { return s.total }
+
+// ActiveBindings returns the number of unexpired delegations.
+func (s *Server) ActiveBindings() int {
+	now := s.clock.Now()
+	n := 0
+	for _, b := range s.byClient {
+		if b.Expiry > now {
+			n++
+		}
+	}
+	return n
+}
+
+// LoseState drops all bindings (ISP-side outage, §2.2). Renewing CPEs get
+// NoBinding and must re-solicit, receiving fresh delegations.
+func (s *Server) LoseState() {
+	s.byClient = make(map[string]*Binding)
+	s.byPrefix = make(map[netip.Prefix]*Binding)
+	s.offers = make(map[string]netip.Prefix)
+	s.expiry = nil
+}
+
+// Renumber frees every binding and advances the allocation cursor past the
+// highest delegation handed out so far, modeling administrative
+// renumbering (§2.2): all subscribers move to new prefixes.
+func (s *Server) Renumber() {
+	s.LoseState()
+	s.freed = nil
+}
+
+func (s *Server) reclaim(now int64) {
+	for len(s.expiry) > 0 && s.expiry[0].Expiry <= now {
+		b := heap.Pop(&s.expiry).(*Binding)
+		cur, ok := s.byPrefix[b.Prefix]
+		if !ok || cur != b || cur.Expiry > now {
+			continue
+		}
+		delete(s.byPrefix, b.Prefix)
+		if !s.cfg.Sticky {
+			delete(s.byClient, b.Client)
+		}
+		s.freed = append(s.freed, b.Prefix)
+	}
+}
+
+func (s *Server) nextFree() (netip.Prefix, error) {
+	for len(s.freed) > 0 {
+		p := s.freed[len(s.freed)-1]
+		s.freed = s.freed[:len(s.freed)-1]
+		if _, bound := s.byPrefix[p]; !bound {
+			return p, nil
+		}
+	}
+	for s.cursor < len(s.cfg.Pools) {
+		pool := s.cfg.Pools[s.cursor]
+		size := uint64(1) << uint(s.cfg.DelegatedLen-pool.Bits())
+		for s.offset < size {
+			p, err := netutil.SubPrefix(pool, s.cfg.DelegatedLen, (s.offset*s.cfg.Stride)%size)
+			s.offset++
+			if err != nil {
+				return netip.Prefix{}, err
+			}
+			if _, bound := s.byPrefix[p]; !bound {
+				return p, nil
+			}
+		}
+		s.cursor++
+		s.offset = 0
+	}
+	return netip.Prefix{}, ErrPoolExhausted
+}
+
+func (s *Server) candidate(client string, now int64) (netip.Prefix, error) {
+	if b, ok := s.byClient[client]; ok {
+		if b.Expiry > now {
+			return b.Prefix, nil
+		}
+		if s.cfg.Sticky {
+			if cur, bound := s.byPrefix[b.Prefix]; !bound || cur == b {
+				return b.Prefix, nil
+			}
+		}
+	}
+	return s.nextFree()
+}
+
+func (s *Server) bind(client string, p netip.Prefix, now int64) *Binding {
+	b := &Binding{Prefix: p, Client: client, Expiry: now + int64(s.cfg.ValidSeconds)}
+	s.byClient[client] = b
+	s.byPrefix[p] = b
+	heap.Push(&s.expiry, b)
+	return b
+}
+
+func (s *Server) reply(req *Message, mt MessageType, ia IAPD) *Message {
+	rep := NewMessage(mt, req.TxnID, req.ClientID)
+	rep.ServerID = s.cfg.ServerDUID
+	rep.IAPDs = []IAPD{ia}
+	return rep
+}
+
+func (s *Server) iaSuccess(p netip.Prefix, iaid uint32) IAPD {
+	return IAPD{
+		IAID: iaid,
+		T1:   s.cfg.ValidSeconds / 2,
+		T2:   s.cfg.ValidSeconds * 4 / 5,
+		Prefixes: []IAPrefix{{
+			Preferred: s.cfg.ValidSeconds,
+			Valid:     s.cfg.ValidSeconds,
+			Prefix:    p,
+		}},
+	}
+}
+
+func (s *Server) iaStatus(iaid uint32, status uint16) IAPD {
+	return IAPD{IAID: iaid, Status: status, StatusOK: true}
+}
+
+// Handle runs one request through the delegation state machine.
+// Release elicits a plain success Reply.
+func (s *Server) Handle(req *Message) (*Message, error) {
+	now := s.clock.Now()
+	s.reclaim(now)
+	if len(req.ClientID) == 0 {
+		return nil, errors.New("dhcp6: request missing client ID")
+	}
+	client := req.ClientID.String()
+	var iaid uint32
+	if len(req.IAPDs) > 0 {
+		iaid = req.IAPDs[0].IAID
+	}
+	switch req.Type {
+	case Solicit:
+		p, err := s.candidate(client, now)
+		if err != nil {
+			return s.reply(req, Advertise, s.iaStatus(iaid, StatusNoPrefixAvail)), nil
+		}
+		if req.RapidCommit {
+			// Two-message exchange: commit immediately (§18.2.1).
+			b := s.bind(client, p, now)
+			rep := s.reply(req, Reply, s.iaSuccess(b.Prefix, iaid))
+			rep.RapidCommit = true
+			return rep, nil
+		}
+		s.offers[client] = p
+		return s.reply(req, Advertise, s.iaSuccess(p, iaid)), nil
+
+	case Confirm:
+		// The CPE rebooted and asks whether its delegation is still
+		// appropriate for the link (RFC 8415 §18.3.3).
+		var have netip.Prefix
+		if len(req.IAPDs) > 0 && len(req.IAPDs[0].Prefixes) > 0 {
+			have = req.IAPDs[0].Prefixes[0].Prefix
+		}
+		if b, ok := s.byClient[client]; ok && have.IsValid() && b.Prefix == have && b.Expiry > now {
+			return s.reply(req, Reply, s.iaStatus(iaid, StatusSuccess)), nil
+		}
+		return s.reply(req, Reply, s.iaStatus(iaid, StatusNotOnLink)), nil
+
+	case Request:
+		var want netip.Prefix
+		if len(req.IAPDs) > 0 && len(req.IAPDs[0].Prefixes) > 0 {
+			want = req.IAPDs[0].Prefixes[0].Prefix
+		}
+		offered := want.IsValid() && s.offers[client] == want
+		if b, ok := s.byClient[client]; ok && want.IsValid() && b.Prefix == want {
+			offered = true
+		}
+		if !offered {
+			return s.reply(req, Reply, s.iaStatus(iaid, StatusNoBinding)), nil
+		}
+		if cur, bound := s.byPrefix[want]; bound && cur.Client != client && cur.Expiry > now {
+			return s.reply(req, Reply, s.iaStatus(iaid, StatusNoPrefixAvail)), nil
+		}
+		delete(s.offers, client)
+		b := s.bind(client, want, now)
+		return s.reply(req, Reply, s.iaSuccess(b.Prefix, iaid)), nil
+
+	case Renew, Rebind:
+		b, ok := s.byClient[client]
+		if !ok || b.Expiry <= now {
+			return s.reply(req, Reply, s.iaStatus(iaid, StatusNoBinding)), nil
+		}
+		b.Expiry = now + int64(s.cfg.ValidSeconds)
+		heap.Push(&s.expiry, b)
+		return s.reply(req, Reply, s.iaSuccess(b.Prefix, iaid)), nil
+
+	case Release:
+		if b, ok := s.byClient[client]; ok {
+			delete(s.byPrefix, b.Prefix)
+			if !s.cfg.Sticky {
+				delete(s.byClient, client)
+			} else {
+				b.Expiry = now
+			}
+			s.freed = append(s.freed, b.Prefix)
+		}
+		return s.reply(req, Reply, s.iaStatus(iaid, StatusSuccess)), nil
+
+	default:
+		return nil, fmt.Errorf("dhcp6: unhandled message type %v", req.Type)
+	}
+}
+
+// Acquire runs the Solicit/Advertise/Request/Reply exchange and returns the
+// delegated prefix. It is the ISP simulator's programmatic entry point.
+func (s *Server) Acquire(client DUID, txn uint32) (Binding, error) {
+	adv, err := s.Handle(NewMessage(Solicit, txn, client))
+	if err != nil {
+		return Binding{}, err
+	}
+	if len(adv.IAPDs) == 0 || len(adv.IAPDs[0].Prefixes) == 0 {
+		return Binding{}, ErrPoolExhausted
+	}
+	req := NewMessage(Request, txn, client)
+	req.ServerID = adv.ServerID
+	req.IAPDs = []IAPD{{IAID: adv.IAPDs[0].IAID, Prefixes: adv.IAPDs[0].Prefixes}}
+	rep, err := s.Handle(req)
+	if err != nil {
+		return Binding{}, err
+	}
+	if len(rep.IAPDs) == 0 || len(rep.IAPDs[0].Prefixes) == 0 {
+		return Binding{}, fmt.Errorf("dhcp6: acquire rejected (status %d)", rep.IAPDs[0].Status)
+	}
+	p := rep.IAPDs[0].Prefixes[0]
+	return Binding{Prefix: p.Prefix, Client: client.String(), Expiry: s.clock.Now() + int64(p.Valid)}, nil
+}
+
+// Reassign forces a fresh delegation for the client, modeling an ISP-side
+// renumbering of a single subscriber (periodic renumbering, §2.2). The new
+// prefix is allocated while the old binding is still held, so the client
+// can never be handed its previous prefix straight back; the old prefix is
+// then freed for other subscribers.
+func (s *Server) Reassign(client DUID, txn uint32) (Binding, error) {
+	now := s.clock.Now()
+	s.reclaim(now)
+	p, err := s.nextFree()
+	if err != nil {
+		return Binding{}, err
+	}
+	cl := client.String()
+	if old, ok := s.byClient[cl]; ok {
+		delete(s.byPrefix, old.Prefix)
+		s.freed = append(s.freed, old.Prefix)
+	}
+	b := s.bind(cl, p, now)
+	return *b, nil
+}
+
+// ReleaseBinding releases the client's delegation programmatically
+// (equivalent to handling a RELEASE message).
+func (s *Server) ReleaseBinding(client DUID) {
+	cl := client.String()
+	if b, ok := s.byClient[cl]; ok {
+		delete(s.byPrefix, b.Prefix)
+		delete(s.byClient, cl)
+		s.freed = append(s.freed, b.Prefix)
+	}
+}
+
+// RenewBinding renews the client's delegation, failing with an error when
+// the server has no binding (e.g. after LoseState).
+func (s *Server) RenewBinding(client DUID, txn uint32) (Binding, error) {
+	rep, err := s.Handle(NewMessage(Renew, txn, client))
+	if err != nil {
+		return Binding{}, err
+	}
+	if len(rep.IAPDs) == 0 || len(rep.IAPDs[0].Prefixes) == 0 {
+		return Binding{}, fmt.Errorf("dhcp6: renew: no binding")
+	}
+	p := rep.IAPDs[0].Prefixes[0]
+	return Binding{Prefix: p.Prefix, Client: client.String(), Expiry: s.clock.Now() + int64(p.Valid)}, nil
+}
+
+type bindingHeap []*Binding
+
+func (h bindingHeap) Len() int            { return len(h) }
+func (h bindingHeap) Less(i, j int) bool  { return h[i].Expiry < h[j].Expiry }
+func (h bindingHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *bindingHeap) Push(x interface{}) { *h = append(*h, x.(*Binding)) }
+func (h *bindingHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildOnce caches the reduced pipelines across tests in this package.
+var (
+	atlasCache *AtlasData
+	cdnCache   *CDNData
+)
+
+func atlasData(t *testing.T) *AtlasData {
+	t.Helper()
+	if atlasCache == nil {
+		a, err := BuildAtlas(Reduced())
+		if err != nil {
+			t.Fatalf("BuildAtlas: %v", err)
+		}
+		atlasCache = a
+	}
+	return atlasCache
+}
+
+func cdnData(t *testing.T) *CDNData {
+	t.Helper()
+	if cdnCache == nil {
+		c, err := BuildCDN(Reduced())
+		if err != nil {
+			t.Fatalf("BuildCDN: %v", err)
+		}
+		cdnCache = c
+	}
+	return cdnCache
+}
+
+func TestBuildAtlas(t *testing.T) {
+	a := atlasData(t)
+	if len(a.PAS) < 100 {
+		t.Fatalf("only %d probes analyzed", len(a.PAS))
+	}
+	if len(a.ASNs) != 11 {
+		t.Errorf("simulated %d ASes, want 11", len(a.ASNs))
+	}
+	if a.Durations[3320] == nil {
+		t.Error("no DTAG durations")
+	}
+	if len(a.Sanitize.Drops) == 0 {
+		t.Error("sanitization dropped nothing")
+	}
+}
+
+func TestBuildCDN(t *testing.T) {
+	c := cdnData(t)
+	if len(c.Dataset.Assocs) == 0 || len(c.Episodes) == 0 {
+		t.Fatal("empty CDN pipeline")
+	}
+	if c.Groups.Fixed.Len() == 0 || c.Groups.Mobile.Len() == 0 {
+		t.Fatal("empty duration groups")
+	}
+}
+
+func TestAtlasExperimentsProduceOutput(t *testing.T) {
+	a := atlasData(t)
+	for _, name := range Names {
+		if !NeedsAtlas(name) {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := RunAtlasExperiment(name, &buf, a); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if buf.Len() < 40 {
+			t.Errorf("%s produced only %d bytes: %q", name, buf.Len(), buf.String())
+		}
+	}
+}
+
+func TestCDNExperimentsProduceOutput(t *testing.T) {
+	c := cdnData(t)
+	for _, name := range Names {
+		if NeedsAtlas(name) {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := RunCDNExperiment(name, &buf, c); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if buf.Len() < 40 {
+			t.Errorf("%s produced only %d bytes: %q", name, buf.Len(), buf.String())
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAtlasExperiment("nope", &buf, atlasData(t)); err == nil {
+		t.Error("unknown atlas experiment accepted")
+	}
+	if err := RunCDNExperiment("nope", &buf, cdnData(t)); err == nil {
+		t.Error("unknown cdn experiment accepted")
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunTable1(&buf, atlasData(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"DTAG", "Comcast", "Orange", "BT", "Netcologne"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 1 missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig1DetectsDTAGPeriodicity(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig1(&buf, atlasData(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "DTAG") || !strings.Contains(out, "24h(") {
+		t.Errorf("Fig 1 output missing DTAG 24h mode:\n%s", out)
+	}
+}
+
+func TestFig6ShowsDelegationGroundTruth(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig6(&buf, atlasData(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Netcologne") {
+		t.Errorf("Fig 6 missing Netcologne (the /48 delegator):\n%s", out)
+	}
+}
+
+func TestRunDispatcher(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Reduced()
+	cfg.ProbeScale = 0.05
+	cfg.Hours = 8760
+	if err := Run("sanitize", &buf, cfg); err != nil {
+		t.Fatalf("Run(sanitize): %v", err)
+	}
+	if !strings.Contains(buf.String(), "clean probes") {
+		t.Errorf("sanitize output: %q", buf.String())
+	}
+	cfg2 := Reduced()
+	cfg2.CDNScale = 0.05
+	buf.Reset()
+	if err := Run("fig4", &buf, cfg2); err != nil {
+		t.Fatalf("Run(fig4): %v", err)
+	}
+}
+
+// TestDeterministicOutput: the same configuration reproduces every table
+// byte-for-byte — the repository's reproducibility contract.
+func TestDeterministicOutput(t *testing.T) {
+	cfg := Config{Seed: 77, Hours: 6000, ProbeScale: 0.05, CDNScale: 0.02, CDNDays: 60}
+	render := func() (string, string) {
+		a, err := BuildAtlas(cfg)
+		if err != nil {
+			t.Fatalf("BuildAtlas: %v", err)
+		}
+		var t1, f6 bytes.Buffer
+		if err := RunTable1(&t1, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := RunFig6(&f6, a); err != nil {
+			t.Fatal(err)
+		}
+		return t1.String(), f6.String()
+	}
+	a1, b1 := render()
+	a2, b2 := render()
+	if a1 != a2 {
+		t.Error("Table 1 not reproducible")
+	}
+	if b1 != b2 {
+		t.Error("Fig 6 not reproducible")
+	}
+	c1, err := BuildCDN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := BuildCDN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o1, o2 bytes.Buffer
+	if err := RunFig7(&o1, c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunFig7(&o2, c2); err != nil {
+		t.Fatal(err)
+	}
+	if o1.String() != o2.String() {
+		t.Error("Fig 7 not reproducible")
+	}
+}
+
+func TestFigureData(t *testing.T) {
+	a := atlasData(t)
+	c := cdnData(t)
+	for _, name := range []string{"fig1", "fig5", "fig9"} {
+		series, err := FigureData(name, a, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(series) == 0 {
+			t.Fatalf("%s: no series", name)
+		}
+		for _, s := range series {
+			if s.Figure != name || len(s.Points) == 0 {
+				t.Errorf("%s: bad series %+v", name, s.Panel)
+			}
+		}
+	}
+	for _, name := range []string{"fig2", "fig3", "fig4", "fig7"} {
+		series, err := FigureData(name, nil, c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(series) == 0 {
+			t.Fatalf("%s: no series", name)
+		}
+	}
+	if _, err := FigureData("table1", a, c); err == nil {
+		t.Error("tabular experiment yielded figure data")
+	}
+	if _, err := FigureData("fig1", nil, c); err == nil {
+		t.Error("fig1 without atlas pipeline accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteFigureJSON(&buf, "fig9", a, nil); err != nil {
+		t.Fatalf("WriteFigureJSON: %v", err)
+	}
+	var parsed []FigSeries
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output not valid JSON: %v", err)
+	}
+	if len(parsed) != 1 || parsed[0].Series != "pct-of-probes" {
+		t.Errorf("parsed = %+v", parsed)
+	}
+}

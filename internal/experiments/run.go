@@ -1,0 +1,503 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dynamips/internal/cdn"
+	"dynamips/internal/core"
+	"dynamips/internal/rir"
+	"dynamips/internal/stats"
+)
+
+// fig1Marks are the duration marks (hours) at which the Fig. 1 curves are
+// sampled for textual output.
+var fig1Marks = []struct {
+	label string
+	hours float64
+}{
+	{"1d", 24}, {"3d", 72}, {"1w", 168}, {"2w", 336},
+	{"1m", 720}, {"3m", 2160}, {"6m", 4320}, {"1y", 8760},
+}
+
+// fig1ASes are the six ASes Fig. 1 (and Figs. 2/5) plots.
+var fig1ASes = []uint32{3320, 3215, 7922, 6830, 2856, 5432}
+
+// RunTable1 prints Table 1: per-AS assignment change counts.
+func RunTable1(w io.Writer, a *AtlasData) error {
+	fmt.Fprintf(w, "Table 1: assignment changes observed in the sanitized IP echo dataset\n")
+	fmt.Fprintf(w, "%-12s %6s %8s %9s %9s %17s %9s\n",
+		"AS", "ASN", "probes", "v4chg", "DSprobes", "DS v4chg (share)", "v6chg")
+	rows := core.Table1(a.PAS, a.Names)
+	for _, r := range rows {
+		if _, known := a.Names[r.ASN]; !known {
+			continue // foreign-AS virtual probes
+		}
+		fmt.Fprintln(w, r.String())
+	}
+	return nil
+}
+
+func curveRow(w io.Writer, name string, pts []stats.Point, totalYears float64) {
+	fmt.Fprintf(w, "  %-14s (%7.2f yr)", name, totalYears)
+	for _, m := range fig1Marks {
+		fmt.Fprintf(w, " %s=%.2f", m.label, stats.FractionAtOrBelow(pts, m.hours))
+	}
+	fmt.Fprintln(w)
+}
+
+// RunFig1 prints the cumulative total-time-fraction curves per AS,
+// sampled at the canonical duration marks.
+func RunFig1(w io.Writer, a *AtlasData) error {
+	fmt.Fprintln(w, "Figure 1: cumulative total time fraction of assignment durations")
+	for _, asn := range fig1ASes {
+		d := a.Durations[asn]
+		if d == nil {
+			continue
+		}
+		nds, ds, v6 := core.DurationCurves(d)
+		ny, dy, vy := d.TotalYears()
+		fmt.Fprintf(w, "%s (AS%d):\n", a.Names[asn], asn)
+		curveRow(w, "IPv4 non-DS", nds, ny)
+		curveRow(w, "IPv4 DS", ds, dy)
+		curveRow(w, "IPv6 /64", v6, vy)
+	}
+	fmt.Fprintln(w, "\nDetected periodic renumbering (>=30% of assignment time at the mode):")
+	for _, p := range core.DetectPeriodicRenumbering(a.Durations, 0.05, 0.3) {
+		name := a.Names[p.ASN]
+		if name == "" {
+			continue
+		}
+		fmt.Fprintf(w, "  %-12s %-7s", name, p.Population)
+		for _, m := range p.Modes {
+			fmt.Fprintf(w, " %gh(%.0f%%)", m.Period, 100*m.Fraction)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunSimultaneity prints §3.2's dual-stack change co-occurrence.
+func RunSimultaneity(w io.Writer, a *AtlasData) error {
+	fmt.Fprintln(w, "Dual-stack change simultaneity (share of v6 changes co-occurring with a v4 change)")
+	sim := core.MeasureSimultaneity(a.PAS)
+	for _, asn := range a.ASNs {
+		s := sim[asn]
+		if s == nil || s.V6Changes == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-12s %6d v6 changes, %5.1f%% simultaneous\n",
+			a.Names[asn], s.V6Changes, 100*s.Fraction())
+	}
+	return nil
+}
+
+// RunTable2 prints Table 2: changes across /24 and BGP prefix boundaries.
+func RunTable2(w io.Writer, a *AtlasData) error {
+	fmt.Fprintln(w, "Table 2: percentage of assignment changes across prefix boundaries")
+	fmt.Fprintf(w, "%-12s %10s %12s %12s\n", "AS", "Diff /24", "Diff BGP v4", "Diff BGP v6")
+	t2 := core.Table2(a.PAS, a.BGP)
+	for _, asn := range a.ASNs {
+		r := t2[asn]
+		if r == nil {
+			continue
+		}
+		d24, db4, db6 := r.Pct()
+		fmt.Fprintf(w, "%-12s %9.0f%% %11.0f%% %11.0f%%\n", a.Names[asn], d24, db4, db6)
+	}
+	return nil
+}
+
+// cplBuckets summarize Fig. 5's spectra.
+var cplBuckets = []struct {
+	label    string
+	from, to int
+}{
+	{"<24", 0, 23}, {"24-39", 24, 39}, {"40-47", 40, 47},
+	{"48-55", 48, 55}, {">=56", 56, 64},
+}
+
+// RunFig5 prints the common-prefix-length spectra of successive /64
+// assignments.
+func RunFig5(w io.Writer, a *AtlasData) error {
+	fmt.Fprintln(w, "Figure 5: common prefix length between subsequent IPv6 /64 assignments")
+	spectra := core.CPLSpectra(a.PAS)
+	for _, asn := range fig1ASes {
+		spec := spectra[asn]
+		if spec == nil || spec.TotalChanges() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s (AS%d): %d changes, mode CPL %d\n", a.Names[asn], asn, spec.TotalChanges(), spec.ModeCPL())
+		type row = struct {
+			Label string
+			Value float64
+		}
+		var rows []row
+		for _, b := range cplBuckets {
+			var ch, pr int
+			for n := b.from; n <= b.to; n++ {
+				ch += spec.Changes[n]
+				pr += spec.Probes[n]
+			}
+			rows = append(rows, row{fmt.Sprintf("CPL %-6s %8d changes %6d probes", b.label, ch, pr), float64(ch)})
+		}
+		for _, line := range stats.RenderHistogram(rows, 30) {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+	return nil
+}
+
+// RunFig6 prints per-AS inferred subscriber prefix lengths.
+func RunFig6(w io.Writer, a *AtlasData) error {
+	fmt.Fprintln(w, "Figure 6: inferred prefix length identifying a subscriber, per AS")
+	perAS, _ := core.SubscriberLengths(a.PAS)
+	lengths := []int{48, 52, 56, 60, 62, 64}
+	fmt.Fprintf(w, "%-12s %7s", "AS", "probes")
+	for _, l := range lengths {
+		fmt.Fprintf(w, " %5s", fmt.Sprintf("/%d", l))
+	}
+	fmt.Fprintln(w)
+	for _, asn := range a.ASNs {
+		h := perAS[asn]
+		if h == nil || h.N == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %7d", a.Names[asn], h.N)
+		for _, l := range lengths {
+			fmt.Fprintf(w, " %4.0f%%", 100*h.Fraction(l))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunFig8 prints the unique-prefix distributions per AS.
+func RunFig8(w io.Writer, a *AtlasData) error {
+	fmt.Fprintln(w, "Figure 8: unique prefixes of each length observed per probe (median [p90])")
+	dists := core.UniquePrefixes(a.PAS, a.BGP)
+	for _, asn := range fig1ASes {
+		d := dists[asn]
+		if d == nil {
+			continue
+		}
+		fmt.Fprintf(w, "%s (AS%d):", a.Names[asn], asn)
+		for _, l := range core.UniquePrefixLengths {
+			e := d.PerLen[l]
+			fmt.Fprintf(w, " /%d=%.0f[%.0f]", l, e.Median(), e.Quantile(0.9))
+		}
+		fmt.Fprintf(w, " BGP=%.0f", d.BGPDist.Median())
+		if pool, ok := core.InferPoolBoundary(d, 8); ok {
+			fmt.Fprintf(w, "  (inferred pool boundary /%d)", pool)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunFig9 prints the pooled inferred subscriber lengths.
+func RunFig9(w io.Writer, a *AtlasData) error {
+	fmt.Fprintln(w, "Figure 9: inferred subscriber prefix length, all probes pooled")
+	_, pooled := core.SubscriberLengths(a.PAS)
+	if pooled.N == 0 {
+		return fmt.Errorf("experiments: no probes with IPv6 changes")
+	}
+	fmt.Fprintf(w, "probes with >=1 IPv6 change: %d\n", pooled.N)
+	type row = struct {
+		Label string
+		Value float64
+	}
+	var rows []row
+	for l := 42; l <= 64; l++ {
+		if f := pooled.Fraction(l); f >= 0.005 {
+			rows = append(rows, row{fmt.Sprintf("/%d %5.1f%%", l, 100*f), f})
+		}
+	}
+	for _, line := range stats.RenderHistogram(rows, 40) {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+	return nil
+}
+
+// RunFig2 prints CDN association-duration CDFs for the Fig. 2 ISPs.
+func RunFig2(w io.Writer, c *CDNData) error {
+	fmt.Fprintln(w, "Figure 2: CDN address association durations (days)")
+	marks := []float64{1, 7, 14, 30, 90, 150}
+	for _, asn := range fig1ASes {
+		e := c.Groups.ByOperator[asn]
+		if e == nil || e.Len() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-10s median=%5.1fd  CDF:", c.Dataset.BGP.Name(asn), e.Median())
+		for _, m := range marks {
+			fmt.Fprintf(w, " %gd=%.2f", m, e.At(m))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunFig3 prints per-registry fixed/mobile box stats.
+func RunFig3(w io.Writer, c *CDNData) error {
+	fmt.Fprintln(w, "Figure 3: CDN association duration by registry (days)")
+	for _, reg := range rir.All() {
+		fixed, mobile := c.Groups.RegistryBox(reg)
+		fmt.Fprintf(w, "  %-8s fixed : %s\n", reg, fixed)
+		fmt.Fprintf(w, "  %-8s mobile: %s\n", reg, mobile)
+	}
+	return nil
+}
+
+// RunFig4 prints the /64-per-/24 degree distributions.
+func RunFig4(w io.Writer, c *CDNData) error {
+	fmt.Fprintln(w, "Figure 4: IPv6 /64s associated per IPv4 /24")
+	dd := cdn.Degrees(c.Dataset.Assocs, c.Mobile)
+	fmt.Fprintf(w, "  mobile: unique peak %.0f, weighted peak %.0f, /64-connectivity-1 %.0f%%\n",
+		dd.MobileUnique.PeakX(), dd.MobileWeighted.PeakX(), 100*dd.Connectivity1Frac[true])
+	fmt.Fprintf(w, "  fixed : unique peak %.0f, weighted peak %.0f, /64-connectivity-1 %.0f%%\n",
+		dd.FixedUnique.PeakX(), dd.FixedWeighted.PeakX(), 100*dd.Connectivity1Frac[false])
+	printDensity := func(name string, h *stats.LogHistogram) {
+		fmt.Fprintf(w, "  %s density:", name)
+		for _, p := range h.Density() {
+			if p.Y >= 0.02 {
+				fmt.Fprintf(w, " %.0f:%.2f", p.X, p.Y)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	printDensity("mobile unique", dd.MobileUnique)
+	printDensity("fixed unique", dd.FixedUnique)
+	return nil
+}
+
+// RunFig7 prints trailing-zero delegation inference per registry.
+func RunFig7(w io.Writer, c *CDNData) error {
+	fmt.Fprintln(w, "Figure 7: trailing zeros of fixed /64s -> inferred delegated prefix length")
+	tz := cdn.TrailingZerosByRegistry(c.Dataset, c.Mobile)
+	for _, reg := range rir.All() {
+		b := tz[reg]
+		if b == nil || b.Total == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-8s (%4.1f%% inferable, %d /64s):", reg, 100*b.InferableFrac(), b.Total)
+		for _, l := range []int{48, 52, 56, 60} {
+			fmt.Fprintf(w, " /%d=%.2f", l, b.Frac(l))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  mobile /64s with trailing zeros: %.1f%% (no consistent structure)\n",
+		100*cdn.MobileTrailingZeroFrac(c.Dataset, c.Mobile))
+	return nil
+}
+
+// RunGlobalDurations prints §4.2's global fixed/mobile summary.
+func RunGlobalDurations(w io.Writer, c *CDNData) error {
+	fmt.Fprintln(w, "Global association durations (§4.2)")
+	f, m := c.Groups.Fixed, c.Groups.Mobile
+	fmt.Fprintf(w, "  fixed : n=%d median=%.0fd p20-longest>=%.0fd\n", f.Len(), f.Median(), f.Quantile(0.8))
+	fmt.Fprintf(w, "  mobile: n=%d median=%.0fd p75=%.0fd max-tail<=30d: %.2f\n",
+		m.Len(), m.Median(), m.Quantile(0.75), m.At(30))
+	fmt.Fprintf(w, "  associations: %d raw, %d after ASN filter (%d mismatches removed)\n",
+		c.Dataset.RawCount, len(c.Dataset.Assocs), c.Dataset.Mismatches)
+	mobileShare := mobile64Share(c)
+	fmt.Fprintf(w, "  unique /64s from cellular access: %.1f%%\n", 100*mobileShare)
+	return nil
+}
+
+func mobile64Share(c *CDNData) float64 {
+	seen := make(map[uint64]bool)
+	var mob, tot float64
+	for _, a := range c.Dataset.Assocs {
+		if seen[a.K64] {
+			continue
+		}
+		seen[a.K64] = true
+		tot++
+		if c.Mobile[a.K24] {
+			mob++
+		}
+	}
+	if tot == 0 {
+		return 0
+	}
+	return mob / tot
+}
+
+// RunSanitizeReport prints the Appendix A.1 pipeline accounting.
+func RunSanitizeReport(w io.Writer, a *AtlasData) error {
+	fmt.Fprintln(w, "Appendix A.1: sanitization accounting")
+	fmt.Fprintf(w, "  clean probes: %d\n", len(a.Sanitize.Clean))
+	reasons := make([]string, 0, len(a.Sanitize.Drops))
+	for r := range a.Sanitize.Drops {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(w, "  dropped %-15s %d\n", r+":", a.Sanitize.Drops[r])
+	}
+	fmt.Fprintf(w, "  probes split into virtual probes: %d\n", a.Sanitize.VirtualSplits)
+	return nil
+}
+
+// RunEvolution prints §3.2's per-year duration trend: mean sandwiched
+// duration per simulated year for the ASes whose policy shifts mid-horizon
+// (DTAG, Orange — the paper finds their durations lengthening).
+func RunEvolution(w io.Writer, a *AtlasData) error {
+	fmt.Fprintln(w, "Evolution over time (§3.2): share of assignment time in short durations, per year")
+	eras := core.CollectDurationsByEra(a.PAS, 8760)
+	report := func(name string, asn uint32, markHours float64) {
+		fmt.Fprintf(w, "  %-8s (<=%gh)", name, markHours)
+		for _, e := range eras {
+			d := e.PerAS[asn]
+			if d == nil {
+				continue
+			}
+			nds, ds, v6 := core.DurationCurves(d)
+			fmt.Fprintf(w, "  y%d: nds=%.2f ds=%.2f v6=%.2f", e.Era,
+				stats.FractionAtOrBelow(nds, markHours),
+				stats.FractionAtOrBelow(ds, markHours),
+				stats.FractionAtOrBelow(v6, markHours))
+		}
+		fmt.Fprintln(w)
+	}
+	report("DTAG", 3320, 24)
+	report("Orange", 3215, 168)
+	fmt.Fprintln(w, "(the paper finds durations lengthening over the years, especially DTAG and Orange)")
+	return nil
+}
+
+// RunZmapBias prints the responsiveness-estimator ablation: the paper
+// suspects ZMap-style probing under-reports session durations (§3.2, vs.
+// Moura et al.); this measures the bias directly on the same assignment
+// histories the echo method observes.
+func RunZmapBias(w io.Writer, a *AtlasData) error {
+	fmt.Fprintln(w, "ZMap-style responsiveness estimator vs echo-derived durations (§3.2)")
+	fmt.Fprintf(w, "%-12s %14s %14s %8s"+"\n", "AS", "echo median", "zmap median", "bias")
+	resp := core.ResponsivenessDurations(a.PAS, core.DefaultResponsivenessConfig())
+	for _, asn := range a.ASNs {
+		d := a.Durations[asn]
+		r := resp[asn]
+		if d == nil || len(r) == 0 {
+			continue
+		}
+		echo := append(append([]float64(nil), d.V4NonDS...), d.V4DS...)
+		if len(echo) == 0 {
+			continue
+		}
+		e := stats.NewECDF(echo)
+		z := stats.NewECDF(r)
+		fmt.Fprintf(w, "%-12s %13.0fh %13.0fh %7.1fx"+"\n",
+			a.Names[asn], e.Median(), z.Median(), core.MedianBias(echo, r))
+	}
+	fmt.Fprintln(w, "(Moura et al. reported 10-20h renewals for ISPs whose true periods are 24h-2w)")
+	return nil
+}
+
+// RunTracking prints §6's EUI-64 trackability measurement: Atlas probes
+// use stable interface identifiers, so a passive observer can follow a
+// device across renumberings by IID alone.
+func RunTracking(w io.Writer, a *AtlasData) error {
+	fmt.Fprintln(w, "EUI-64 tracking across renumbering (§6)")
+	rep := core.MeasureTracking(a.Sanitize.Clean)
+	fmt.Fprintf(w, "  devices with IPv6:        %d\n", rep.Devices)
+	fmt.Fprintf(w, "  /64 changes observed:     %d\n", rep.Changes)
+	fmt.Fprintf(w, "  linkable by stable IID:   %d (%.1f%%)\n", rep.Linkable, 100*rep.LinkableFrac())
+	fmt.Fprintf(w, "  IID collisions:           %d\n", rep.Collisions)
+	devices := core.LinkByIID(a.Sanitize.Clean)
+	multi := 0
+	for _, d := range devices {
+		if len(d.Prefixes) > 1 {
+			multi++
+		}
+	}
+	fmt.Fprintf(w, "  devices followed across >1 prefix: %d of %d\n", multi, len(devices))
+	return nil
+}
+
+// Experiment names accepted by Run, in paper order.
+var Names = []string{
+	"table1", "fig1", "simultaneity", "fig2", "fig3", "fig4",
+	"table2", "fig5", "fig6", "fig7", "fig8", "fig9",
+	"globaldur", "sanitize", "evolution", "zmapbias", "tracking",
+}
+
+// atlasExperiments marks which experiments need the Atlas pipeline (the
+// rest need the CDN pipeline).
+var atlasExperiments = map[string]bool{
+	"table1": true, "fig1": true, "simultaneity": true, "table2": true,
+	"fig5": true, "fig6": true, "fig8": true, "fig9": true, "sanitize": true,
+	"evolution": true, "zmapbias": true, "tracking": true,
+}
+
+// NeedsAtlas reports whether the named experiment consumes the Atlas
+// pipeline.
+func NeedsAtlas(name string) bool { return atlasExperiments[name] }
+
+// RunAtlasExperiment dispatches an Atlas-pipeline experiment.
+func RunAtlasExperiment(name string, w io.Writer, a *AtlasData) error {
+	switch name {
+	case "table1":
+		return RunTable1(w, a)
+	case "fig1":
+		return RunFig1(w, a)
+	case "simultaneity":
+		return RunSimultaneity(w, a)
+	case "table2":
+		return RunTable2(w, a)
+	case "fig5":
+		return RunFig5(w, a)
+	case "fig6":
+		return RunFig6(w, a)
+	case "fig8":
+		return RunFig8(w, a)
+	case "fig9":
+		return RunFig9(w, a)
+	case "sanitize":
+		return RunSanitizeReport(w, a)
+	case "evolution":
+		return RunEvolution(w, a)
+	case "zmapbias":
+		return RunZmapBias(w, a)
+	case "tracking":
+		return RunTracking(w, a)
+	default:
+		return fmt.Errorf("experiments: unknown atlas experiment %q", name)
+	}
+}
+
+// RunCDNExperiment dispatches a CDN-pipeline experiment.
+func RunCDNExperiment(name string, w io.Writer, c *CDNData) error {
+	switch name {
+	case "fig2":
+		return RunFig2(w, c)
+	case "fig3":
+		return RunFig3(w, c)
+	case "fig4":
+		return RunFig4(w, c)
+	case "fig7":
+		return RunFig7(w, c)
+	case "globaldur":
+		return RunGlobalDurations(w, c)
+	default:
+		return fmt.Errorf("experiments: unknown cdn experiment %q", name)
+	}
+}
+
+// Run builds whichever pipeline the experiment needs and runs it. Callers
+// running several experiments should build the pipelines once and use the
+// typed dispatchers.
+func Run(name string, w io.Writer, cfg Config) error {
+	if NeedsAtlas(name) {
+		a, err := BuildAtlas(cfg)
+		if err != nil {
+			return err
+		}
+		return RunAtlasExperiment(name, w, a)
+	}
+	c, err := BuildCDN(cfg)
+	if err != nil {
+		return err
+	}
+	return RunCDNExperiment(name, w, c)
+}

@@ -1,0 +1,168 @@
+// Package hitlist implements the paper's active-probing application (§6):
+// curating a list of viable IPv6 measurement targets under address churn.
+// Targets expire on the per-AS timescale the duration analysis measured;
+// expired targets are rescanned inside the per-AS structure (pool
+// boundary + subscriber delegation length) the spatial analysis inferred,
+// instead of the whole announced space.
+package hitlist
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"dynamips/internal/bgp"
+	"dynamips/internal/core"
+	"dynamips/internal/stats"
+)
+
+// Structure is the learned addressing structure of one AS, produced by
+// the core analyses.
+type Structure struct {
+	ASN uint32
+	// PoolLen is the dynamic-pool boundary (core.InferPoolBoundary).
+	PoolLen int
+	// SubscriberLen is the delegated-prefix length
+	// (core.SubscriberLengths).
+	SubscriberLen int
+	// Aligned marks CPE populations that announce delegation-aligned
+	// /64s (false when scrambling is common).
+	Aligned bool
+	// ExpectedLifetimeHours is how long a /64 stays assigned at the
+	// chosen confidence (a quantile of the AS's v6 duration curve).
+	ExpectedLifetimeHours float64
+}
+
+// LearnStructure derives a Structure from analyzed probes. quantile picks
+// the lifetime confidence (e.g. 0.5: half the assignment time is over).
+func LearnStructure(asn uint32, pas []core.ProbeAnalysis, table *bgp.Table, quantile float64) (Structure, error) {
+	st := Structure{ASN: asn, PoolLen: 40, SubscriberLen: 64, Aligned: true}
+
+	perAS, _ := core.SubscriberLengths(pas)
+	if h := perAS[asn]; h != nil && h.N > 0 {
+		st.SubscriberLen = h.ArgMax()
+		// A strong /64 population signals scrambling CPEs.
+		st.Aligned = h.Fraction(64) < 0.25
+	}
+	dists := core.UniquePrefixes(pas, table)
+	if d := dists[asn]; d != nil {
+		if pool, ok := core.InferPoolBoundary(d, 8); ok {
+			st.PoolLen = pool
+		}
+	}
+	if st.PoolLen > st.SubscriberLen {
+		st.PoolLen = st.SubscriberLen
+	}
+	durations := core.CollectDurations(pas)
+	d := durations[asn]
+	if d == nil || len(d.V6Hr) == 0 {
+		return st, fmt.Errorf("hitlist: no IPv6 durations for AS%d", asn)
+	}
+	curve := stats.CumulativeTotalTimeFraction(d.V6Hr)
+	st.ExpectedLifetimeHours = quantileOf(curve, quantile)
+	return st, nil
+}
+
+// quantileOf inverts a cumulative total-time-fraction curve.
+func quantileOf(curve []stats.Point, q float64) float64 {
+	for _, p := range curve {
+		if p.Y >= q {
+			return p.X
+		}
+	}
+	if len(curve) > 0 {
+		return curve[len(curve)-1].X
+	}
+	return 0
+}
+
+// Target is one hitlist entry.
+type Target struct {
+	Prefix   netip.Prefix // the /64
+	ASN      uint32
+	LastSeen int64 // hour of last confirmation
+}
+
+// List is a curated target list with per-AS expiry and rescan planning.
+// It is not safe for concurrent use.
+type List struct {
+	structures map[uint32]Structure
+	targets    map[netip.Prefix]*Target
+}
+
+// New builds a List with the given learned structures.
+func New(structures ...Structure) *List {
+	l := &List{
+		structures: make(map[uint32]Structure, len(structures)),
+		targets:    make(map[netip.Prefix]*Target),
+	}
+	for _, st := range structures {
+		l.structures[st.ASN] = st
+	}
+	return l
+}
+
+// Observe records that a target /64 was confirmed active at the given
+// hour (from a scan response, a log line, a RUM hit, …).
+func (l *List) Observe(p64 netip.Prefix, asn uint32, hour int64) {
+	p64 = netip.PrefixFrom(p64.Addr(), 64).Masked()
+	if t, ok := l.targets[p64]; ok {
+		if hour > t.LastSeen {
+			t.LastSeen = hour
+		}
+		return
+	}
+	l.targets[p64] = &Target{Prefix: p64, ASN: asn, LastSeen: hour}
+}
+
+// Len returns the number of targets.
+func (l *List) Len() int { return len(l.targets) }
+
+// Fresh returns targets still within their AS's expected lifetime at the
+// given hour, sorted by prefix.
+func (l *List) Fresh(hour int64) []Target {
+	return l.filter(hour, true)
+}
+
+// Stale returns targets past their AS's expected lifetime: probably
+// renumbered away, not worth probing directly (§6: "many viable targets
+// … will move to a new network address").
+func (l *List) Stale(hour int64) []Target {
+	return l.filter(hour, false)
+}
+
+func (l *List) filter(hour int64, fresh bool) []Target {
+	var out []Target
+	for _, t := range l.targets {
+		life := float64(hour - t.LastSeen)
+		limit := l.lifetime(t.ASN)
+		if (life <= limit) == fresh {
+			out = append(out, *t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.String() < out[j].Prefix.String() })
+	return out
+}
+
+func (l *List) lifetime(asn uint32) float64 {
+	if st, ok := l.structures[asn]; ok && st.ExpectedLifetimeHours > 0 {
+		return st.ExpectedLifetimeHours
+	}
+	return 24 * 30 // conservative month default
+}
+
+// RefreshPlan returns the scan plan that re-finds a stale target inside
+// its AS's learned structure.
+func (l *List) RefreshPlan(t Target) (core.ScanPlan, error) {
+	st, ok := l.structures[t.ASN]
+	if !ok {
+		return core.ScanPlan{}, fmt.Errorf("hitlist: no structure for AS%d", t.ASN)
+	}
+	return core.NewScanPlan(t.Prefix, st.PoolLen, st.SubscriberLen, st.Aligned)
+}
+
+// Refresh replaces a stale target with its rediscovered prefix.
+func (l *List) Refresh(old Target, found netip.Prefix, hour int64) {
+	delete(l.targets, old.Prefix)
+	l.Observe(found, old.ASN, hour)
+}

@@ -1,0 +1,128 @@
+package isp
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dynamips/internal/dhcp4"
+	"dynamips/internal/dhcp6"
+	"dynamips/internal/radius"
+)
+
+// TestCPEBootstrapOverWire exercises the full CPE bring-up the simulator
+// models, but over real UDP sockets: RADIUS authentication for the
+// session, DHCPv4 for the WAN address, DHCPv6 IA_PD for the delegated
+// prefix — then a renumbering cycle.
+func TestCPEBootstrapOverWire(t *testing.T) {
+	now := time.Now().Unix()
+	clock := dhcp6.ClockFunc(func() int64 { return now })
+
+	// ISP side: three assignment servers on loopback.
+	radSrv := radius.NewServer(radius.ServerConfig{
+		Pools4:         []netip.Prefix{netip.MustParsePrefix("81.10.0.0/24")},
+		Pools6:         []netip.Prefix{netip.MustParsePrefix("2003:1000::/40")},
+		DelegatedLen6:  56,
+		SessionTimeout: 86400,
+		Secret:         []byte("wire-secret"),
+	})
+	d4Srv := dhcp4.NewServer(dhcp4.ServerConfig{
+		Pools:        []netip.Prefix{netip.MustParsePrefix("100.64.0.0/24")},
+		LeaseSeconds: 86400,
+		Sticky:       true,
+	}, dhcp4.ClockFunc(func() int64 { return now }))
+	d6Srv := dhcp6.NewServer(dhcp6.ServerConfig{
+		Pools:        []netip.Prefix{netip.MustParsePrefix("2003:2000::/40")},
+		DelegatedLen: 56,
+		ValidSeconds: 86400,
+	}, clock)
+
+	listen := func() net.PacketConn {
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		t.Cleanup(func() { pc.Close() })
+		return pc
+	}
+	radConn, d4Conn, d6Conn := listen(), listen(), listen()
+	go radius.Serve(radConn, radSrv, func() int64 { return now })
+	go dhcp4.Serve(d4Conn, d4Srv)
+	go dhcp6.Serve(d6Conn, d6Srv)
+
+	// CPE side.
+	cpeRad := listen()
+	req := radius.New(radius.AccessRequest, 1)
+	req.Authenticator = [16]byte{1, 2, 3}
+	req.AddString(radius.AttrUserName, "wire-cpe-1")
+	hidden, err := radius.HidePassword("hunter2", []byte("wire-secret"), req.Authenticator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Add(radius.AttrUserPassword, hidden)
+	if _, err := cpeRad.WriteTo(req.Encode(), radConn.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	cpeRad.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, _, err := cpeRad.ReadFrom(buf)
+	if err != nil {
+		t.Fatalf("radius read: %v", err)
+	}
+	if err := radius.VerifyResponse(buf[:n], req, []byte("wire-secret")); err != nil {
+		t.Fatalf("response authenticator: %v", err)
+	}
+	accept, err := radius.Parse(buf[:n])
+	if err != nil || accept.Code != radius.AccessAccept {
+		t.Fatalf("radius accept: %v %v", accept.Code, err)
+	}
+	framed, _ := accept.GetAddr4(radius.AttrFramedIPAddress)
+	delegated, _ := accept.GetPrefix6(radius.AttrDelegatedIPv6Prefix)
+	if !framed.IsValid() || !delegated.IsValid() {
+		t.Fatalf("missing session addresses: %v %v", framed, delegated)
+	}
+
+	// DHCPv4 DORA for the CPE's local pool.
+	d4Client := &dhcp4.Client{Conn: listen(), Server: d4Conn.LocalAddr(), HW: dhcp4.HWAddr{2, 0, 0, 0, 0, 9}}
+	lease, err := d4Client.Acquire()
+	if err != nil {
+		t.Fatalf("dhcp4 acquire: %v", err)
+	}
+	if !netip.MustParsePrefix("100.64.0.0/24").Contains(lease.Addr) {
+		t.Fatalf("lease %v outside pool", lease.Addr)
+	}
+
+	// DHCPv6 IA_PD.
+	d6Client := &dhcp6.Client{Conn: listen(), Server: d6Conn.LocalAddr(), DUID: dhcp6.DUIDLL([6]byte{2, 0, 0, 0, 0, 9})}
+	pd, err := d6Client.AcquirePD()
+	if err != nil {
+		t.Fatalf("dhcp6 acquire: %v", err)
+	}
+	if pd.Prefix.Bits() != 56 || !netip.MustParsePrefix("2003:2000::/40").Contains(pd.Prefix.Addr()) {
+		t.Fatalf("delegation %v", pd.Prefix)
+	}
+
+	// Renumbering cycle: the RADIUS session restarts and must hand out
+	// fresh addresses.
+	req2 := radius.New(radius.AccessRequest, 2)
+	req2.Authenticator = [16]byte{9, 9, 9}
+	req2.AddString(radius.AttrUserName, "wire-cpe-1")
+	if _, err := cpeRad.WriteTo(req2.Encode(), radConn.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	cpeRad.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, _, err = cpeRad.ReadFrom(buf)
+	if err != nil {
+		t.Fatalf("radius read 2: %v", err)
+	}
+	accept2, err := radius.Parse(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	framed2, _ := accept2.GetAddr4(radius.AttrFramedIPAddress)
+	delegated2, _ := accept2.GetPrefix6(radius.AttrDelegatedIPv6Prefix)
+	if framed2 == framed && delegated2 == delegated {
+		t.Error("reconnect reused both addresses")
+	}
+}

@@ -1,0 +1,36 @@
+package netutil_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"dynamips/internal/netutil"
+)
+
+// ExampleCommonPrefixLen reproduces the paper's §5.2 CPL example.
+func ExampleCommonPrefixLen() {
+	a := netip.MustParseAddr("2604:3d08:4b80:aa00::")
+	b := netip.MustParseAddr("2604:3d08:4b80:aaf0::")
+	fmt.Println(netutil.CommonPrefixLen(a, b))
+	// Output: 56
+}
+
+// ExampleInferredDelegation classifies a /64 by its nibble-aligned
+// trailing zeros, the Fig. 7 technique.
+func ExampleInferredDelegation() {
+	p := netip.MustParsePrefix("2a01:c000:0:ff00::/64")
+	length, ok := netutil.InferredDelegation(p)
+	fmt.Println(length, ok)
+	// Output: 56 true
+}
+
+// ExampleCoalesce merges adjacent subscriber blocks for compact
+// blocklists.
+func ExampleCoalesce() {
+	out := netutil.Coalesce([]netip.Prefix{
+		netip.MustParsePrefix("2003:1000:0:1000::/56"),
+		netip.MustParsePrefix("2003:1000:0:1100::/56"),
+	})
+	fmt.Println(out)
+	// Output: [2003:1000:0:1000::/55]
+}

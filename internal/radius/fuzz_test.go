@@ -1,0 +1,51 @@
+package radius
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseNeverPanics: RADIUS packets arrive from the network; parsing
+// must reject garbage without panicking.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Parse panicked: %v", r)
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, rng.Intn(300))
+		rng.Read(b)
+		Parse(b) //nolint:errcheck // errors are expected
+	}
+	valid := New(AccessRequest, 9)
+	valid.AddString(AttrUserName, "fuzz")
+	valid.AddU32(AttrSessionTimeout, 60)
+	wire := valid.Encode()
+	for i := 0; i < 5000; i++ {
+		b := append([]byte(nil), wire...)
+		for k := 0; k < 3; k++ {
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		}
+		if p, err := Parse(b); err == nil && p == nil {
+			t.Fatal("nil packet without error")
+		}
+	}
+}
+
+// TestRecoverPasswordNeverPanics covers the keystream path on arbitrary
+// padded inputs.
+func TestRecoverPasswordNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var auth [16]byte
+	for i := 0; i < 2000; i++ {
+		n := 16 * (1 + rng.Intn(8))
+		b := make([]byte, n)
+		rng.Read(b)
+		rng.Read(auth[:])
+		if _, err := RecoverPassword(b, []byte("s"), auth); err != nil {
+			t.Fatalf("padded input rejected: %v", err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package radius
+
+import (
+	"crypto/md5"
+	"crypto/subtle"
+	"fmt"
+)
+
+// User-Password hiding, RFC 2865 §5.2: the password is padded to a
+// multiple of 16 octets and XORed with an MD5 keystream chained over the
+// shared secret and the request authenticator.
+
+// maxPasswordLen is RFC 2865's 128-octet limit.
+const maxPasswordLen = 128
+
+// HidePassword encodes a cleartext password for the User-Password
+// attribute of a request carrying the given authenticator.
+func HidePassword(password string, secret []byte, authenticator [16]byte) ([]byte, error) {
+	if len(password) == 0 || len(password) > maxPasswordLen {
+		return nil, fmt.Errorf("radius: password length %d outside 1..%d", len(password), maxPasswordLen)
+	}
+	padded := make([]byte, (len(password)+15)&^15)
+	copy(padded, password)
+	out := make([]byte, len(padded))
+	prev := authenticator[:]
+	for i := 0; i < len(padded); i += 16 {
+		h := md5.New()
+		h.Write(secret)
+		h.Write(prev)
+		block := h.Sum(nil)
+		for j := 0; j < 16; j++ {
+			out[i+j] = padded[i+j] ^ block[j]
+		}
+		prev = out[i : i+16]
+	}
+	return out, nil
+}
+
+// RecoverPassword decodes a hidden User-Password attribute value.
+func RecoverPassword(hidden, secret []byte, authenticator [16]byte) (string, error) {
+	if len(hidden) == 0 || len(hidden)%16 != 0 || len(hidden) > maxPasswordLen {
+		return "", fmt.Errorf("radius: hidden password length %d not a multiple of 16 in 16..%d", len(hidden), maxPasswordLen)
+	}
+	out := make([]byte, len(hidden))
+	prev := authenticator[:]
+	for i := 0; i < len(hidden); i += 16 {
+		h := md5.New()
+		h.Write(secret)
+		h.Write(prev)
+		block := h.Sum(nil)
+		for j := 0; j < 16; j++ {
+			out[i+j] = hidden[i+j] ^ block[j]
+		}
+		prev = hidden[i : i+16]
+	}
+	// Strip zero padding.
+	end := len(out)
+	for end > 0 && out[end-1] == 0 {
+		end--
+	}
+	return string(out[:end]), nil
+}
+
+// CheckPassword recovers a hidden password and compares it to the
+// expected cleartext in constant time.
+func CheckPassword(hidden []byte, expected string, secret []byte, authenticator [16]byte) bool {
+	got, err := RecoverPassword(hidden, secret, authenticator)
+	if err != nil || len(got) != len(expected) {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(got), []byte(expected)) == 1
+}
+
+// AttrUserPassword is the RFC 2865 User-Password attribute type.
+const AttrUserPassword byte = 2

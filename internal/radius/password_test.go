@@ -1,0 +1,108 @@
+package radius
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var testAuth = [16]byte{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+
+func TestPasswordRoundTrip(t *testing.T) {
+	secret := []byte("s3cret")
+	for _, pw := range []string{"a", "password", "exactly-16-chars", strings.Repeat("x", 17), strings.Repeat("y", 128)} {
+		hidden, err := HidePassword(pw, secret, testAuth)
+		if err != nil {
+			t.Fatalf("HidePassword(%q): %v", pw, err)
+		}
+		if len(hidden)%16 != 0 {
+			t.Fatalf("hidden length %d not padded", len(hidden))
+		}
+		got, err := RecoverPassword(hidden, secret, testAuth)
+		if err != nil {
+			t.Fatalf("RecoverPassword: %v", err)
+		}
+		if got != pw {
+			t.Errorf("round trip %q -> %q", pw, got)
+		}
+		if !CheckPassword(hidden, pw, secret, testAuth) {
+			t.Errorf("CheckPassword(%q) failed", pw)
+		}
+		if CheckPassword(hidden, pw+"x", secret, testAuth) {
+			t.Errorf("CheckPassword accepted wrong password")
+		}
+		if CheckPassword(hidden, pw, []byte("wrong"), testAuth) {
+			t.Errorf("CheckPassword accepted wrong secret")
+		}
+	}
+}
+
+func TestPasswordRoundTripProperty(t *testing.T) {
+	secret := []byte("shared")
+	f := func(raw []byte, auth [16]byte) bool {
+		// Build a printable, bounded, zero-free password from raw bytes
+		// (trailing NULs are indistinguishable from padding by design).
+		var sb strings.Builder
+		for _, b := range raw {
+			if sb.Len() >= 100 {
+				break
+			}
+			sb.WriteByte('!' + b%90)
+		}
+		pw := sb.String()
+		if pw == "" {
+			return true
+		}
+		hidden, err := HidePassword(pw, secret, auth)
+		if err != nil {
+			return false
+		}
+		got, err := RecoverPassword(hidden, secret, auth)
+		return err == nil && got == pw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPasswordErrors(t *testing.T) {
+	if _, err := HidePassword("", nil, testAuth); err == nil {
+		t.Error("empty password accepted")
+	}
+	if _, err := HidePassword(strings.Repeat("x", 129), nil, testAuth); err == nil {
+		t.Error("oversize password accepted")
+	}
+	if _, err := RecoverPassword([]byte{1, 2, 3}, nil, testAuth); err == nil {
+		t.Error("unpadded hidden password accepted")
+	}
+	if _, err := RecoverPassword(nil, nil, testAuth); err == nil {
+		t.Error("empty hidden password accepted")
+	}
+	if CheckPassword([]byte{1}, "x", nil, testAuth) {
+		t.Error("malformed hidden password verified")
+	}
+}
+
+func TestPasswordInPacket(t *testing.T) {
+	secret := []byte("s3cret")
+	req := New(AccessRequest, 3)
+	req.Authenticator = testAuth
+	hidden, err := HidePassword("hunter2", secret, req.Authenticator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.AddString(AttrUserName, "sub-1")
+	req.Add(AttrUserPassword, hidden)
+
+	got, err := Parse(req.Encode())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	v, ok := got.Get(AttrUserPassword)
+	if !ok {
+		t.Fatal("User-Password missing")
+	}
+	if !CheckPassword(v, "hunter2", secret, got.Authenticator) {
+		t.Error("password did not verify after wire round trip")
+	}
+}

@@ -1,0 +1,272 @@
+package radius
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+
+	"dynamips/internal/netutil"
+)
+
+// ErrPoolExhausted is returned when no address is available for a session.
+var ErrPoolExhausted = errors.New("radius: address pool exhausted")
+
+// ServerConfig configures the session/assignment server.
+type ServerConfig struct {
+	// Pools4 are IPv4 ranges for Framed-IP-Address assignment.
+	Pools4 []netip.Prefix
+	// Pools6 are IPv6 blocks for Delegated-IPv6-Prefix assignment;
+	// nil disables IPv6 (a non-dual-stack profile).
+	Pools6 []netip.Prefix
+	// DelegatedLen6 is the delegated IPv6 prefix length.
+	DelegatedLen6 int
+	// SessionTimeout (seconds) is returned in Access-Accept; BRAS
+	// equipment disconnects the session after this, and the reconnect
+	// draws a fresh address (the paper's periodic renumbering).
+	SessionTimeout uint32
+	// Stride spreads allocations across the pool: the n-th fresh
+	// allocation uses offset (n*Stride) mod poolsize instead of n. Real
+	// pools hand out addresses scattered over their range; sequential
+	// allocation would concentrate all active addresses in the lowest
+	// /24. Even strides are rounded up to stay coprime with
+	// power-of-two pool sizes. Zero means 1 (sequential).
+	Stride uint64
+	// Secret is the shared secret for response authenticators.
+	Secret []byte
+}
+
+// Session is one active subscriber session.
+type Session struct {
+	User    string
+	Addr4   netip.Addr
+	Prefix6 netip.Prefix
+	Start   int64
+	Timeout uint32
+}
+
+// Server allocates per-session addresses RADIUS-style: every new session
+// draws the next free address; nothing is remembered once a session stops.
+// It is not safe for concurrent use.
+type Server struct {
+	cfg      ServerConfig
+	sessions map[string]*Session
+
+	cursor4 int
+	offset4 uint64
+	freed4  []netip.Addr
+	used4   map[netip.Addr]bool
+
+	cursor6 int
+	offset6 uint64
+	freed6  []netip.Prefix
+	used6   map[netip.Prefix]bool
+}
+
+// NewServer builds a Server, panicking on configuration bugs.
+func NewServer(cfg ServerConfig) *Server {
+	if len(cfg.Pools4) == 0 {
+		panic("radius: no IPv4 pools configured")
+	}
+	if cfg.SessionTimeout == 0 {
+		panic("radius: zero session timeout")
+	}
+	for _, p := range cfg.Pools4 {
+		if !p.Addr().Unmap().Is4() {
+			panic(fmt.Sprintf("radius: non-IPv4 pool %v", p))
+		}
+	}
+	for _, p := range cfg.Pools6 {
+		if !p.Addr().Is6() || p.Addr().Unmap().Is4() {
+			panic(fmt.Sprintf("radius: non-IPv6 pool %v", p))
+		}
+		if cfg.DelegatedLen6 < p.Bits() || cfg.DelegatedLen6 > 64 {
+			panic(fmt.Sprintf("radius: delegated length /%d incompatible with pool %v", cfg.DelegatedLen6, p))
+		}
+	}
+	if len(cfg.Secret) == 0 {
+		cfg.Secret = []byte("dynamips")
+	}
+	if cfg.Stride == 0 {
+		cfg.Stride = 1
+	}
+	if cfg.Stride%2 == 0 {
+		cfg.Stride++
+	}
+	return &Server{
+		cfg:      cfg,
+		sessions: make(map[string]*Session),
+		used4:    make(map[netip.Addr]bool),
+		used6:    make(map[netip.Prefix]bool),
+	}
+}
+
+// ActiveSessions returns the number of live sessions.
+func (s *Server) ActiveSessions() int { return len(s.sessions) }
+
+func (s *Server) nextFree4() (netip.Addr, error) {
+	for len(s.freed4) > 0 {
+		a := s.freed4[len(s.freed4)-1]
+		s.freed4 = s.freed4[:len(s.freed4)-1]
+		if !s.used4[a] {
+			return a, nil
+		}
+	}
+	for s.cursor4 < len(s.cfg.Pools4) {
+		p := s.cfg.Pools4[s.cursor4]
+		size := uint64(1) << uint(32-p.Bits())
+		for s.offset4 < size {
+			a, err := netutil.HostAddr(p, (s.offset4*s.cfg.Stride)%size)
+			s.offset4++
+			if err != nil {
+				return netip.Addr{}, err
+			}
+			if !s.used4[a] {
+				return a, nil
+			}
+		}
+		s.cursor4++
+		s.offset4 = 0
+	}
+	return netip.Addr{}, ErrPoolExhausted
+}
+
+func (s *Server) nextFree6() (netip.Prefix, error) {
+	for len(s.freed6) > 0 {
+		p := s.freed6[len(s.freed6)-1]
+		s.freed6 = s.freed6[:len(s.freed6)-1]
+		if !s.used6[p] {
+			return p, nil
+		}
+	}
+	for s.cursor6 < len(s.cfg.Pools6) {
+		pool := s.cfg.Pools6[s.cursor6]
+		size := uint64(1) << uint(s.cfg.DelegatedLen6-pool.Bits())
+		for s.offset6 < size {
+			p, err := netutil.SubPrefix(pool, s.cfg.DelegatedLen6, (s.offset6*s.cfg.Stride)%size)
+			s.offset6++
+			if err != nil {
+				return netip.Prefix{}, err
+			}
+			if !s.used6[p] {
+				return p, nil
+			}
+		}
+		s.cursor6++
+		s.offset6 = 0
+	}
+	return netip.Prefix{}, ErrPoolExhausted
+}
+
+// StartSession authenticates user and allocates session addresses. An
+// existing session for the user is torn down, but only after the new
+// allocation: a reconnecting subscriber therefore draws fresh addresses
+// rather than instantly recycling its own (the RADIUS behavior behind
+// §2.2's "even very short CPE outages or reboots can result in
+// assignment changes").
+func (s *Server) StartSession(user string, now int64) (*Session, error) {
+	a4, err := s.nextFree4()
+	if err != nil {
+		return nil, err
+	}
+	sess := &Session{User: user, Addr4: a4, Start: now, Timeout: s.cfg.SessionTimeout}
+	s.used4[a4] = true
+	if len(s.cfg.Pools6) > 0 {
+		p6, err := s.nextFree6()
+		if err != nil {
+			s.used4[a4] = false
+			s.freed4 = append(s.freed4, a4)
+			return nil, err
+		}
+		sess.Prefix6 = p6
+		s.used6[p6] = true
+	}
+	if old, ok := s.sessions[user]; ok {
+		s.stop(old)
+	}
+	s.sessions[user] = sess
+	return sess, nil
+}
+
+func (s *Server) stop(sess *Session) {
+	delete(s.sessions, sess.User)
+	if sess.Addr4.IsValid() {
+		s.used4[sess.Addr4] = false
+		s.freed4 = append(s.freed4, sess.Addr4)
+	}
+	if sess.Prefix6.IsValid() {
+		s.used6[sess.Prefix6] = false
+		s.freed6 = append(s.freed6, sess.Prefix6)
+	}
+}
+
+// StopSession ends a user's session, freeing its addresses.
+func (s *Server) StopSession(user string) {
+	if sess, ok := s.sessions[user]; ok {
+		s.stop(sess)
+	}
+}
+
+// Handle processes one RADIUS packet and returns the reply (nil for
+// unhandled codes). now is the current time in seconds.
+func (s *Server) Handle(req *Packet, now int64) (*Packet, error) {
+	switch req.Code {
+	case AccessRequest:
+		user, ok := req.GetString(AttrUserName)
+		if !ok || user == "" {
+			rep := New(AccessReject, req.Identifier)
+			return rep, nil
+		}
+		sess, err := s.StartSession(user, now)
+		if err != nil {
+			return New(AccessReject, req.Identifier), nil
+		}
+		rep := New(AccessAccept, req.Identifier)
+		rep.AddAddr4(AttrFramedIPAddress, sess.Addr4)
+		rep.AddU32(AttrSessionTimeout, sess.Timeout)
+		if sess.Prefix6.IsValid() {
+			rep.AddPrefix6(AttrDelegatedIPv6Prefix, sess.Prefix6)
+		}
+		return rep, nil
+
+	case AccountingRequest:
+		if st, ok := req.GetU32(AttrAcctStatusType); ok && st == AcctStop {
+			if user, ok := req.GetString(AttrUserName); ok {
+				s.StopSession(user)
+			}
+		}
+		return New(AccountingResponse, req.Identifier), nil
+
+	default:
+		return nil, fmt.Errorf("radius: unhandled code %v", req.Code)
+	}
+}
+
+// Serve answers RADIUS packets on conn until it is closed, returning
+// net.ErrClosed. now() supplies session start times.
+func Serve(conn net.PacketConn, s *Server, now func() int64) error {
+	buf := make([]byte, 4096)
+	for {
+		n, src, err := conn.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return net.ErrClosed
+			}
+			return fmt.Errorf("radius: read: %w", err)
+		}
+		req, err := Parse(buf[:n])
+		if err != nil {
+			continue
+		}
+		rep, err := s.Handle(req, now())
+		if err != nil || rep == nil {
+			continue
+		}
+		if _, err := conn.WriteTo(rep.EncodeResponse(req, s.cfg.Secret), src); err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return net.ErrClosed
+			}
+			return fmt.Errorf("radius: write: %w", err)
+		}
+	}
+}

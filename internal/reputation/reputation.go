@@ -1,0 +1,157 @@
+// Package reputation implements the paper's host-reputation application
+// (§6): blocklists whose entry lifetimes come from the per-AS duration
+// analysis (block too long and you hit the subscriber who inherited the
+// address — collateral damage; too short and the offender escapes) and
+// whose IPv6 granularity comes from the inferred subscriber boundary
+// (block a /64 and a /48-delegated offender sidesteps it; block too wide
+// and you take out neighbors).
+package reputation
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"dynamips/internal/core"
+	"dynamips/internal/netutil"
+	"dynamips/internal/stats"
+)
+
+// Advice is the per-AS blocking policy derived from the analyses.
+type Advice struct {
+	ASN uint32
+	// TTLHours is how long an entry should live: beyond this, the
+	// duration curve says the address has probably been reassigned.
+	TTLHours float64
+	// BlockLen6 is the IPv6 prefix length to block: the inferred
+	// subscriber boundary, so the offender cannot rotate within its
+	// delegation (§6: "blocking at the granularity of a /64 is more
+	// typical ... an individual subscriber can be delegated a prefix
+	// shorter than a /64, potentially allowing evasion").
+	BlockLen6 int
+}
+
+// Advise derives per-AS blocking policy: the TTL is the duration mark at
+// which residualRisk of the v4 assignment time is still running (0.5:
+// even odds the offender still holds the address).
+func Advise(asn uint32, pas []core.ProbeAnalysis, residualRisk float64) (Advice, error) {
+	if residualRisk <= 0 || residualRisk >= 1 {
+		return Advice{}, fmt.Errorf("reputation: residual risk %v outside (0,1)", residualRisk)
+	}
+	durations := core.CollectDurations(pas)
+	d := durations[asn]
+	if d == nil {
+		return Advice{}, fmt.Errorf("reputation: no durations for AS%d", asn)
+	}
+	all := append(append([]float64(nil), d.V4NonDS...), d.V4DS...)
+	if len(all) == 0 {
+		return Advice{}, fmt.Errorf("reputation: no v4 duration samples for AS%d", asn)
+	}
+	curve := stats.CumulativeTotalTimeFraction(all)
+	adv := Advice{ASN: asn, TTLHours: ttlAt(curve, 1-residualRisk), BlockLen6: 64}
+	perAS, _ := core.SubscriberLengths(pas)
+	if h := perAS[asn]; h != nil && h.N > 0 {
+		adv.BlockLen6 = h.ArgMax()
+	}
+	return adv, nil
+}
+
+// ttlAt finds the duration at which the cumulative curve first reaches f.
+func ttlAt(curve []stats.Point, f float64) float64 {
+	for _, p := range curve {
+		if p.Y >= f {
+			return p.X
+		}
+	}
+	if len(curve) > 0 {
+		return curve[len(curve)-1].X
+	}
+	return 0
+}
+
+// Entry is one blocklist entry.
+type Entry struct {
+	Prefix  netip.Prefix
+	ASN     uint32
+	AddedAt int64 // hour
+}
+
+// Blocklist is a TTL-aware block set. It is not safe for concurrent use.
+type Blocklist struct {
+	advice  map[uint32]Advice
+	entries []Entry
+}
+
+// NewBlocklist builds a blocklist with per-AS advice.
+func NewBlocklist(advice ...Advice) *Blocklist {
+	b := &Blocklist{advice: make(map[uint32]Advice, len(advice))}
+	for _, a := range advice {
+		b.advice[a.ASN] = a
+	}
+	return b
+}
+
+// BlockV4 adds an IPv4 offender address.
+func (b *Blocklist) BlockV4(addr netip.Addr, asn uint32, hour int64) {
+	b.entries = append(b.entries, Entry{Prefix: netip.PrefixFrom(addr.Unmap(), 32), ASN: asn, AddedAt: hour})
+}
+
+// BlockV6 adds an IPv6 offender at the AS's advised granularity (the
+// subscriber boundary; /64 for unknown ASes).
+func (b *Blocklist) BlockV6(addr netip.Addr, asn uint32, hour int64) {
+	bits := 64
+	if a, ok := b.advice[asn]; ok && a.BlockLen6 > 0 {
+		bits = a.BlockLen6
+	}
+	b.entries = append(b.entries, Entry{Prefix: netutil.PrefixAt(addr, bits), ASN: asn, AddedAt: hour})
+}
+
+// ttl returns the AS's TTL (a month for unknown ASes).
+func (b *Blocklist) ttl(asn uint32) float64 {
+	if a, ok := b.advice[asn]; ok && a.TTLHours > 0 {
+		return a.TTLHours
+	}
+	return 720
+}
+
+// Blocked reports whether addr is blocked at the given hour, honoring
+// per-AS TTLs.
+func (b *Blocklist) Blocked(addr netip.Addr, hour int64) bool {
+	for _, e := range b.entries {
+		if e.Prefix.Contains(addr.Unmap()) && float64(hour-e.AddedAt) <= b.ttl(e.ASN) {
+			return true
+		}
+	}
+	return false
+}
+
+// Expire removes entries past their TTL and returns how many were
+// dropped.
+func (b *Blocklist) Expire(hour int64) int {
+	kept := b.entries[:0]
+	dropped := 0
+	for _, e := range b.entries {
+		if float64(hour-e.AddedAt) <= b.ttl(e.ASN) {
+			kept = append(kept, e)
+		} else {
+			dropped++
+		}
+	}
+	b.entries = kept
+	return dropped
+}
+
+// Len returns the number of live entries.
+func (b *Blocklist) Len() int { return len(b.entries) }
+
+// Export returns the current block set, coalesced into the minimal
+// prefix list (adjacent subscriber blocks merge), sorted.
+func (b *Blocklist) Export() []netip.Prefix {
+	ps := make([]netip.Prefix, 0, len(b.entries))
+	for _, e := range b.entries {
+		ps = append(ps, e.Prefix)
+	}
+	out := netutil.Coalesce(ps)
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

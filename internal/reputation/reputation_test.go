@@ -1,0 +1,143 @@
+package reputation
+
+import (
+	"net/netip"
+	"testing"
+
+	"dynamips/internal/atlas"
+	"dynamips/internal/core"
+	"dynamips/internal/isp"
+)
+
+func dtagAnalyses(t *testing.T) []core.ProbeAnalysis {
+	t.Helper()
+	p, _ := isp.ProfileByName("DTAG")
+	res, err := isp.Run(isp.Config{Profile: p, Subscribers: 200, Hours: 8000, Seed: 601})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := atlas.BuildFleet(res, atlas.DefaultFleetConfig(120, 602))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Analyze(atlas.Sanitize(fleet.Series, fleet.BGP, atlas.DefaultSanitizeConfig()).Clean,
+		core.DefaultExtractConfig())
+}
+
+func TestAdviseDTAG(t *testing.T) {
+	pas := dtagAnalyses(t)
+	adv, err := Advise(3320, pas, 0.5)
+	if err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+	// DTAG renumbers daily: the even-odds TTL sits at/below ~a day.
+	if adv.TTLHours > 48 {
+		t.Errorf("TTL = %vh, want <= 48 for a 24h-renumbering ISP", adv.TTLHours)
+	}
+	if adv.BlockLen6 != 56 {
+		t.Errorf("BlockLen6 = /%d, want /56", adv.BlockLen6)
+	}
+}
+
+func TestAdviseErrors(t *testing.T) {
+	if _, err := Advise(1, nil, 0.5); err == nil {
+		t.Error("advice without data")
+	}
+	if _, err := Advise(3320, nil, 0); err == nil {
+		t.Error("zero risk accepted")
+	}
+	if _, err := Advise(3320, nil, 1); err == nil {
+		t.Error("unit risk accepted")
+	}
+}
+
+func TestBlocklistLifecycle(t *testing.T) {
+	adv := Advice{ASN: 3320, TTLHours: 24, BlockLen6: 56}
+	b := NewBlocklist(adv)
+	b.BlockV4(netip.MustParseAddr("81.10.0.7"), 3320, 0)
+	b.BlockV6(netip.MustParseAddr("2003:1000:0:11ab::5"), 3320, 0)
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	// The /56 block covers the whole delegation, not just the /64.
+	if !b.Blocked(netip.MustParseAddr("2003:1000:0:11ff::9"), 10) {
+		t.Error("sibling /64 of the offender's delegation not blocked")
+	}
+	if b.Blocked(netip.MustParseAddr("2003:1000:0:1200::9"), 10) {
+		t.Error("neighboring subscriber blocked")
+	}
+	if !b.Blocked(netip.MustParseAddr("81.10.0.7"), 20) {
+		t.Error("fresh v4 entry not blocking")
+	}
+	// Past the TTL the entries stop matching and expire.
+	if b.Blocked(netip.MustParseAddr("81.10.0.7"), 30) {
+		t.Error("expired entry still blocking")
+	}
+	if dropped := b.Expire(30); dropped != 2 {
+		t.Errorf("Expire dropped %d, want 2", dropped)
+	}
+	if b.Len() != 0 {
+		t.Errorf("Len after expire = %d", b.Len())
+	}
+}
+
+func TestBlocklistUnknownASDefaults(t *testing.T) {
+	b := NewBlocklist()
+	b.BlockV6(netip.MustParseAddr("2001:db8::1"), 999, 0)
+	// Default granularity /64, default TTL a month.
+	if !b.Blocked(netip.MustParseAddr("2001:db8::42"), 700) {
+		t.Error("default TTL too short")
+	}
+	if b.Blocked(netip.MustParseAddr("2001:db8:0:1::1"), 1) {
+		t.Error("default /64 block leaked into the neighbor /64")
+	}
+}
+
+func TestExportCoalesces(t *testing.T) {
+	adv := Advice{ASN: 3320, TTLHours: 1000, BlockLen6: 56}
+	b := NewBlocklist(adv)
+	// Two sibling /56 delegations misbehaving: export merges them.
+	b.BlockV6(netip.MustParseAddr("2003:1000:0:1000::1"), 3320, 0)
+	b.BlockV6(netip.MustParseAddr("2003:1000:0:1100::1"), 3320, 0)
+	out := b.Export()
+	if len(out) != 1 || out[0] != netip.MustParsePrefix("2003:1000:0:1000::/55") {
+		t.Fatalf("Export = %v", out)
+	}
+}
+
+// TestBlocklistReplay validates the advice against ground truth: entries
+// with the advised TTL almost always block the offender, rarely an heir.
+func TestBlocklistReplay(t *testing.T) {
+	p, _ := isp.ProfileByName("DTAG")
+	res, err := isp.Run(isp.Config{Profile: p, Subscribers: 200, Hours: 8000, Seed: 603})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pas := dtagAnalyses(t)
+	adv, err := Advise(3320, pas, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onOffender, collateral int64
+	for _, sub := range res.Subscribers {
+		if len(sub.V4) < 3 {
+			continue
+		}
+		i := len(sub.V4) / 2
+		start := sub.V4[i].Start
+		hold := sub.V4[i+1].Start
+		end := start + int64(adv.TTLHours)
+		if hold > end {
+			hold = end
+		}
+		onOffender += hold - start
+		collateral += end - hold
+	}
+	total := onOffender + collateral
+	if total == 0 {
+		t.Fatal("no replay samples")
+	}
+	if frac := float64(onOffender) / float64(total); frac < 0.75 {
+		t.Errorf("advised TTL keeps only %v of blocked time on the offender", frac)
+	}
+}

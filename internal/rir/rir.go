@@ -1,0 +1,110 @@
+// Package rir maps IP addresses to the Regional Internet Registry that
+// delegated them. The paper groups CDN association durations (Fig. 3) and
+// trailing-zero delegation inferences (Fig. 7) by registry; this package
+// provides that classification from a built-in table of the registries'
+// top-level IANA allocations.
+package rir
+
+import (
+	"net/netip"
+
+	"dynamips/internal/rtrie"
+)
+
+// Registry identifies one of the five RIRs.
+type Registry int
+
+// The five regional registries plus Unknown for unclassified space.
+const (
+	Unknown Registry = iota
+	ARIN
+	RIPENCC
+	APNIC
+	LACNIC
+	AFRINIC
+)
+
+var names = [...]string{"UNKNOWN", "ARIN", "RIPENCC", "APNIC", "LACNIC", "AFRINIC"}
+
+// String returns the registry's canonical short name.
+func (r Registry) String() string {
+	if r < 0 || int(r) >= len(names) {
+		return "UNKNOWN"
+	}
+	return names[r]
+}
+
+// All lists the five registries in the paper's Fig. 3 order.
+func All() []Registry { return []Registry{ARIN, RIPENCC, APNIC, LACNIC, AFRINIC} }
+
+// Table is an address→registry lookup table.
+type Table struct {
+	trie rtrie.Trie[Registry]
+}
+
+// Add registers a delegation.
+func (t *Table) Add(p netip.Prefix, r Registry) { t.trie.Insert(p, r) }
+
+// Of returns the registry responsible for a, or Unknown.
+func (t *Table) Of(a netip.Addr) Registry {
+	r, _, ok := t.trie.Lookup(a)
+	if !ok {
+		return Unknown
+	}
+	return r
+}
+
+// OfPrefix returns the registry responsible for a prefix's network address.
+func (t *Table) OfPrefix(p netip.Prefix) Registry { return t.Of(p.Addr()) }
+
+// Len returns the number of delegations in the table.
+func (t *Table) Len() int { return t.trie.Len() }
+
+// defaultDelegations reflects the real top-level IANA→RIR allocations that
+// cover the unicast space the paper's datasets draw from. IPv4 entries are
+// the /8s most prominent in each region; IPv6 entries are the registries'
+// primary /12 and /23 blocks.
+var defaultDelegations = []struct {
+	cidr string
+	reg  Registry
+}{
+	// IPv6 top-level RIR blocks.
+	{"2600::/12", ARIN}, {"2001:400::/23", ARIN}, {"2610::/23", ARIN},
+	{"2a00::/12", RIPENCC}, {"2001:600::/23", RIPENCC}, {"2003::/18", RIPENCC},
+	{"2400::/12", APNIC}, {"2001:200::/23", APNIC}, {"240e::/16", APNIC},
+	{"2800::/12", LACNIC}, {"2001:1200::/23", LACNIC},
+	{"2c00::/12", AFRINIC}, {"2001:4200::/23", AFRINIC},
+	// IPv4 /8s (representative subset).
+	{"3.0.0.0/8", ARIN}, {"23.0.0.0/8", ARIN}, {"50.0.0.0/8", ARIN},
+	{"63.0.0.0/8", ARIN}, {"66.0.0.0/8", ARIN}, {"68.0.0.0/8", ARIN},
+	{"71.0.0.0/8", ARIN}, {"73.0.0.0/8", ARIN}, {"96.0.0.0/8", ARIN},
+	{"173.0.0.0/8", ARIN}, {"184.0.0.0/8", ARIN}, {"192.0.0.0/8", ARIN},
+	{"2.0.0.0/8", RIPENCC}, {"5.0.0.0/8", RIPENCC}, {"31.0.0.0/8", RIPENCC},
+	{"37.0.0.0/8", RIPENCC}, {"46.0.0.0/8", RIPENCC}, {"62.0.0.0/8", RIPENCC},
+	{"77.0.0.0/8", RIPENCC}, {"78.0.0.0/7", RIPENCC}, {"80.0.0.0/4", RIPENCC},
+	{"109.0.0.0/8", RIPENCC}, {"176.0.0.0/8", RIPENCC}, {"178.0.0.0/8", RIPENCC},
+	{"193.0.0.0/8", RIPENCC}, {"194.0.0.0/7", RIPENCC}, {"212.0.0.0/7", RIPENCC},
+	{"217.0.0.0/8", RIPENCC},
+	{"1.0.0.0/8", APNIC}, {"14.0.0.0/8", APNIC}, {"27.0.0.0/8", APNIC},
+	{"36.0.0.0/8", APNIC}, {"39.0.0.0/8", APNIC}, {"42.0.0.0/8", APNIC},
+	{"49.0.0.0/8", APNIC}, {"58.0.0.0/7", APNIC}, {"60.0.0.0/7", APNIC},
+	{"101.0.0.0/8", APNIC}, {"103.0.0.0/8", APNIC}, {"110.0.0.0/7", APNIC},
+	{"112.0.0.0/5", APNIC}, {"120.0.0.0/6", APNIC}, {"124.0.0.0/7", APNIC},
+	{"126.0.0.0/8", APNIC}, {"202.0.0.0/7", APNIC}, {"210.0.0.0/7", APNIC},
+	{"218.0.0.0/7", APNIC}, {"220.0.0.0/6", APNIC},
+	{"177.0.0.0/8", LACNIC}, {"179.0.0.0/8", LACNIC}, {"181.0.0.0/8", LACNIC},
+	{"186.0.0.0/7", LACNIC}, {"189.0.0.0/8", LACNIC}, {"190.0.0.0/8", LACNIC},
+	{"191.0.0.0/8", LACNIC}, {"200.0.0.0/7", LACNIC},
+	{"41.0.0.0/8", AFRINIC}, {"102.0.0.0/8", AFRINIC}, {"105.0.0.0/8", AFRINIC},
+	{"154.0.0.0/8", AFRINIC}, {"196.0.0.0/7", AFRINIC}, {"45.192.0.0/10", AFRINIC},
+}
+
+// Default returns a fresh Table loaded with the built-in top-level
+// delegations. Callers may Add more-specific overrides.
+func Default() *Table {
+	t := &Table{}
+	for _, d := range defaultDelegations {
+		t.Add(netip.MustParsePrefix(d.cidr), d.reg)
+	}
+	return t
+}

@@ -1,0 +1,90 @@
+package rir
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestDefaultLookups(t *testing.T) {
+	tab := Default()
+	cases := []struct {
+		addr string
+		want Registry
+	}{
+		{"2003:40:aa00::1", RIPENCC}, // DTAG space
+		{"2a02:8100::1", RIPENCC},    // RIPE /12
+		{"2600:1700::1", ARIN},       // ARIN /12
+		{"2001:506::1", ARIN},        // ARIN /23
+		{"2400:cb00::1", APNIC},      // APNIC /12
+		{"240e:1::1", APNIC},         // China Telecom
+		{"2800:a4::1", LACNIC},       // LACNIC /12
+		{"2c0f:f248::1", AFRINIC},    // AFRINIC /12
+		{"93.184.216.34", RIPENCC},   // 80.0.0.0/4
+		{"23.1.2.3", ARIN},           // Akamai space
+		{"1.1.1.1", APNIC},           // APNIC 1/8
+		{"200.1.2.3", LACNIC},        // LACNIC 200/7
+		{"196.25.1.1", AFRINIC},      // AFRINIC 196/7
+		{"41.1.2.3", AFRINIC},        // AFRINIC 41/8
+		{"10.0.0.1", Unknown},        // private space not delegated
+		{"fe80::1", Unknown},         // link local
+		{"2001:db8::1", Unknown},     // documentation
+	}
+	for _, c := range cases {
+		if got := tab.Of(netip.MustParseAddr(c.addr)); got != c.want {
+			t.Errorf("Of(%s) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestOfPrefix(t *testing.T) {
+	tab := Default()
+	p := netip.MustParsePrefix("2003:40:aa00::/64")
+	if got := tab.OfPrefix(p); got != RIPENCC {
+		t.Errorf("OfPrefix(%v) = %v, want RIPENCC", p, got)
+	}
+}
+
+func TestMoreSpecificOverride(t *testing.T) {
+	tab := Default()
+	// A transferred block: more-specific wins over the covering /8.
+	tab.Add(netip.MustParsePrefix("23.128.0.0/10"), RIPENCC)
+	if got := tab.Of(netip.MustParseAddr("23.129.0.1")); got != RIPENCC {
+		t.Errorf("override lookup = %v, want RIPENCC", got)
+	}
+	if got := tab.Of(netip.MustParseAddr("23.1.0.1")); got != ARIN {
+		t.Errorf("non-overridden lookup = %v, want ARIN", got)
+	}
+}
+
+func TestRegistryString(t *testing.T) {
+	cases := map[Registry]string{
+		ARIN: "ARIN", RIPENCC: "RIPENCC", APNIC: "APNIC",
+		LACNIC: "LACNIC", AFRINIC: "AFRINIC", Unknown: "UNKNOWN",
+		Registry(99): "UNKNOWN", Registry(-1): "UNKNOWN",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	all := All()
+	want := []Registry{ARIN, RIPENCC, APNIC, LACNIC, AFRINIC}
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d entries", len(all))
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Errorf("All()[%d] = %v, want %v", i, all[i], want[i])
+		}
+	}
+}
+
+func TestLen(t *testing.T) {
+	tab := Default()
+	if tab.Len() != len(defaultDelegations) {
+		t.Errorf("Len = %d, want %d", tab.Len(), len(defaultDelegations))
+	}
+}

@@ -1,0 +1,212 @@
+// Package rtrie implements a binary radix (Patricia-style path) trie over
+// netip.Prefix keys with longest-prefix-match lookup for both IPv4 and IPv6.
+// It backs the Routeviews-style pfx2as table (internal/bgp) and the RIR
+// delegation map (internal/rir) that DynamIPs uses to classify addresses
+// by routed BGP prefix and registry.
+//
+// The trie keeps separate roots per address family; IPv4-mapped IPv6
+// addresses are unmapped before keying, matching netip semantics.
+package rtrie
+
+import (
+	"fmt"
+	"net/netip"
+
+	"dynamips/internal/netutil"
+)
+
+type node[V any] struct {
+	child [2]*node[V]
+	val   V
+	has   bool
+}
+
+// Trie is a longest-prefix-match table from netip.Prefix to V.
+// The zero value is an empty table ready to use. Trie is not safe for
+// concurrent mutation; concurrent lookups without writers are safe.
+type Trie[V any] struct {
+	v4, v6 node[V]
+	n      int
+}
+
+// bitAt returns bit i (0 = most significant) of the address key.
+func bitAt(hi, lo uint64, i int) int {
+	if i < 64 {
+		return int(hi >> (63 - i) & 1)
+	}
+	return int(lo >> (127 - i) & 1)
+}
+
+func (t *Trie[V]) rootAndKey(a netip.Addr) (*node[V], uint64, uint64, int) {
+	a = a.Unmap()
+	if a.Is4() {
+		v := netutil.U32(a)
+		return &t.v4, uint64(v) << 32, 0, 32
+	}
+	hi, lo := netutil.U128(a)
+	return &t.v6, hi, lo, 128
+}
+
+// Insert adds or replaces the value for prefix p. It returns true when the
+// prefix was not previously present.
+func (t *Trie[V]) Insert(p netip.Prefix, v V) bool {
+	if !p.IsValid() {
+		panic(fmt.Sprintf("rtrie: insert of invalid prefix %v", p))
+	}
+	p = p.Masked()
+	n, hi, lo, _ := t.rootAndKey(p.Addr())
+	for i := 0; i < p.Bits(); i++ {
+		b := bitAt(hi, lo, i)
+		if n.child[b] == nil {
+			n.child[b] = &node[V]{}
+		}
+		n = n.child[b]
+	}
+	fresh := !n.has
+	n.val, n.has = v, true
+	if fresh {
+		t.n++
+	}
+	return fresh
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.n }
+
+// Get returns the value stored exactly at p.
+func (t *Trie[V]) Get(p netip.Prefix) (V, bool) {
+	var zero V
+	if !p.IsValid() {
+		return zero, false
+	}
+	p = p.Masked()
+	n, hi, lo, _ := t.rootAndKey(p.Addr())
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[bitAt(hi, lo, i)]
+		if n == nil {
+			return zero, false
+		}
+	}
+	if !n.has {
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Lookup returns the value of the longest stored prefix containing a, the
+// matched prefix itself, and whether any prefix matched.
+func (t *Trie[V]) Lookup(a netip.Addr) (V, netip.Prefix, bool) {
+	var (
+		zero    V
+		best    V
+		bestLen = -1
+	)
+	n, hi, lo, max := t.rootAndKey(a)
+	for i := 0; ; i++ {
+		if n.has {
+			best, bestLen = n.val, i
+		}
+		if i >= max {
+			break
+		}
+		n = n.child[bitAt(hi, lo, i)]
+		if n == nil {
+			break
+		}
+	}
+	if bestLen < 0 {
+		return zero, netip.Prefix{}, false
+	}
+	mp, err := a.Unmap().Prefix(bestLen)
+	if err != nil {
+		return zero, netip.Prefix{}, false
+	}
+	return best, mp, true
+}
+
+// LookupPrefix is Lookup keyed by a prefix's network address. It only
+// returns matches that are no longer than p itself (i.e. true containment).
+func (t *Trie[V]) LookupPrefix(p netip.Prefix) (V, netip.Prefix, bool) {
+	v, mp, ok := t.Lookup(p.Addr())
+	var zero V
+	if !ok || mp.Bits() > p.Bits() {
+		return zero, netip.Prefix{}, false
+	}
+	return v, mp, true
+}
+
+// Delete removes the value stored exactly at p and reports whether it was
+// present. Interior nodes left empty are pruned.
+func (t *Trie[V]) Delete(p netip.Prefix) bool {
+	if !p.IsValid() {
+		return false
+	}
+	p = p.Masked()
+	root, hi, lo, _ := t.rootAndKey(p.Addr())
+	path := make([]*node[V], 0, p.Bits()+1)
+	n := root
+	path = append(path, n)
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[bitAt(hi, lo, i)]
+		if n == nil {
+			return false
+		}
+		path = append(path, n)
+	}
+	if !n.has {
+		return false
+	}
+	var zero V
+	n.has, n.val = false, zero
+	t.n--
+	// Prune childless, valueless nodes bottom-up (never the root).
+	for i := len(path) - 1; i > 0; i-- {
+		nd := path[i]
+		if nd.has || nd.child[0] != nil || nd.child[1] != nil {
+			break
+		}
+		parent := path[i-1]
+		b := bitAt(hi, lo, i-1)
+		parent.child[b] = nil
+	}
+	return true
+}
+
+// Walk visits every stored (prefix, value) pair in lexicographic key order,
+// IPv4 first. Returning false from fn stops the walk.
+func (t *Trie[V]) Walk(fn func(p netip.Prefix, v V) bool) {
+	var walk func(n *node[V], hi, lo uint64, depth int, v4 bool) bool
+	walk = func(n *node[V], hi, lo uint64, depth int, v4 bool) bool {
+		if n == nil {
+			return true
+		}
+		if n.has {
+			var p netip.Prefix
+			if v4 {
+				p = netip.PrefixFrom(netutil.AddrFromU32(uint32(hi>>32)), depth)
+			} else {
+				p = netip.PrefixFrom(netutil.AddrFrom128(hi, lo), depth)
+			}
+			if !fn(p, n.val) {
+				return false
+			}
+		}
+		if depth >= 128 || (v4 && depth >= 32) {
+			return true
+		}
+		if !walk(n.child[0], hi, lo, depth+1, v4) {
+			return false
+		}
+		var nhi, nlo = hi, lo
+		if depth < 64 {
+			nhi = hi | 1<<(63-depth)
+		} else {
+			nlo = lo | 1<<(127-depth)
+		}
+		return walk(n.child[1], nhi, nlo, depth+1, v4)
+	}
+	if !walk(&t.v4, 0, 0, 0, true) {
+		return
+	}
+	walk(&t.v6, 0, 0, 0, false)
+}

@@ -1,0 +1,95 @@
+package slaac
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestEUI64KnownVector(t *testing.T) {
+	// RFC 4291 appendix A example: MAC 00:00:5E:10:00:52:13 style —
+	// using 34:56:78:9A:BC:DE: EUI-64 = 3656:78FF:FE9A:BCDE with the
+	// U/L bit flipped.
+	mac := [6]byte{0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE}
+	got := EUI64(mac)
+	if got != 0x365678FFFE9ABCDE {
+		t.Fatalf("EUI64 = %016x, want 365678fffe9abcde", got)
+	}
+	if !IsEUI64(got) {
+		t.Error("EUI-64 signature not detected")
+	}
+}
+
+func TestEUI64RoundTripProperty(t *testing.T) {
+	f := func(mac [6]byte) bool {
+		iid := EUI64(mac)
+		back, ok := MACFromEUI64(iid)
+		return ok && back == mac && IsEUI64(iid)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACFromEUI64Rejects(t *testing.T) {
+	if _, ok := MACFromEUI64(0x1234567890ABCDEF); ok {
+		t.Error("non-EUI-64 IID inverted")
+	}
+}
+
+func TestStableOpaque(t *testing.T) {
+	p1 := netip.MustParsePrefix("2003:1000:0:100::/64")
+	p2 := netip.MustParsePrefix("2003:1000:0:200::/64")
+	secret := []byte("device-secret")
+	a := StableOpaque(p1, "eth0", secret, 0)
+	// Stable: same inputs, same IID.
+	if b := StableOpaque(p1, "eth0", secret, 0); b != a {
+		t.Error("stable-opaque IID not stable")
+	}
+	// Unlinkable across prefixes, interfaces, secrets, and DAD retries.
+	for name, other := range map[string]uint64{
+		"prefix":    StableOpaque(p2, "eth0", secret, 0),
+		"interface": StableOpaque(p1, "wlan0", secret, 0),
+		"secret":    StableOpaque(p1, "eth0", []byte("other"), 0),
+		"dad":       StableOpaque(p1, "eth0", secret, 1),
+	} {
+		if other == a {
+			t.Errorf("IID collides when %s changes", name)
+		}
+	}
+	if IsEUI64(a) {
+		t.Error("opaque IID carries the EUI-64 signature")
+	}
+}
+
+func TestTemporaryRotates(t *testing.T) {
+	secret := []byte("s")
+	seen := map[uint64]bool{}
+	for r := uint64(0); r < 50; r++ {
+		iid := Temporary(secret, r)
+		if seen[iid] {
+			t.Fatalf("temporary IID repeated at rotation %d", r)
+		}
+		seen[iid] = true
+	}
+	if Temporary(secret, 3) != Temporary(secret, 3) {
+		t.Error("temporary IID not deterministic per rotation")
+	}
+}
+
+func TestAddress(t *testing.T) {
+	p := netip.MustParsePrefix("2003:1000:0:100::/64")
+	a, err := Address(p, EUI64([6]byte{0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE}))
+	if err != nil {
+		t.Fatalf("Address: %v", err)
+	}
+	if a != netip.MustParseAddr("2003:1000:0:100:3656:78ff:fe9a:bcde") {
+		t.Errorf("Address = %v", a)
+	}
+	if _, err := Address(netip.MustParsePrefix("2003::/56"), 1); err == nil {
+		t.Error("non-/64 accepted")
+	}
+	if _, err := Address(netip.MustParsePrefix("10.0.0.0/24"), 1); err == nil {
+		t.Error("IPv4 accepted")
+	}
+}

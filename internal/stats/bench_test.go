@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func benchDurations(n int) []float64 {
+	rng := rand.New(rand.NewSource(3))
+	out := make([]float64, n)
+	for i := range out {
+		if rng.Intn(2) == 0 {
+			out[i] = 24
+		} else {
+			out[i] = float64(1 + rng.Intn(5000))
+		}
+	}
+	return out
+}
+
+func BenchmarkTotalTimeFraction(b *testing.B) {
+	ds := benchDurations(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pts := TotalTimeFraction(ds); len(pts) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkNaivePMF is the ablation baseline the paper's §3.2.1 argues
+// against: an unweighted PMF over the same samples. It is cheaper but
+// over-represents short durations; the benchmark quantifies the cost of
+// doing it right.
+func BenchmarkNaivePMF(b *testing.B) {
+	ds := benchDurations(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts := make(map[float64]int, 64)
+		for _, d := range ds {
+			counts[d]++
+		}
+		type pt struct {
+			x float64
+			y float64
+		}
+		pts := make([]pt, 0, len(counts))
+		for d, n := range counts {
+			pts = append(pts, pt{d, float64(n) / float64(len(ds))})
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+		if len(pts) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkECDFQuantile(b *testing.B) {
+	e := NewECDF(benchDurations(100000))
+	e.Quantile(0.5) // force the sort outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Quantile(float64(i%100) / 100)
+	}
+}
+
+func BenchmarkDetectPeriodicModes(b *testing.B) {
+	ds := benchDurations(100000)
+	candidates := []float64{12, 24, 36, 48, 168, 336}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetectPeriodicModes(ds, candidates, 0.05, 0.3)
+	}
+}
+
+// TestNaiveVsWeightedPMF documents the §3.2.1 bias: with one daily
+// changer and one monthly changer observed for a year, the naive PMF
+// assigns 96.8% of the mass to the 1-day duration, while the total time
+// fraction splits it evenly.
+func TestNaiveVsWeightedPMF(t *testing.T) {
+	var ds []float64
+	for i := 0; i < 365; i++ {
+		ds = append(ds, 24)
+	}
+	for i := 0; i < 12; i++ {
+		ds = append(ds, 720)
+	}
+	naiveShort := 365.0 / float64(len(ds))
+	weighted := TotalTimeFraction(ds)
+	weightedShort := weighted[0].Y
+	if naiveShort < 0.95 {
+		t.Fatalf("naive short-duration share = %v, expected ~0.97", naiveShort)
+	}
+	if weightedShort > 0.55 || weightedShort < 0.45 {
+		t.Fatalf("weighted short-duration share = %v, expected ~0.5", weightedShort)
+	}
+}

@@ -1,0 +1,23 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"dynamips/internal/stats"
+)
+
+// ExampleTotalTimeFraction reproduces §3.2.1's motivating example: a
+// naive PMF would give the 365 one-day durations 96.8% of the mass; the
+// total time fraction weighs them by time spent.
+func ExampleTotalTimeFraction() {
+	var durations []float64
+	for i := 0; i < 365; i++ {
+		durations = append(durations, 24) // CPE1: daily changes for a year
+	}
+	for i := 0; i < 12; i++ {
+		durations = append(durations, 720) // CPE2: monthly changes
+	}
+	pts := stats.TotalTimeFraction(durations)
+	fmt.Printf("%.3f %.3f\n", pts[0].Y, pts[1].Y)
+	// Output: 0.503 0.497
+}

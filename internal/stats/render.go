@@ -1,0 +1,45 @@
+package stats
+
+import "strings"
+
+// RenderBar draws a proportional text bar of at most width cells for
+// value v on a scale of max. Non-positive values render empty; a
+// non-zero value always gets at least one cell so small populations stay
+// visible (the same convention the paper's bar charts use).
+func RenderBar(v, max float64, width int) string {
+	if width <= 0 || max <= 0 || v <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n == 0 {
+		n = 1
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// RenderHistogram renders labeled rows with proportional bars, aligned to
+// the widest label. rows preserve their order.
+func RenderHistogram(rows []struct {
+	Label string
+	Value float64
+}, width int) []string {
+	var max float64
+	labelW := 0
+	for _, r := range rows {
+		if r.Value > max {
+			max = r.Value
+		}
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		pad := strings.Repeat(" ", labelW-len(r.Label))
+		out[i] = r.Label + pad + " |" + RenderBar(r.Value, max, width)
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBar(t *testing.T) {
+	cases := []struct {
+		v, max float64
+		width  int
+		want   string
+	}{
+		{50, 100, 10, "#####"},
+		{100, 100, 10, "##########"},
+		{1, 1000, 10, "#"}, // floor of one cell
+		{0, 100, 10, ""},
+		{-5, 100, 10, ""},
+		{50, 0, 10, ""},
+		{50, 100, 0, ""},
+		{200, 100, 10, "##########"}, // clamped
+	}
+	for _, c := range cases {
+		if got := RenderBar(c.v, c.max, c.width); got != c.want {
+			t.Errorf("RenderBar(%v,%v,%d) = %q, want %q", c.v, c.max, c.width, got, c.want)
+		}
+	}
+}
+
+func TestRenderHistogram(t *testing.T) {
+	rows := []struct {
+		Label string
+		Value float64
+	}{
+		{"/56", 80},
+		{"/60", 40},
+		{"/64", 0},
+	}
+	out := RenderHistogram(rows, 20)
+	if len(out) != 3 {
+		t.Fatalf("rows = %v", out)
+	}
+	if out[0] != "/56 |####################" {
+		t.Errorf("row 0 = %q", out[0])
+	}
+	if !strings.HasPrefix(out[1], "/60 |##########") {
+		t.Errorf("row 1 = %q", out[1])
+	}
+	if out[2] != "/64 |" {
+		t.Errorf("row 2 = %q", out[2])
+	}
+}
