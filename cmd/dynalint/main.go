@@ -1,0 +1,188 @@
+// Command dynalint runs the repository's static-analysis suite: stdlib-only
+// analyzers enforcing determinism (injected clocks, seeded RNGs), netip
+// hygiene, error wrapping, and lock discipline across every package of the
+// module. See README.md "Static analysis & determinism conventions".
+//
+// Usage:
+//
+//	go run ./cmd/dynalint ./...
+//	go run ./cmd/dynalint -rules determinism,netip ./internal/dhcp4
+//
+// Exit codes: 0 clean, 1 findings reported, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dynamips/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("dynalint", flag.ContinueOnError)
+	rules := fs.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	rootFlag := fs.String("root", "", "load this directory as the module root instead of the enclosing go.mod (e.g. a lint fixture tree)")
+	simPkgs := fs.String("simpkgs", "", "comma-separated import-path suffixes to treat as simulation packages (default: the repo's analysis core)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: dynalint [flags] [./... | dirs]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(fs.Output(), "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root := *rootFlag
+	if root == "" {
+		var err error
+		root, err = moduleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynalint:", err)
+			return 2
+		}
+	}
+	cfg := lint.DefaultConfig()
+	if *simPkgs != "" {
+		cfg.SimPackages = strings.Split(*simPkgs, ",")
+	}
+	if *rules != "" {
+		cfg.Rules = strings.Split(*rules, ",")
+		known := make(map[string]bool)
+		for _, a := range lint.Analyzers() {
+			known[a.Name] = true
+		}
+		for _, r := range cfg.Rules {
+			if !known[r] {
+				fmt.Fprintf(os.Stderr, "dynalint: unknown rule %q (have %s)\n", r, strings.Join(lint.AnalyzerNames(), ", "))
+				return 2
+			}
+		}
+	}
+
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynalint:", err)
+		return 2
+	}
+	diags := lint.Run(mod, cfg, lint.Analyzers())
+	diags, err = filterToPatterns(diags, root, fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynalint:", err)
+		return 2
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "dynalint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*asJSON {
+			fmt.Fprintf(os.Stderr, "dynalint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// filterToPatterns narrows diagnostics to the requested package patterns:
+// "./..." (everything, the default), "./dir/..." (a subtree), or "./dir"
+// (one directory).
+func filterToPatterns(diags []lint.Diagnostic, root string, patterns []string) ([]lint.Diagnostic, error) {
+	if len(patterns) == 0 {
+		return diags, nil
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	type match struct {
+		prefix  string // relative to module root, "" for whole module
+		subtree bool
+	}
+	var matches []match
+	for _, pat := range patterns {
+		subtree := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			subtree = true
+			pat = rest
+			if pat == "." {
+				return diags, nil // ./... covers the whole module
+			}
+		}
+		abs, err := filepath.Abs(filepath.Join(wd, pat))
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("pattern %q is outside the module", pat)
+		}
+		if rel == "." {
+			rel = ""
+		}
+		matches = append(matches, match{prefix: filepath.ToSlash(rel), subtree: subtree})
+	}
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		dir := filepath.ToSlash(filepath.Dir(d.Path))
+		if dir == "." {
+			dir = ""
+		}
+		for _, m := range matches {
+			if dir == m.prefix || (m.subtree && strings.HasPrefix(dir, m.prefix+"/")) ||
+				(m.subtree && m.prefix == "" && dir != "") {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -18,6 +18,8 @@ import (
 	"strconv"
 	"strings"
 
+	"dynamips/internal/netutil"
+
 	"dynamips/internal/rtrie"
 )
 
@@ -77,15 +79,15 @@ type Entry struct {
 	ASN    uint32
 }
 
-// Entries returns the RIB contents sorted by prefix string for stable
-// output.
+// Entries returns the RIB contents in address order (netutil.ComparePrefix)
+// for stable output.
 func (t *Table) Entries() []Entry {
 	var es []Entry
 	t.trie.Walk(func(p netip.Prefix, asn uint32) bool {
 		es = append(es, Entry{p, asn})
 		return true
 	})
-	sort.Slice(es, func(i, j int) bool { return es[i].Prefix.String() < es[j].Prefix.String() })
+	sort.Slice(es, func(i, j int) bool { return netutil.ComparePrefix(es[i].Prefix, es[j].Prefix) < 0 })
 	return es
 }
 

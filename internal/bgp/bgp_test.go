@@ -5,6 +5,8 @@ import (
 	"net/netip"
 	"strings"
 	"testing"
+
+	"dynamips/internal/netutil"
 )
 
 func mp(s string) netip.Prefix { return netip.MustParsePrefix(s) }
@@ -130,7 +132,7 @@ func TestEntriesSorted(t *testing.T) {
 	tab.Announce(mp("2003::/19"), 3)
 	es := tab.Entries()
 	for i := 1; i < len(es); i++ {
-		if es[i-1].Prefix.String() > es[i].Prefix.String() {
+		if netutil.ComparePrefix(es[i-1].Prefix, es[i].Prefix) > 0 {
 			t.Fatalf("entries not sorted: %v", es)
 		}
 	}

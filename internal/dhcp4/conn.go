@@ -4,8 +4,50 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 )
+
+// Handler answers one DHCP message. *Server implements it directly for
+// single-goroutine use; wrap a Server in NewGuarded when administrative
+// operations must interleave with a live wire front end.
+type Handler interface {
+	Handle(req *Message) (*Message, error)
+}
+
+// Guarded serializes access to a Server shared between a Serve loop and
+// administrative operations such as an outage (LoseState) injected while
+// the front end is running. The plain simulator path keeps calling the
+// Server directly and pays no locking.
+type Guarded struct {
+	mu  sync.Mutex
+	srv *Server
+}
+
+// NewGuarded wraps srv for concurrent use.
+func NewGuarded(srv *Server) *Guarded { return &Guarded{srv: srv} }
+
+// Handle answers one message under the lock.
+func (g *Guarded) Handle(req *Message) (*Message, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.srv.Handle(req)
+}
+
+// LoseState drops all bindings under the lock, modeling a server outage
+// while the wire front end keeps serving.
+func (g *Guarded) LoseState() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.srv.LoseState()
+}
+
+// ActiveLeases counts unexpired bindings under the lock.
+func (g *Guarded) ActiveLeases() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.srv.ActiveLeases()
+}
 
 // Serve answers DHCP messages arriving on conn with replies from srv until
 // conn is closed or a non-temporary read error occurs. Replies go back to
@@ -13,9 +55,11 @@ import (
 // broadcast is out of scope for the simulator). Serve returns net.ErrClosed
 // once the listener is closed.
 //
-// srv is not safe for concurrent use, so Serve processes packets strictly
-// in arrival order.
-func Serve(conn net.PacketConn, srv *Server) error {
+// A bare *Server is not safe for concurrent use: Serve processes packets
+// strictly in arrival order, and nothing else may touch the server while
+// the loop runs. To mutate server state mid-serve (outages), pass a
+// *Guarded instead.
+func Serve(conn net.PacketConn, srv Handler) error {
 	buf := make([]byte, 1500)
 	for {
 		n, src, err := conn.ReadFrom(buf)
@@ -45,10 +89,16 @@ func Serve(conn net.PacketConn, srv *Server) error {
 // Client performs DHCP exchanges over a PacketConn against a server
 // address. It is a minimal CPE-side implementation sufficient for the
 // DORA and renewal flows.
+//
+// Clock is required: lease expiries are computed against the same injected
+// clock the server runs on, so a simulation's virtual epoch and a live
+// deployment's wall clock both stay internally consistent. Only the socket
+// read deadline uses the wall clock (real I/O waits in real time).
 type Client struct {
 	Conn    net.PacketConn
 	Server  net.Addr
 	HW      HWAddr
+	Clock   Clock
 	Timeout time.Duration
 
 	xid uint32
@@ -61,12 +111,21 @@ func (c *Client) timeout() time.Duration {
 	return c.Timeout
 }
 
+// now reads the injected clock.
+func (c *Client) now() int64 {
+	if c.Clock == nil {
+		panic("dhcp4: Client.Clock not set; inject the simulation clock (or wrap time.Now().Unix() for live use)")
+	}
+	return c.Clock.Now()
+}
+
 func (c *Client) exchange(req *Message) (*Message, error) {
 	if _, err := c.Conn.WriteTo(req.Marshal(), c.Server); err != nil {
 		return nil, fmt.Errorf("dhcp4: client write: %w", err)
 	}
-	deadline := time.Now().Add(c.timeout())
-	if err := c.Conn.SetReadDeadline(deadline); err != nil {
+	// The read deadline is genuine wire I/O: it bounds how long the real
+	// socket blocks, so it runs on the wall clock even in simulations.
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.timeout())); err != nil {
 		return nil, fmt.Errorf("dhcp4: set deadline: %w", err)
 	}
 	buf := make([]byte, 1500)
@@ -105,7 +164,7 @@ func (c *Client) Acquire() (Lease, error) {
 		return Lease{}, fmt.Errorf("dhcp4: expected ACK, got %v", ack.Type())
 	}
 	lease, _ := ack.U32Option(OptLeaseTime)
-	return Lease{Addr: ack.YIAddr, HW: c.HW, Expiry: time.Now().Unix() + int64(lease)}, nil
+	return Lease{Addr: ack.YIAddr, HW: c.HW, Expiry: c.now() + int64(lease)}, nil
 }
 
 // Renew extends an existing lease over the wire (the RFC 2131 RENEWING
@@ -123,7 +182,7 @@ func (c *Client) Renew(l Lease) (Lease, error) {
 		return Lease{}, fmt.Errorf("dhcp4: renew of %v got %v", l.Addr, rep.Type())
 	}
 	lease, _ := rep.U32Option(OptLeaseTime)
-	return Lease{Addr: rep.YIAddr, HW: c.HW, Expiry: time.Now().Unix() + int64(lease)}, nil
+	return Lease{Addr: rep.YIAddr, HW: c.HW, Expiry: c.now() + int64(lease)}, nil
 }
 
 // Release notifies the server that the client's lease can be reclaimed.

@@ -320,7 +320,7 @@ func TestServerConfigPanics(t *testing.T) {
 }
 
 func TestServeOverUDP(t *testing.T) {
-	srv, _ := newTestServer(3600, true)
+	srv, clk := newTestServer(3600, true)
 	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)
@@ -334,7 +334,7 @@ func TestServeOverUDP(t *testing.T) {
 		t.Fatalf("client listen: %v", err)
 	}
 	defer cc.Close()
-	cl := &Client{Conn: cc, Server: pc.LocalAddr(), HW: hw(42)}
+	cl := &Client{Conn: cc, Server: pc.LocalAddr(), HW: hw(42), Clock: clk}
 	l, err := cl.Acquire()
 	if err != nil {
 		t.Fatalf("Acquire over UDP: %v", err)
@@ -352,7 +352,7 @@ func TestServeOverUDP(t *testing.T) {
 }
 
 func TestServeIgnoresGarbage(t *testing.T) {
-	srv, _ := newTestServer(3600, true)
+	srv, clk := newTestServer(3600, true)
 	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)
@@ -364,7 +364,7 @@ func TestServeIgnoresGarbage(t *testing.T) {
 	defer cc.Close()
 	// Garbage first; the server must survive and still answer DHCP.
 	cc.WriteTo([]byte("not dhcp"), pc.LocalAddr())
-	cl := &Client{Conn: cc, Server: pc.LocalAddr(), HW: hw(5)}
+	cl := &Client{Conn: cc, Server: pc.LocalAddr(), HW: hw(5), Clock: clk}
 	if _, err := cl.Acquire(); err != nil {
 		t.Fatalf("Acquire after garbage: %v", err)
 	}

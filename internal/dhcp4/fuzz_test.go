@@ -55,3 +55,25 @@ func TestHandleMalformedOptions(t *testing.T) {
 		t.Error("typeless message accepted")
 	}
 }
+
+// FuzzUnmarshal is the native fuzz target for the DHCPv4 codec, run with a
+// bounded -fuzztime as a smoke gate in CI (scripts/verify.sh). The decoder
+// parses attacker-controlled datagrams: it may reject input, but must never
+// panic, and anything it accepts must survive a re-marshal round trip.
+func FuzzUnmarshal(f *testing.F) {
+	valid := NewMessage(Request, 7, hw(1))
+	valid.SetU32Option(OptLeaseTime, 3600)
+	f.Add(valid.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 6, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		if m == nil {
+			t.Fatal("nil message without error")
+		}
+		m.Marshal() // round trip of accepted input must not panic
+	})
+}

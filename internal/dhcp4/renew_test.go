@@ -22,20 +22,23 @@ func TestServerSetsT1T2(t *testing.T) {
 }
 
 func TestClientRenewOverUDP(t *testing.T) {
-	srv, _ := newTestServer(3600, true)
+	srv, clk := newTestServer(3600, true)
+	// The test injects an outage (LoseState) while the serve loop is
+	// live, so the server must be wrapped for concurrent use.
+	guarded := NewGuarded(srv)
 	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)
 	}
 	defer pc.Close()
-	go Serve(pc, srv)
+	go Serve(pc, guarded)
 
 	cc, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("client listen: %v", err)
 	}
 	defer cc.Close()
-	cl := &Client{Conn: cc, Server: pc.LocalAddr(), HW: hw(9)}
+	cl := &Client{Conn: cc, Server: pc.LocalAddr(), HW: hw(9), Clock: clk}
 	l, err := cl.Acquire()
 	if err != nil {
 		t.Fatalf("Acquire: %v", err)
@@ -50,7 +53,7 @@ func TestClientRenewOverUDP(t *testing.T) {
 	// After the server loses state, the renewal NAKs and a fresh
 	// acquisition yields a different address — the paper's outage model
 	// observed over the wire.
-	srv.LoseState()
+	guarded.LoseState()
 	if _, err := cl.Renew(l2); err == nil {
 		t.Fatal("renew after LoseState succeeded")
 	}

@@ -4,13 +4,49 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 )
+
+// Handler answers one DHCPv6 message. *Server implements it directly for
+// single-goroutine use; wrap a Server in NewGuarded when administrative
+// operations must interleave with a live wire front end.
+type Handler interface {
+	Handle(req *Message) (*Message, error)
+}
+
+// Guarded serializes access to a Server shared between a Serve loop and
+// administrative operations (LoseState) injected while the front end is
+// running. The simulator path keeps calling the Server directly, unlocked.
+type Guarded struct {
+	mu  sync.Mutex
+	srv *Server
+}
+
+// NewGuarded wraps srv for concurrent use.
+func NewGuarded(srv *Server) *Guarded { return &Guarded{srv: srv} }
+
+// Handle answers one message under the lock.
+func (g *Guarded) Handle(req *Message) (*Message, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.srv.Handle(req)
+}
+
+// LoseState drops all bindings under the lock.
+func (g *Guarded) LoseState() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.srv.LoseState()
+}
 
 // Serve answers DHCPv6 messages arriving on conn until it is closed,
 // returning net.ErrClosed. Replies go to the packet's source (the
 // relay/unicast model). Malformed datagrams are dropped.
-func Serve(conn net.PacketConn, srv *Server) error {
+//
+// A bare *Server is not safe for concurrent use: nothing else may touch it
+// while the loop runs. To mutate server state mid-serve, pass a *Guarded.
+func Serve(conn net.PacketConn, srv Handler) error {
 	buf := make([]byte, 1500)
 	for {
 		n, src, err := conn.ReadFrom(buf)
@@ -38,13 +74,26 @@ func Serve(conn net.PacketConn, srv *Server) error {
 }
 
 // Client performs requesting-router exchanges over a PacketConn.
+//
+// Clock is required: binding expiries are computed against the same
+// injected clock the server runs on. Only the socket read deadline uses the
+// wall clock (real I/O waits in real time).
 type Client struct {
 	Conn    net.PacketConn
 	Server  net.Addr
 	DUID    DUID
+	Clock   Clock
 	Timeout time.Duration
 
 	txn uint32
+}
+
+// now reads the injected clock.
+func (c *Client) now() int64 {
+	if c.Clock == nil {
+		panic("dhcp6: Client.Clock not set; inject the simulation clock (or wrap time.Now().Unix() for live use)")
+	}
+	return c.Clock.Now()
 }
 
 func (c *Client) exchange(req *Message) (*Message, error) {
@@ -96,5 +145,5 @@ func (c *Client) AcquirePD() (Binding, error) {
 		return Binding{}, fmt.Errorf("dhcp6: request rejected")
 	}
 	p := rep.IAPDs[0].Prefixes[0]
-	return Binding{Prefix: p.Prefix, Client: c.DUID.String(), Expiry: time.Now().Unix() + int64(p.Valid)}, nil
+	return Binding{Prefix: p.Prefix, Client: c.DUID.String(), Expiry: c.now() + int64(p.Valid)}, nil
 }

@@ -298,7 +298,7 @@ func TestServerConfigPanics(t *testing.T) {
 }
 
 func TestServeOverUDP(t *testing.T) {
-	srv, _ := newTestServer(86400, true, 56)
+	srv, clk := newTestServer(86400, true, 56)
 	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)
@@ -312,7 +312,7 @@ func TestServeOverUDP(t *testing.T) {
 		t.Fatalf("client listen: %v", err)
 	}
 	defer cc.Close()
-	cl := &Client{Conn: cc, Server: pc.LocalAddr(), DUID: duid(42)}
+	cl := &Client{Conn: cc, Server: pc.LocalAddr(), DUID: duid(42), Clock: clk}
 	b, err := cl.AcquirePD()
 	if err != nil {
 		t.Fatalf("AcquirePD: %v", err)

@@ -32,3 +32,24 @@ func TestUnmarshalNeverPanics(t *testing.T) {
 		Unmarshal(b) //nolint:errcheck
 	}
 }
+
+// FuzzUnmarshal is the native fuzz target for the DHCPv6 codec, run with a
+// bounded -fuzztime as a smoke gate in CI (scripts/verify.sh).
+func FuzzUnmarshal(f *testing.F) {
+	valid := NewMessage(Request, 7, duid(1))
+	valid.IAPDs = []IAPD{{IAID: 1, Prefixes: []IAPrefix{{Valid: 60, Preferred: 60,
+		Prefix: netip.MustParsePrefix("2003:1000:0:1100::/56")}}}}
+	f.Add(valid.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 7})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		if m == nil {
+			t.Fatal("nil message without error")
+		}
+		m.Marshal()
+	})
+}

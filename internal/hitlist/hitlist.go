@@ -13,6 +13,7 @@ import (
 
 	"dynamips/internal/bgp"
 	"dynamips/internal/core"
+	"dynamips/internal/netutil"
 	"dynamips/internal/stats"
 )
 
@@ -140,7 +141,7 @@ func (l *List) filter(hour int64, fresh bool) []Target {
 			out = append(out, *t)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.String() < out[j].Prefix.String() })
+	sort.Slice(out, func(i, j int) bool { return netutil.ComparePrefix(out[i].Prefix, out[j].Prefix) < 0 })
 	return out
 }
 

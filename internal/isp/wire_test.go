@@ -84,7 +84,11 @@ func TestCPEBootstrapOverWire(t *testing.T) {
 	}
 
 	// DHCPv4 DORA for the CPE's local pool.
-	d4Client := &dhcp4.Client{Conn: listen(), Server: d4Conn.LocalAddr(), HW: dhcp4.HWAddr{2, 0, 0, 0, 0, 9}}
+	d4Client := &dhcp4.Client{
+		Conn: listen(), Server: d4Conn.LocalAddr(),
+		HW:    dhcp4.HWAddr{2, 0, 0, 0, 0, 9},
+		Clock: dhcp4.ClockFunc(func() int64 { return now }),
+	}
 	lease, err := d4Client.Acquire()
 	if err != nil {
 		t.Fatalf("dhcp4 acquire: %v", err)
@@ -92,9 +96,12 @@ func TestCPEBootstrapOverWire(t *testing.T) {
 	if !netip.MustParsePrefix("100.64.0.0/24").Contains(lease.Addr) {
 		t.Fatalf("lease %v outside pool", lease.Addr)
 	}
+	if lease.Expiry != now+86400 {
+		t.Fatalf("dhcp4 lease expiry %d, want clock-consistent %d", lease.Expiry, now+86400)
+	}
 
 	// DHCPv6 IA_PD.
-	d6Client := &dhcp6.Client{Conn: listen(), Server: d6Conn.LocalAddr(), DUID: dhcp6.DUIDLL([6]byte{2, 0, 0, 0, 0, 9})}
+	d6Client := &dhcp6.Client{Conn: listen(), Server: d6Conn.LocalAddr(), DUID: dhcp6.DUIDLL([6]byte{2, 0, 0, 0, 0, 9}), Clock: clock}
 	pd, err := d6Client.AcquirePD()
 	if err != nil {
 		t.Fatalf("dhcp6 acquire: %v", err)

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces the repo's replayability contract inside the
+// simulation/analysis packages: time must flow from an injected Clock (the
+// servers' virtual epoch), never from the wall clock, and randomness must be
+// drawn from a seeded *rand.Rand (or rand/v2 equivalent), never from the
+// globally-seeded package-level functions.
+//
+// Allowlist: a time.Now() whose value feeds a socket deadline
+// (SetDeadline/SetReadDeadline/SetWriteDeadline) is genuine wall-clock wire
+// I/O — read timeouts on real UDP sockets — and is permitted.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now() and global math/rand in simulation packages; " +
+		"inject a Clock and a seeded *rand.Rand instead",
+	Run: runDeterminism,
+}
+
+// deadlineMethods name the wire-I/O calls whose arguments may legitimately
+// derive from the wall clock.
+var deadlineMethods = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+// randConstructors are the package-level math/rand functions that build
+// seeded generators rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDeterminism(p *Pass) {
+	if !p.Cfg.IsSimPackage(p.Pkg.ImportPath) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Pkg.Info, call)
+			if fn == nil {
+				return true
+			}
+			if isPkgFunc(fn, "time", "Now") && !insideDeadlineCall(stack) {
+				p.Reportf("determinism", call.Pos(),
+					"time.Now() in simulation package %s: thread the injected Clock instead (wall clock is allowed only for socket deadlines)",
+					p.Pkg.Types.Name())
+			}
+			if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2") {
+				sig, ok := fn.Type().(*types.Signature)
+				if ok && sig.Recv() == nil && !randConstructors[fn.Name()] {
+					p.Reportf("determinism", call.Pos(),
+						"global %s.%s() in simulation package %s: draw from a seeded *rand.Rand",
+						pkg.Name(), fn.Name(), p.Pkg.Types.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// insideDeadlineCall reports whether the node whose ancestors are stack sits
+// inside an argument of a Set*Deadline call.
+func insideDeadlineCall(stack []ast.Node) bool {
+	for _, n := range stack {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && deadlineMethods[sel.Sel.Name] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrwrapAnalyzer enforces error-chain discipline: when fmt.Errorf is handed
+// an error value, the format must wrap it with %w so errors.Is/As keep
+// working through the new message. Formatting with %v/%s flattens the chain
+// and breaks callers matching net.ErrClosed, ErrPoolExhausted, etc.
+var ErrwrapAnalyzer = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf given an error value must wrap it with %w",
+	Run:  runErrwrap,
+}
+
+func runErrwrap(p *Pass) {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			if !isPkgFunc(calleeFunc(p.Pkg.Info, call), "fmt", "Errorf") {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok {
+				return true // dynamic format string: out of scope
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil || strings.Contains(format, "%w") {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				t := exprType(p.Pkg.Info, arg)
+				if t != nil && types.Implements(t, errIface) {
+					p.Reportf("errwrap", arg.Pos(),
+						"error value formatted into fmt.Errorf without %%w; use %%w so errors.Is/As see the cause")
+					return true
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inspectStack walks f like ast.Inspect but hands fn the stack of ancestor
+// nodes (outermost first, not including n itself).
+func inspectStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// calleeFunc resolves the called package-level function or method of a call
+// expression, or nil when the callee is not a *types.Func (e.g. a function
+// value, conversion, or builtin).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// namedFrom reports whether t (after unaliasing) is the named type
+// pkgPath.name, looking through pointers.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// netipTypeName returns "Addr", "Prefix", or "AddrPort" when t is (a pointer
+// to) one of the net/netip value types, else "".
+func netipTypeName(t types.Type) string {
+	for _, name := range []string{"Addr", "Prefix", "AddrPort"} {
+		if namedFrom(t, "net/netip", name) {
+			return name
+		}
+	}
+	return ""
+}
+
+// exprType returns the static type of e, or nil.
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	tv, ok := info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// lockNames are the sync types that must never be copied once used.
+var lockNames = []string{"Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map"}
+
+// containsLock reports whether a value of type t embeds synchronization
+// state (directly or through structs/arrays), making copies invalid.
+func containsLock(t types.Type) bool {
+	return containsLockSeen(t, make(map[types.Type]bool))
+}
+
+func containsLockSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	for _, name := range lockNames {
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name {
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockSeen(u.Elem(), seen)
+	case *types.Named:
+		return containsLockSeen(u.Underlying(), seen)
+	}
+	return false
+}

@@ -1,0 +1,245 @@
+// Package lint is dynalint's analyzer engine: a stdlib-only static-analysis
+// suite (go/ast + go/types) enforcing the repo's determinism, netip-hygiene,
+// error-wrapping, and lock-discipline invariants. See README.md "Static
+// analysis & determinism conventions" for the rule catalogue.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Config selects which packages each repo-specific rule applies to.
+type Config struct {
+	// SimPackages lists import-path suffixes of the simulation/analysis
+	// packages where determinism rules (no wall clock, no global RNG) and
+	// the exported-API netip rules are enforced. An entry matches a
+	// package whose import path equals it or ends with "/"+entry.
+	SimPackages []string
+	// Rules restricts which analyzers run; empty means all.
+	Rules []string
+}
+
+// DefaultConfig is the repository configuration: the packages that form the
+// deterministic simulation and analysis core.
+func DefaultConfig() Config {
+	return Config{
+		SimPackages: []string{
+			"internal/isp",
+			"internal/atlas",
+			"internal/cdn",
+			"internal/core",
+			"internal/dhcp4",
+			"internal/dhcp6",
+			"internal/radius",
+			"internal/cgnat",
+		},
+	}
+}
+
+// IsSimPackage reports whether the import path is one of the configured
+// simulation/analysis packages.
+func (c Config) IsSimPackage(importPath string) bool {
+	for _, s := range c.SimPackages {
+		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one finding, addressable as file:line.
+type Diagnostic struct {
+	Path    string `json:"path"` // relative to the module root
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the canonical "file:line: [rule] message"
+// form consumed by editors and CI.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Path, d.Line, d.Rule, d.Message)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+	Cfg  Config
+
+	diags *[]Diagnostic
+	root  string
+}
+
+// Reportf records a diagnostic at pos under the given rule.
+func (p *Pass) Reportf(rule string, pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	path := position.Filename
+	if rel, ok := relPath(p.root, path); ok {
+		path = rel
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Path:    path,
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func relPath(root, path string) (string, bool) {
+	if root == "" {
+		return path, false
+	}
+	prefix := root
+	if !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	if rest, ok := strings.CutPrefix(path, prefix); ok {
+		return rest, true
+	}
+	return path, false
+}
+
+// Analyzer is one named rule set.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full dynalint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		NetipAnalyzer,
+		ErrwrapAnalyzer,
+		LockcopyAnalyzer,
+	}
+}
+
+// AnalyzerNames returns the names of all analyzers in the suite.
+func AnalyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Run executes the selected analyzers over every package of the module and
+// returns the surviving (non-suppressed) diagnostics sorted by position.
+func Run(mod *Module, cfg Config, analyzers []*Analyzer) []Diagnostic {
+	selected := analyzers
+	if len(cfg.Rules) > 0 {
+		keep := make(map[string]bool, len(cfg.Rules))
+		for _, r := range cfg.Rules {
+			keep[r] = true
+		}
+		selected = nil
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+	}
+	var diags []Diagnostic
+	sup := newSuppressions(mod)
+	// Malformed directives are findings themselves: a typo'd suppression
+	// silently un-suppresses, so surface it.
+	diags = append(diags, sup.malformed...)
+	for _, pkg := range mod.Pkgs {
+		pass := &Pass{Fset: mod.Fset, Pkg: pkg, Cfg: cfg, diags: &diags, root: mod.Root}
+		for _, a := range selected {
+			a.Run(pass)
+		}
+	}
+	diags = sup.filter(diags)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Path != diags[j].Path {
+			return diags[i].Path < diags[j].Path
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		if diags[i].Col != diags[j].Col {
+			return diags[i].Col < diags[j].Col
+		}
+		return diags[i].Rule < diags[j].Rule
+	})
+	return diags
+}
+
+// suppressions indexes //lint:ignore directives. A directive written as
+//
+//	//lint:ignore <rule> <reason>
+//
+// suppresses diagnostics of <rule> on the directive's own line and on the
+// line directly below it (so it works both as a trailing comment and as a
+// standalone comment above the offending statement).
+type suppressions struct {
+	byFile    map[string]map[int]map[string]bool // path -> line -> rule set
+	malformed []Diagnostic
+}
+
+func newSuppressions(mod *Module) *suppressions {
+	s := &suppressions{byFile: make(map[string]map[int]map[string]bool)}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					s.add(mod, c)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) add(mod *Module, c *ast.Comment) {
+	text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+	if !ok {
+		return
+	}
+	pos := mod.Fset.Position(c.Pos())
+	path := pos.Filename
+	if rel, ok := relPath(mod.Root, path); ok {
+		path = rel
+	}
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		s.malformed = append(s.malformed, Diagnostic{
+			Path: path, Line: pos.Line, Col: pos.Column, Rule: "directive",
+			Message: "malformed //lint:ignore: want \"//lint:ignore <rule> <reason>\"",
+		})
+		return
+	}
+	rule := fields[0]
+	lines := s.byFile[path]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		s.byFile[path] = lines
+	}
+	for _, ln := range []int{pos.Line, pos.Line + 1} {
+		if lines[ln] == nil {
+			lines[ln] = make(map[string]bool)
+		}
+		lines[ln][rule] = true
+	}
+}
+
+func (s *suppressions) filter(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if rules, ok := s.byFile[d.Path][d.Line]; ok && (rules[d.Rule] || rules["all"]) && d.Rule != "directive" {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// simCfg marks the fixture package itself as a simulation package so the
+// package-gated rules (determinism, exported-API netip) are exercised.
+var simCfg = Config{SimPackages: []string{"fixture"}}
+
+// TestFixtures runs the full suite over each golden fixture and compares
+// the formatted diagnostics against the fixture's golden.txt. Regenerate
+// with LINT_UPDATE=1 go test ./internal/lint.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"determinism", simCfg},
+		{"netip", simCfg},
+		{"errwrap", simCfg},
+		{"lockcopy", simCfg},
+		{"ignore", simCfg},
+		{"nonsim", Config{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.name)
+			mod, err := LoadModule(dir)
+			if err != nil {
+				t.Fatalf("LoadModule(%s): %v", dir, err)
+			}
+			diags := Run(mod, tc.cfg, Analyzers())
+			var sb strings.Builder
+			for _, d := range diags {
+				sb.WriteString(d.String())
+				sb.WriteString("\n")
+			}
+			got := sb.String()
+			goldenPath := filepath.Join(dir, "golden.txt")
+			if os.Getenv("LINT_UPDATE") == "1" {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("read golden: %v (run with LINT_UPDATE=1 to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestRepoClean asserts dynalint reports nothing on the repository itself:
+// the determinism/netip/errwrap/lockcopy invariants hold module-wide.
+func TestRepoClean(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("LoadModule(repo): %v", err)
+	}
+	diags := Run(mod, DefaultConfig(), Analyzers())
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestRuleSelection verifies cfg.Rules restricts which analyzers run.
+func TestRuleSelection(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "determinism")
+	mod, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simCfg
+	cfg.Rules = []string{"errwrap"}
+	if diags := Run(mod, cfg, Analyzers()); len(diags) != 0 {
+		t.Errorf("errwrap-only run over determinism fixture found %v", diags)
+	}
+	cfg.Rules = []string{"determinism"}
+	if diags := Run(mod, cfg, Analyzers()); len(diags) == 0 {
+		t.Error("determinism-only run found nothing")
+	}
+}
+
+func TestIsSimPackage(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, p := range []string{"dynamips/internal/dhcp4", "dynamips/internal/atlas"} {
+		if !cfg.IsSimPackage(p) {
+			t.Errorf("IsSimPackage(%q) = false", p)
+		}
+	}
+	for _, p := range []string{"dynamips/internal/netutil", "dynamips/internal/lint", "dynamips"} {
+		if cfg.IsSimPackage(p) {
+			t.Errorf("IsSimPackage(%q) = true", p)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Path: "internal/x/y.go", Line: 12, Col: 3, Rule: "netip", Message: "msg"}
+	if got, want := d.String(), "internal/x/y.go:12: [netip] msg"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockcopyAnalyzer enforces lock discipline: values whose type (transitively)
+// contains a sync primitive must never be copied — not passed or returned by
+// value, not bound to a value receiver, not duplicated by assignment, and
+// not yielded by value from a range loop. A copied mutex is a distinct
+// mutex, and the original's exclusion silently stops covering the copy.
+var LockcopyAnalyzer = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "forbid copying values containing sync.Mutex/RWMutex (and friends)",
+	Run:  runLockcopy,
+}
+
+func runLockcopy(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					for _, field := range n.Recv.List {
+						checkFieldLock(p, field, "method has a value receiver containing a sync lock; use a pointer receiver")
+					}
+				}
+			case *ast.FuncType:
+				if n.Params != nil {
+					for _, field := range n.Params.List {
+						checkFieldLock(p, field, "parameter passes a lock-containing value by value; pass a pointer")
+					}
+				}
+				if n.Results != nil {
+					for _, field := range n.Results.List {
+						checkFieldLock(p, field, "result returns a lock-containing value by value; return a pointer")
+					}
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true // multi-value call/comma-ok: callee results are checked at the FuncType
+				}
+				for i, rhs := range n.Rhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue // discarded, nothing retains the copy
+					}
+					if copiesExistingValue(rhs) && containsLock(exprType(info, rhs)) {
+						p.Reportf("lockcopy", rhs.Pos(),
+							"assignment copies a value containing a sync lock; share it through a pointer")
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				if id, ok := n.Value.(*ast.Ident); ok && id.Name == "_" {
+					return true
+				}
+				if containsLock(identOrExprType(info, n.Value)) {
+					p.Reportf("lockcopy", n.Value.Pos(),
+						"range copies lock-containing elements by value; iterate by index or store pointers")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkFieldLock(p *Pass, field *ast.Field, msg string) {
+	t := exprType(p.Pkg.Info, field.Type)
+	if t == nil {
+		if tv, ok := p.Pkg.Info.Types[field.Type]; ok {
+			t = tv.Type
+		}
+	}
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if containsLock(t) {
+		p.Reportf("lockcopy", field.Pos(), msg)
+	}
+}
+
+// identOrExprType resolves the type of a range-clause variable, which for
+// ":=" loops lives in Defs rather than Types.
+func identOrExprType(info *types.Info, e ast.Expr) types.Type {
+	if id, ok := e.(*ast.Ident); ok {
+		if obj, ok := info.Defs[id]; ok && obj != nil {
+			return obj.Type()
+		}
+		if obj, ok := info.Uses[id]; ok && obj != nil {
+			return obj.Type()
+		}
+	}
+	return exprType(info, e)
+}
+
+// copiesExistingValue reports whether e reads an existing variable (as
+// opposed to a fresh composite literal, call result, or conversion, whose
+// producer is flagged at its own declaration site).
+func copiesExistingValue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}

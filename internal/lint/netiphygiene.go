@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NetipAnalyzer enforces exact address handling: netip values must be
+// compared with == / Compare (String() ordering sorts "10." before "2." and
+// allocates), must key maps directly rather than via their String() form,
+// and the exported API of analysis packages must speak netip.Addr/Prefix,
+// never the ambiguous net.IP byte slice.
+var NetipAnalyzer = &Analyzer{
+	Name: "netip",
+	Doc: "forbid String()-based comparison/map-keying of netip values and " +
+		"net.IP in exported APIs of analysis packages",
+	Run: runNetip,
+}
+
+var comparisonOps = map[token.Token]bool{
+	token.LSS: true, token.GTR: true, token.LEQ: true,
+	token.GEQ: true, token.EQL: true, token.NEQ: true,
+}
+
+func runNetip(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !comparisonOps[n.Op] {
+					return true
+				}
+				lt, lok := netipStringCall(p.Pkg.Info, n.X)
+				_, rok := netipStringCall(p.Pkg.Info, n.Y)
+				if lok && rok {
+					hint := "Compare"
+					if n.Op == token.EQL || n.Op == token.NEQ {
+						hint = "==" // netip values are comparable
+					}
+					p.Reportf("netip", n.Pos(),
+						"comparing netip.%s values by String(); use %s on the values themselves", lt, hint)
+				}
+			case *ast.IndexExpr:
+				mt := exprType(p.Pkg.Info, n.X)
+				if mt == nil {
+					return true
+				}
+				if _, ok := mt.Underlying().(*types.Map); !ok {
+					return true
+				}
+				if kt, ok := netipStringCall(p.Pkg.Info, n.Index); ok {
+					p.Reportf("netip", n.Index.Pos(),
+						"netip.%s.String() used as map key; netip values are comparable — key the map by the value", kt)
+				}
+			}
+			return true
+		})
+	}
+	if p.Cfg.IsSimPackage(p.Pkg.ImportPath) {
+		checkExportedNetIP(p)
+	}
+}
+
+// netipStringCall reports whether e is a call x.String() with x a netip
+// value, returning the netip type name.
+func netipStringCall(info *types.Info, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "String" {
+		return "", false
+	}
+	name := netipTypeName(exprType(info, sel.X))
+	return name, name != ""
+}
+
+// checkExportedNetIP flags net.IP appearing in the exported surface of an
+// analysis package: exported function/method signatures and exported fields
+// of exported struct types.
+func checkExportedNetIP(p *Pass) {
+	scope := p.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch obj := obj.(type) {
+		case *types.Func:
+			checkSignatureNetIP(p, obj)
+		case *types.TypeName:
+			named, ok := types.Unalias(obj.Type()).(*types.Named)
+			if !ok {
+				continue
+			}
+			if st, ok := named.Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					f := st.Field(i)
+					if f.Exported() && typeUsesNetIP(f.Type()) {
+						p.Reportf("netip", f.Pos(),
+							"exported field %s.%s uses net.IP; analysis packages expose netip.Addr/netip.Prefix", name, f.Name())
+					}
+				}
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				if m := named.Method(i); m.Exported() {
+					checkSignatureNetIP(p, m)
+				}
+			}
+		}
+	}
+}
+
+func checkSignatureNetIP(p *Pass, fn *types.Func) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for _, tuple := range []*types.Tuple{sig.Params(), sig.Results()} {
+		for i := 0; i < tuple.Len(); i++ {
+			v := tuple.At(i)
+			if typeUsesNetIP(v.Type()) {
+				p.Reportf("netip", fn.Pos(),
+					"exported %s has net.IP in its signature; analysis packages expose netip.Addr/netip.Prefix", fn.Name())
+				return
+			}
+		}
+	}
+}
+
+// typeUsesNetIP reports whether t mentions net.IP anywhere in its structure.
+func typeUsesNetIP(t types.Type) bool {
+	return usesNetIPSeen(t, make(map[types.Type]bool))
+}
+
+func usesNetIPSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if namedFrom(t, "net", "IP") || namedFrom(t, "net", "IPNet") {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return usesNetIPSeen(u.Elem(), seen)
+	case *types.Slice:
+		return usesNetIPSeen(u.Elem(), seen)
+	case *types.Array:
+		return usesNetIPSeen(u.Elem(), seen)
+	case *types.Map:
+		return usesNetIPSeen(u.Key(), seen) || usesNetIPSeen(u.Elem(), seen)
+	case *types.Chan:
+		return usesNetIPSeen(u.Elem(), seen)
+	}
+	return false
+}

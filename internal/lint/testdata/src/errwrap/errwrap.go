@@ -1,0 +1,30 @@
+// Package fixture exercises the errwrap analyzer.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func BadVerb() error {
+	return fmt.Errorf("context: %v", errBase)
+}
+
+func BadString() error {
+	return fmt.Errorf("context: %s", errBase)
+}
+
+func GoodWrap() error {
+	return fmt.Errorf("context: %w", errBase)
+}
+
+func GoodNoError() error {
+	return fmt.Errorf("code %d: %s", 7, errBase.Error())
+}
+
+func Suppressed() error {
+	//lint:ignore errwrap message deliberately flattens the chain
+	return fmt.Errorf("context: %v", errBase)
+}

@@ -1,0 +1,28 @@
+// Package fixture exercises //lint:ignore suppression behavior.
+package fixture
+
+import "time"
+
+func SameLine() int64 {
+	return time.Now().Unix() //lint:ignore determinism trailing suppression
+}
+
+func LineAbove() int64 {
+	//lint:ignore determinism standalone suppression above the statement
+	return time.Now().Unix()
+}
+
+func Blanket() int64 {
+	//lint:ignore all blanket suppression covers every rule
+	return time.Now().Unix()
+}
+
+func WrongRule() int64 {
+	//lint:ignore netip suppressing the wrong rule leaves the finding live
+	return time.Now().Unix()
+}
+
+func Malformed() int64 {
+	//lint:ignore determinism
+	return time.Now().Unix()
+}

@@ -1,0 +1,52 @@
+// Package fixture exercises the lockcopy analyzer.
+package fixture
+
+import "sync"
+
+// Counter holds a mutex, so values must never be copied.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Nested embeds a lock transitively.
+type Nested struct {
+	c Counter
+}
+
+func BadParam(c Counter) {}
+
+func BadNestedParam(n Nested) {}
+
+func BadResult() Counter {
+	return Counter{}
+}
+
+func (c Counter) BadRecv() {}
+
+func BadAssign(c *Counter) {
+	cp := *c
+	_ = cp
+}
+
+func BadRange(cs []Counter) {
+	for _, c := range cs {
+		_ = c
+	}
+}
+
+func GoodPointer(c *Counter) *Counter {
+	return c
+}
+
+func GoodIndexRange(cs []Counter) {
+	for i := range cs {
+		cs[i].mu.Lock()
+		cs[i].mu.Unlock()
+	}
+}
+
+func GoodFresh() *Counter {
+	c := Counter{} // composite literal: a fresh value, not a copy
+	return &c
+}

@@ -1,0 +1,51 @@
+// Package fixture exercises the netip hygiene analyzer.
+package fixture
+
+import (
+	"net"
+	"net/netip"
+	"sort"
+)
+
+func BadLess(a, b netip.Addr) bool {
+	return a.String() < b.String()
+}
+
+func BadEqual(a, b netip.Prefix) bool {
+	return a.String() == b.String()
+}
+
+func BadSort(ps []netip.Prefix) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].String() < ps[j].String() })
+}
+
+func BadKey(m map[string]int, a netip.Addr) int {
+	return m[a.String()]
+}
+
+func GoodCompare(a, b netip.Addr, m map[netip.Addr]int) bool {
+	if a == b {
+		return true
+	}
+	_ = m[a]
+	return a.Compare(b) < 0
+}
+
+// GoodStringUse formats an address for output, which is fine: only
+// comparisons and map keys through String() are flagged.
+func GoodStringUse(a netip.Addr) string {
+	return "addr=" + a.String()
+}
+
+// BadAPI takes net.IP in an exported signature of an analysis package.
+func BadAPI(ip net.IP) {}
+
+// BadStruct exposes net.IP through an exported field.
+type BadStruct struct {
+	IP net.IP
+}
+
+// BadMethod returns net.IP values from an exported method.
+func (BadStruct) BadMethod() []net.IP { return nil }
+
+func goodUnexported(ip net.IP) { _ = ip }

@@ -1,0 +1,29 @@
+// Package fixture shows the package-gated rules: outside the configured
+// simulation packages, wall clocks, global RNGs, and net.IP APIs pass, while
+// netip comparison hygiene and error wrapping still apply module-wide.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"time"
+)
+
+var errBase = errors.New("base")
+
+func OKWallClock() int64 {
+	return time.Now().Unix() + int64(rand.Intn(3))
+}
+
+func OKNetIPAPI(ip net.IP) {}
+
+func StillBadCompare(a, b netip.Addr) bool {
+	return a.String() < b.String()
+}
+
+func StillBadWrap() error {
+	return fmt.Errorf("context: %v", errBase)
+}

@@ -294,3 +294,21 @@ func ScrambleBits(p netip.Prefix, fromBit int, r uint64) netip.Prefix {
 func ZeroLowBits(p netip.Prefix, fromBit int) netip.Prefix {
 	return ScrambleBits(p, fromBit, 0)
 }
+
+// ComparePrefix orders prefixes by address and then by length (shorter, i.e.
+// less specific, first), the natural address-space order. It fills the gap
+// left by net/netip, whose Prefix has no Compare method, and replaces
+// String()-based sorting, which is both slower and wrong ("10.0.0.0/8"
+// sorts before "2.0.0.0/8" as a string).
+func ComparePrefix(a, b netip.Prefix) int {
+	if c := a.Addr().Compare(b.Addr()); c != 0 {
+		return c
+	}
+	switch {
+	case a.Bits() < b.Bits():
+		return -1
+	case a.Bits() > b.Bits():
+		return 1
+	}
+	return 0
+}

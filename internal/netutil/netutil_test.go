@@ -360,3 +360,23 @@ func TestSameAtLength(t *testing.T) {
 		t.Error("did not expect same /56")
 	}
 }
+
+func TestComparePrefix(t *testing.T) {
+	mp := func(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"2.0.0.0/8", "10.0.0.0/8", -1}, // string order would invert this
+		{"10.0.0.0/8", "2.0.0.0/8", 1},
+		{"10.0.0.0/8", "10.0.0.0/8", 0},
+		{"10.0.0.0/8", "10.0.0.0/16", -1}, // less specific first
+		{"2003:1000::/40", "2003:2000::/40", -1},
+		{"192.0.2.0/24", "2003::/19", -1}, // v4 sorts before v6, as Addr.Compare does
+	}
+	for _, c := range cases {
+		if got := ComparePrefix(mp(c.a), mp(c.b)); got != c.want {
+			t.Errorf("ComparePrefix(%s, %s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -49,3 +49,23 @@ func TestRecoverPasswordNeverPanics(t *testing.T) {
 		}
 	}
 }
+
+// FuzzParse is the native fuzz target for the RADIUS codec, run with a
+// bounded -fuzztime as a smoke gate in CI (scripts/verify.sh).
+func FuzzParse(f *testing.F) {
+	valid := New(AccessRequest, 9)
+	valid.AddString(AttrUserName, "fuzz")
+	valid.AddU32(AttrSessionTimeout, 60)
+	f.Add(valid.Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := Parse(b)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("nil packet without error")
+		}
+		p.Encode()
+	})
+}

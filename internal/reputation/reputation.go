@@ -152,6 +152,6 @@ func (b *Blocklist) Export() []netip.Prefix {
 		ps = append(ps, e.Prefix)
 	}
 	out := netutil.Coalesce(ps)
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	sort.Slice(out, func(i, j int) bool { return netutil.ComparePrefix(out[i], out[j]) < 0 })
 	return out
 }

@@ -1,0 +1,28 @@
+#!/bin/sh
+# verify.sh — the repository's full correctness gate, run locally and in CI:
+#   build, go vet, dynalint (determinism/netip/errwrap/lockcopy), the test
+#   suite under the race detector, and a bounded fuzz smoke over every
+#   wire-codec Fuzz* target. FUZZTIME bounds each fuzz run (default 10s).
+set -eu
+
+cd "$(dirname "$0")/.."
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> dynalint ./..."
+go run ./cmd/dynalint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> fuzz smoke (-fuzztime ${FUZZTIME} each)"
+go test ./internal/dhcp4 -run '^$' -fuzz '^FuzzUnmarshal$' -fuzztime "$FUZZTIME"
+go test ./internal/dhcp6 -run '^$' -fuzz '^FuzzUnmarshal$' -fuzztime "$FUZZTIME"
+go test ./internal/radius -run '^$' -fuzz '^FuzzParse$' -fuzztime "$FUZZTIME"
+
+echo "==> verify OK"
