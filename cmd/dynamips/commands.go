@@ -60,10 +60,11 @@ func cmdGen(args []string) error {
 	case "cdn":
 		days := fs.Int("days", 150, "collection window in days")
 		scale := fs.Float64("scale", 1, "population scale factor")
+		workers := fs.Int("workers", 0, "per-operator generation fan-out, 0 = all CPUs (output is identical for any value)")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
-		return genCDN(*days, *scale, *seed, *out)
+		return genCDN(*days, *scale, *seed, *workers, *out)
 	default:
 		return fmt.Errorf("gen: unknown dataset kind %q", kind)
 	}
@@ -108,10 +109,11 @@ func genAtlas(profileName string, probes int, hours, seed int64, raw bool, out s
 	return atlas.WriteSeries(f, fleet.Series)
 }
 
-func genCDN(days int, scale float64, seed int64, out string) error {
+func genCDN(days int, scale float64, seed int64, workers int, out string) error {
 	cfg := cdn.DefaultGenConfig(seed)
 	cfg.Days = days
 	cfg.Scale = scale
+	cfg.Workers = workers
 	ds, err := cdn.Generate(cfg)
 	if err != nil {
 		return err
@@ -331,6 +333,7 @@ func cmdExperiment(args []string) error {
 	probeScale := fs.Float64("probe-scale", 1, "probe count multiplier")
 	cdnScale := fs.Float64("cdn-scale", 1, "CDN population multiplier")
 	cdnDays := fs.Int("cdn-days", 150, "CDN window in days")
+	workers := fs.Int("workers", 0, "pipeline build fan-out, 0 = all CPUs (output is identical for any value)")
 	asJSON := fs.Bool("json", false, "emit the figure's data series as JSON (fig1/fig2/fig3/fig5/fig9)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -340,7 +343,7 @@ func cmdExperiment(args []string) error {
 	}
 	cfg := experiments.Config{
 		Seed: *seed, Hours: *hours, ProbeScale: *probeScale,
-		CDNScale: *cdnScale, CDNDays: *cdnDays,
+		CDNScale: *cdnScale, CDNDays: *cdnDays, Workers: *workers,
 	}
 	name := fs.Arg(0)
 	if *asJSON {

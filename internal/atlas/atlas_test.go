@@ -6,6 +6,7 @@ import (
 	"net/netip"
 	"testing"
 
+	"dynamips/internal/bgp"
 	"dynamips/internal/isp"
 )
 
@@ -411,5 +412,60 @@ func TestReadSeriesRejectsCorrupt(t *testing.T) {
 	buf.WriteString(`{"probe":{"prb_id":1},"v4":[{"start":9,"end":2,"x_client_ip":"81.10.0.1","src_addr":"192.168.1.2"}],"v6":null}` + "\n")
 	if _, err := ReadSeries(&buf); err == nil {
 		t.Error("corrupt series file accepted")
+	}
+}
+
+// TestSanitizeUnroutedSpans: unrouted echoes carry no AS attribution.
+// They must not read as an A,0,A alternation (dropping the probe as
+// multihomed), and AS-switch splitting must not fabricate AS-0 virtual
+// probes from them.
+func TestSanitizeUnroutedSpans(t *testing.T) {
+	table := &bgp.Table{}
+	table.Announce(netip.MustParsePrefix("81.10.0.0/16"), 3320)
+	table.Announce(netip.MustParsePrefix("203.0.113.0/24"), 64501)
+	homeA := netip.MustParseAddr("81.10.0.1")
+	homeB := netip.MustParseAddr("81.10.0.9")
+	unrouted := netip.MustParseAddr("100.64.0.1")
+	foreign := netip.MustParseAddr("203.0.113.7")
+
+	// Transiently unrouted echo between two stretches of the home AS.
+	ser := Series{
+		Probe: Probe{ID: 1, ASN: 3320},
+		V4: []Span{
+			{Start: 0, End: 800, Echo: homeA},
+			{Start: 801, End: 820, Echo: unrouted},
+			{Start: 821, End: 1700, Echo: homeB},
+		},
+	}
+	out := Sanitize([]Series{ser}, table, DefaultSanitizeConfig())
+	if len(out.Clean) != 1 || out.Drops[DropMultihomed] != 0 {
+		t.Fatalf("transiently unrouted probe mishandled: clean=%d drops=%v", len(out.Clean), out.Drops)
+	}
+	if out.Clean[0].Probe.ASN != 3320 {
+		t.Errorf("probe ASN = %d, want 3320", out.Clean[0].Probe.ASN)
+	}
+
+	// Genuine AS switch with an unrouted stretch in the middle.
+	sw := Series{
+		Probe: Probe{ID: 2, ASN: 3320},
+		V4: []Span{
+			{Start: 0, End: 900, Echo: homeA},
+			{Start: 901, End: 920, Echo: unrouted},
+			{Start: 921, End: 1900, Echo: foreign},
+		},
+	}
+	out = Sanitize([]Series{sw}, table, DefaultSanitizeConfig())
+	if out.VirtualSplits != 1 || len(out.Clean) != 2 {
+		t.Fatalf("switch probe: splits=%d clean=%d drops=%v", out.VirtualSplits, len(out.Clean), out.Drops)
+	}
+	for _, c := range out.Clean {
+		if c.Probe.ASN == 0 {
+			t.Error("AS-0 virtual probe emitted")
+		}
+		for _, sp := range c.V4 {
+			if sp.Echo == unrouted {
+				t.Error("unrouted span survived into a split part")
+			}
+		}
 	}
 }

@@ -146,11 +146,17 @@ func atypicalNAT(s *Series) bool {
 }
 
 // asnSequence maps spans to origin ASNs and collapses consecutive
-// duplicates; unrouted addresses map to 0.
+// duplicates. Unrouted addresses carry no attribution signal and are
+// skipped: a transiently unrouted echo between two stretches of the home
+// AS must not read as an A,0,A alternation (which would drop the probe as
+// multihomed) or as an AS transition (which would split it).
 func asnSequence(spans []Span, table *bgp.Table) []uint32 {
 	var seq []uint32
 	for _, sp := range spans {
-		asn, _, _ := table.Origin(sp.Echo)
+		asn, _, ok := table.Origin(sp.Echo)
+		if !ok {
+			continue
+		}
 		if n := len(seq); n == 0 || seq[n-1] != asn {
 			seq = append(seq, asn)
 		}
@@ -191,13 +197,19 @@ func addrAlternates(spans []Span) bool {
 
 // splitByASN splits a series at AS transitions, producing one virtual probe
 // per AS (Appendix A.1: 2,517 probes became per-AS virtual probes).
+// Unrouted spans are discarded rather than collected into a fictitious
+// AS-0 virtual probe.
 func splitByASN(s *Series, table *bgp.Table) []Series {
 	type bucket struct {
 		v4, v6 []Span
 	}
 	buckets := map[uint32]*bucket{}
 	var order []uint32
-	add := func(asn uint32, sp Span, v6 bool) {
+	add := func(sp Span, v6 bool) {
+		asn, _, ok := table.Origin(sp.Echo)
+		if !ok {
+			return
+		}
 		b, ok := buckets[asn]
 		if !ok {
 			b = &bucket{}
@@ -211,12 +223,10 @@ func splitByASN(s *Series, table *bgp.Table) []Series {
 		}
 	}
 	for _, sp := range s.V4 {
-		asn, _, _ := table.Origin(sp.Echo)
-		add(asn, sp, false)
+		add(sp, false)
 	}
 	for _, sp := range s.V6 {
-		asn, _, _ := table.Origin(sp.Echo)
-		add(asn, sp, true)
+		add(sp, true)
 	}
 	out := make([]Series, 0, len(order))
 	for i, asn := range order {

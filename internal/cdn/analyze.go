@@ -42,11 +42,22 @@ func Episodes(assocs []Association, cfg EpisodeConfig) []Episode {
 		cfg.MaxGapDays = 7
 	}
 	sorted := append([]Association(nil), assocs...)
+	// Total order: a /64 can report two /24s on the same day (CGNAT
+	// remaps, interleaved attachments), and sort.Slice is unstable, so
+	// ordering by (K64, Day) alone would make the episode split — and the
+	// hit attribution — depend on the input permutation.
 	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].K64 != sorted[j].K64 {
-			return sorted[i].K64 < sorted[j].K64
+		a, b := sorted[i], sorted[j]
+		if a.K64 != b.K64 {
+			return a.K64 < b.K64
 		}
-		return sorted[i].Day < sorted[j].Day
+		if a.Day != b.Day {
+			return a.Day < b.Day
+		}
+		if a.K24 != b.K24 {
+			return a.K24 < b.K24
+		}
+		return a.Hits < b.Hits
 	})
 	var out []Episode
 	for i := 0; i < len(sorted); {
@@ -86,7 +97,7 @@ func MobileLabel(assocs []Association, threshold int) map[uint32]bool {
 	}
 	out := make(map[uint32]bool, len(uniq))
 	for k24, m := range uniq {
-		out[k24] = len(m) >= threshold
+		out[k24] = len(m) > threshold
 	}
 	return out
 }

@@ -2,6 +2,8 @@ package cdn
 
 import (
 	"math"
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"dynamips/internal/rir"
@@ -288,6 +290,73 @@ func TestGroupDurationsUnknownRegistry(t *testing.T) {
 	for reg, pair := range g.ByRegistry {
 		if pair.Fixed.Len()+pair.Mobile.Len() != 0 {
 			t.Errorf("registry %v got the undelegated episode", reg)
+		}
+	}
+}
+
+// TestEpisodesOrderInsensitive: a /64 can report two /24s on the same day;
+// episode extraction must not depend on the input permutation.
+func TestEpisodesOrderInsensitive(t *testing.T) {
+	base := []Association{
+		{K64: 9, K24: 20, Day: 0, Hits: 3},
+		{K64: 9, K24: 21, Day: 0, Hits: 4},
+		{K64: 9, K24: 21, Day: 1, Hits: 2},
+		{K64: 9, K24: 20, Day: 2, Hits: 1},
+		{K64: 5, K24: 20, Day: 0, Hits: 8},
+	}
+	want := Episodes(base, DefaultEpisodeConfig())
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		shuf := append([]Association(nil), base...)
+		rng.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+		got := Episodes(shuf, DefaultEpisodeConfig())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: episodes depend on input order:\n got %+v\nwant %+v", trial, got, want)
+		}
+	}
+}
+
+// TestMobileLabelThresholdBoundary: the threshold is documented everywhere
+// as the degree ABOVE which a /24 is mobile — the boundary itself is fixed.
+func TestMobileLabelThresholdBoundary(t *testing.T) {
+	var assocs []Association
+	for i := 0; i < 5; i++ {
+		assocs = append(assocs, Association{K24: 1, K64: uint64(i)})
+	}
+	for i := 0; i < 6; i++ {
+		assocs = append(assocs, Association{K24: 2, K64: uint64(100 + i)})
+	}
+	mobile := MobileLabel(assocs, 5)
+	if mobile[1] {
+		t.Error("degree == threshold labeled mobile; doc says strictly above")
+	}
+	if !mobile[2] {
+		t.Error("degree > threshold not labeled mobile")
+	}
+}
+
+// TestGenerateWorkersEquivalence: the fan-out width must not change a
+// single association.
+func TestGenerateWorkersEquivalence(t *testing.T) {
+	cfg := DefaultGenConfig(7)
+	cfg.Scale = 0.05
+	cfg.Workers = 1
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Assocs) != len(b.Assocs) || a.RawCount != b.RawCount || a.Mismatches != b.Mismatches {
+		t.Fatalf("shape differs: %d/%d/%d vs %d/%d/%d",
+			len(a.Assocs), a.RawCount, a.Mismatches, len(b.Assocs), b.RawCount, b.Mismatches)
+	}
+	for i := range a.Assocs {
+		if a.Assocs[i] != b.Assocs[i] {
+			t.Fatalf("association %d differs: %+v vs %+v", i, a.Assocs[i], b.Assocs[i])
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"dynamips/internal/bgp"
 	"dynamips/internal/cgnat"
 	"dynamips/internal/netutil"
+	"dynamips/internal/parallel"
 	"dynamips/internal/rir"
 )
 
@@ -30,6 +31,11 @@ type GenConfig struct {
 	MismatchFrac float64
 	// Operators overrides the built-in operator set when non-nil.
 	Operators []Operator
+	// Workers bounds the per-operator generation fan-out; <= 0 uses one
+	// worker per CPU. Every operator draws from its own seed-derived RNG
+	// stream and the streams are merged in operator order, so the worker
+	// count never changes the generated dataset.
+	Workers int
 }
 
 // DefaultGenConfig returns the experiments' configuration.
@@ -69,7 +75,6 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 	if ops == nil {
 		ops = Operators()
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	ds := &Dataset{
 		Days:        cfg.Days,
 		Operators:   ops,
@@ -83,11 +88,19 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 		ds.BGP.SetName(op.ASN, op.Name)
 		ds.TruthMobile[op.ASN] = op.Mobile
 	}
+	// One seed-derived RNG stream per operator: each operator's draw
+	// sequence depends only on (Seed, operator index), never on how the
+	// other operators are scheduled.
+	chunks, err := parallel.MapErr(len(ops), cfg.Workers, func(oi int) ([]Association, error) {
+		rng := rand.New(rand.NewSource(operatorSeed(cfg.Seed, oi)))
+		return generateOperator(ops[oi], ops, oi, cfg, rng)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var raw []Association
-	for oi, op := range ops {
-		if err := generateOperator(&raw, op, ops, oi, cfg, rng); err != nil {
-			return nil, err
-		}
+	for _, c := range chunks {
+		raw = append(raw, c...)
 	}
 	ds.RawCount = len(raw)
 	// The paper's pre-processing: discard associations whose IPv4 and
@@ -143,7 +156,15 @@ func new64(op Operator, rng *rand.Rand) uint64 {
 	return hi
 }
 
-func generateOperator(out *[]Association, op Operator, all []Operator, oi int, cfg GenConfig, rng *rand.Rand) error {
+// operatorSeed derives operator oi's RNG stream from the run seed. The
+// golden-ratio multiplier spreads consecutive indices across the seed
+// space so neighboring operators never share a lagged sequence.
+func operatorSeed(seed int64, oi int) int64 {
+	const gamma = uint64(0x9E3779B97F4A7C15) // 2^64 / φ, as in SplitMix64
+	return seed ^ int64((uint64(oi)+1)*gamma)
+}
+
+func generateOperator(op Operator, all []Operator, oi int, cfg GenConfig, rng *rand.Rand) ([]Association, error) {
 	subs := int(float64(op.Subscribers) * cfg.Scale)
 	if subs <= 0 {
 		subs = 1
@@ -163,12 +184,13 @@ func generateOperator(out *[]Association, op Operator, all []Operator, oi int, c
 		for i := uint32(0); i < n24; i++ {
 			p, err := netutil.SubPrefix(op.BGP4, 24, uint64(i))
 			if err != nil {
-				return fmt.Errorf("cdn: cgnat pool for %s: %w", op.Name, err)
+				return nil, fmt.Errorf("cdn: cgnat pool for %s: %w", op.Name, err)
 			}
 			public = append(public, p)
 		}
 		gw = cgnat.NewGateway(cgnat.DefaultConfig(public...))
 	}
+	var out []Association
 	for sub := 0; sub < subs; sub++ {
 		day := 0
 		var k64 uint64
@@ -188,14 +210,14 @@ func generateOperator(out *[]Association, op Operator, all []Operator, oi int, c
 			if gw != nil && firstEpisode {
 				b, err := gw.Bind(fmt.Sprintf("%s-%d", op.Name, sub))
 				if err != nil {
-					return fmt.Errorf("cdn: cgnat bind for %s: %w", op.Name, err)
+					return nil, fmt.Errorf("cdn: cgnat bind for %s: %w", op.Name, err)
 				}
 				k24 = netutil.U32(b.Public) >> 8
 			} else {
 				var err error
 				k24, err = pick24(op, n24, rng)
 				if err != nil {
-					return err
+					return nil, err
 				}
 			}
 			firstEpisode = false
@@ -215,14 +237,14 @@ func generateOperator(out *[]Association, op Operator, all []Operator, oi int, c
 					other := all[(oi+1+rng.Intn(len(all)-1))%len(all)]
 					ok24, err := pick24(other, sub24Count(other, cfg.Scale), rng)
 					if err != nil {
-						return err
+						return nil, err
 					}
 					a.K24 = ok24
 				}
-				*out = append(*out, a)
+				out = append(out, a)
 			}
 			day = end
 		}
 	}
-	return nil
+	return out, nil
 }

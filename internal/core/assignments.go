@@ -42,6 +42,10 @@ type ExtractConfig struct {
 	// this split the assignment, and neither fragment's outer boundary
 	// is exact.
 	MaxGapHours int64
+	// Workers bounds Analyze's per-series fan-out; <= 0 uses one worker
+	// per CPU. Series are digested independently and results keep input
+	// order, so the worker count never changes the output.
+	Workers int
 }
 
 // DefaultExtractConfig allows assignments to ride out short probe

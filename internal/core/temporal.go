@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dynamips/internal/atlas"
+	"dynamips/internal/parallel"
 	"dynamips/internal/stats"
 )
 
@@ -21,19 +22,19 @@ type ProbeAnalysis struct {
 	DualStack bool
 }
 
-// Analyze digests sanitized series into per-probe analyses.
+// Analyze digests sanitized series into per-probe analyses. Series are
+// independent, so they are digested concurrently under cfg.Workers; the
+// result keeps the input order.
 func Analyze(series []atlas.Series, cfg ExtractConfig) []ProbeAnalysis {
-	out := make([]ProbeAnalysis, 0, len(series))
-	for i := range series {
+	return parallel.Map(len(series), cfg.Workers, func(i int) ProbeAnalysis {
 		s := &series[i]
-		out = append(out, ProbeAnalysis{
+		return ProbeAnalysis{
 			Probe:     s.Probe,
 			V4:        V4Assignments(s.V4, cfg),
 			V6:        V6Assignments(s.V6, cfg),
 			DualStack: s.DualStack(DualStackMinHours),
-		})
-	}
-	return out
+		}
+	})
 }
 
 // GroupByASN buckets analyses by the probe's AS.

@@ -12,6 +12,7 @@ import (
 	"dynamips/internal/cdn"
 	"dynamips/internal/core"
 	"dynamips/internal/isp"
+	"dynamips/internal/parallel"
 )
 
 // Config sizes the synthetic datasets. The defaults approximate the
@@ -27,6 +28,12 @@ type Config struct {
 	// CDNScale and CDNDays size the CDN dataset.
 	CDNScale float64
 	CDNDays  int
+	// Workers bounds the pipeline builders' fan-out; <= 0 uses one
+	// worker per CPU. The worker count never changes the generated
+	// datasets: every parallel stage draws from per-unit seed-derived
+	// RNG streams and merges results in input order, so any value
+	// reproduces the same tables byte-for-byte.
+	Workers int
 }
 
 // Default returns the configuration the benchmarks and the CLI use.
@@ -61,7 +68,8 @@ type AtlasData struct {
 }
 
 // BuildAtlas runs the full Atlas pipeline: one ISP simulation and probe
-// fleet per built-in profile, merged, sanitized, and analyzed.
+// fleet per built-in profile — the per-AS stages run concurrently under
+// cfg.Workers — merged in profile order, sanitized, and analyzed.
 func BuildAtlas(cfg Config) (*AtlasData, error) {
 	if cfg.Hours <= 0 {
 		cfg.Hours = 50400
@@ -74,8 +82,11 @@ func BuildAtlas(cfg Config) (*AtlasData, error) {
 		BGP:    &bgp.Table{},
 		Names:  make(map[uint32]string),
 	}
-	var all []atlas.Series
-	for i, prof := range isp.Profiles() {
+	// Each AS gets a seed derived from its profile index, so the fleets
+	// are independent of build order and concurrency.
+	profiles := isp.Profiles()
+	fleets, err := parallel.MapErr(len(profiles), cfg.Workers, func(i int) (*atlas.Fleet, error) {
+		prof := profiles[i]
 		probes := int(float64(probeCounts[prof.Name]) * cfg.ProbeScale)
 		if probes < 10 {
 			probes = 10
@@ -94,6 +105,14 @@ func BuildAtlas(cfg Config) (*AtlasData, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fleet for %s: %w", prof.Name, err)
 		}
+		return fleet, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []atlas.Series
+	for i, fleet := range fleets {
+		prof := profiles[i]
 		all = append(all, fleet.Series...)
 		for _, e := range fleet.BGP.Entries() {
 			a.BGP.Announce(e.Prefix, e.ASN)
@@ -103,7 +122,9 @@ func BuildAtlas(cfg Config) (*AtlasData, error) {
 		a.ASNs = append(a.ASNs, prof.ASN)
 	}
 	a.Sanitize = atlas.Sanitize(all, a.BGP, atlas.DefaultSanitizeConfig())
-	a.PAS = core.Analyze(a.Sanitize.Clean, core.DefaultExtractConfig())
+	ec := core.DefaultExtractConfig()
+	ec.Workers = cfg.Workers
+	a.PAS = core.Analyze(a.Sanitize.Clean, ec)
 	a.Durations = core.CollectDurations(a.PAS)
 	return a, nil
 }
@@ -126,6 +147,7 @@ const MobileDegreeThreshold = 350
 // episode extraction, duration grouping.
 func BuildCDN(cfg Config) (*CDNData, error) {
 	gc := cdn.DefaultGenConfig(cfg.Seed)
+	gc.Workers = cfg.Workers
 	if cfg.CDNDays > 0 {
 		gc.Days = cfg.CDNDays
 	}

@@ -251,3 +251,40 @@ func TestFigureData(t *testing.T) {
 		t.Errorf("parsed = %+v", parsed)
 	}
 }
+
+// TestParallelBuildEquivalence: the worker count bounds concurrency only —
+// it must not change a byte of pipeline output.
+func TestParallelBuildEquivalence(t *testing.T) {
+	cfg := Config{Seed: 77, Hours: 6000, ProbeScale: 0.05, CDNScale: 0.02, CDNDays: 60}
+	render := func(workers int) string {
+		c := cfg
+		c.Workers = workers
+		a, err := BuildAtlas(c)
+		if err != nil {
+			t.Fatalf("BuildAtlas(workers=%d): %v", workers, err)
+		}
+		d, err := BuildCDN(c)
+		if err != nil {
+			t.Fatalf("BuildCDN(workers=%d): %v", workers, err)
+		}
+		var buf bytes.Buffer
+		for _, run := range []func() error{
+			func() error { return RunTable1(&buf, a) },
+			func() error { return RunFig6(&buf, a) },
+			func() error { return RunSanitizeReport(&buf, a) },
+			func() error { return RunFig7(&buf, d) },
+			func() error { return RunGlobalDurations(&buf, d) },
+		} {
+			if err := run(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.String()
+	}
+	sequential := render(1)
+	for _, workers := range []int{0, 3, 16} {
+		if got := render(workers); got != sequential {
+			t.Errorf("workers=%d output differs from sequential build", workers)
+		}
+	}
+}

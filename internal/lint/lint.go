@@ -36,6 +36,8 @@ func DefaultConfig() Config {
 			"internal/dhcp6",
 			"internal/radius",
 			"internal/cgnat",
+			"internal/experiments",
+			"internal/parallel",
 		},
 	}
 }

@@ -1,0 +1,89 @@
+// Package parallel is the deterministic fan-out primitive the pipeline
+// builders share: an index-ordered map over a bounded worker pool.
+//
+// The repository's reproducibility contract says the same configuration
+// must regenerate every table byte-for-byte. That rules out any
+// concurrency whose observable outcome depends on goroutine scheduling.
+// The helpers here keep the contract by construction:
+//
+//   - work is claimed by index, results land in a slice slot owned by
+//     that index, and the caller merges in index order;
+//   - the reported error is always the lowest-index failure, which is
+//     scheduling-independent (indices are claimed in ascending order, so
+//     every index below a claimed one runs to completion);
+//   - the worker count only bounds concurrency — it never changes what is
+//     computed, so workers=1 and workers=N produce identical results.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 select one worker
+// per available CPU.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// MapErr computes fn(0) … fn(n-1) on up to workers goroutines (per
+// Workers) and returns the results in index order. Every fn call receives
+// a distinct index, so fn may write only to state it derives from the
+// index. On failure MapErr returns the error of the lowest failing index
+// and no results; indices after the first observed failure may be
+// skipped, but everything before the lowest failing index always runs.
+func MapErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers = min(Workers(workers), n)
+	out := make([]T, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := range out {
+			var err error
+			if out[i], err = fn(i); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				out[i], errs[i] = fn(i)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Map is MapErr for infallible stages.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out, _ := MapErr(n, workers, func(i int) (T, error) { return fn(i), nil })
+	return out
+}
