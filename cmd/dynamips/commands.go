@@ -13,6 +13,7 @@ import (
 	"dynamips/internal/cdn"
 	"dynamips/internal/core"
 	"dynamips/internal/experiments"
+	"dynamips/internal/faultnet"
 	"dynamips/internal/isp"
 	"dynamips/internal/stats"
 )
@@ -334,6 +335,8 @@ func cmdExperiment(args []string) error {
 	cdnScale := fs.Float64("cdn-scale", 1, "CDN population multiplier")
 	cdnDays := fs.Int("cdn-days", 150, "CDN window in days")
 	workers := fs.Int("workers", 0, "pipeline build fan-out, 0 = all CPUs (output is identical for any value)")
+	faults := fs.String("faults", "", "fault profile, e.g. drop=0.1,dup=0.02,delay=0.05:200-1500,reorder=0.01 (empty = perfect network)")
+	loss := fs.Float64("loss", 0, "shorthand for the fault profile's drop probability; overrides drop= in -faults")
 	asJSON := fs.Bool("json", false, "emit the figure's data series as JSON (fig1/fig2/fig3/fig5/fig9)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -344,6 +347,19 @@ func cmdExperiment(args []string) error {
 	cfg := experiments.Config{
 		Seed: *seed, Hours: *hours, ProbeScale: *probeScale,
 		CDNScale: *cdnScale, CDNDays: *cdnDays, Workers: *workers,
+	}
+	if *faults != "" || *loss != 0 {
+		prof, err := faultnet.ParseProfile(*faults)
+		if err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
+		if *loss != 0 {
+			prof.Drop = *loss
+		}
+		if err := prof.Validate(); err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
+		cfg.Faults = &prof
 	}
 	name := fs.Arg(0)
 	if *asJSON {

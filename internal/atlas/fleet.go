@@ -2,10 +2,12 @@ package atlas
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"net/netip"
 
 	"dynamips/internal/bgp"
+	"dynamips/internal/faultnet"
 	"dynamips/internal/isp"
 	"dynamips/internal/netutil"
 	"dynamips/internal/slaac"
@@ -74,6 +76,14 @@ type FleetConfig struct {
 	AtypicalNATFrac float64
 	TestAddrFrac    float64
 	ASSwitchFrac    float64
+	// Faults models the measurement plane's own lossiness: each hourly
+	// echo is independently lost with probability Faults.Drop, punching
+	// single-hour gaps into the observation spans (the missing
+	// measurements Sanitize must tolerate without fabricating
+	// reassignments). Decisions come from per-probe faultnet streams
+	// seeded by Seed, so the fleet's main RNG — join times, anomalies —
+	// is untouched and the zero profile changes nothing.
+	Faults faultnet.Profile
 }
 
 // DefaultFleetConfig returns the configuration used by the experiments:
@@ -167,6 +177,10 @@ func BuildFleet(res *isp.Result, cfg FleetConfig) (*Fleet, error) {
 		applyAnomaly(&ser, kind, rng)
 		if rng.Float64() < cfg.TestAddrFrac {
 			PrependTestAddr(&ser)
+		}
+		if cfg.Faults.Drop > 0 {
+			ser.V4 = dropEchoes(ser.V4, cfg.Faults.Drop, faultnet.NewStream(uint64(cfg.Seed), uint64(2*i)))
+			ser.V6 = dropEchoes(ser.V6, cfg.Faults.Drop, faultnet.NewStream(uint64(cfg.Seed), uint64(2*i+1)))
 		}
 		f.Truth[probe.ID] = kind
 		if kind == KindBadTag {
@@ -362,6 +376,47 @@ func switchTail(spans []Span, alt netip.Addr) []Span {
 		if out[i].Src.Is4() {
 			out[i].Src = privateProbeSrc
 		}
+	}
+	return out
+}
+
+// dropEchoes removes individual measured hours from spans with
+// probability p each, splitting the RLE spans around the gaps. Lost hours
+// are located by geometric skip-sampling (inversion of the geometric
+// distribution), so the cost is proportional to the number of losses, not
+// the number of measured hours, and the spans stay run-length encoded.
+func dropEchoes(spans []Span, p float64, st *faultnet.Stream) []Span {
+	if p <= 0 || len(spans) == 0 {
+		return spans
+	}
+	if p >= 1 {
+		return nil
+	}
+	// nextGap draws how many hours survive before the next loss.
+	logq := math.Log(1 - p)
+	nextGap := func() int64 {
+		return int64(math.Log(1-st.Float64()) / logq)
+	}
+	out := make([]Span, 0, len(spans))
+	loss := nextGap() // index of the next lost hour, counted over measured hours
+	var off int64
+	for _, sp := range spans {
+		n := sp.Hours()
+		cur := sp
+		for loss < off+n {
+			h := sp.Start + (loss - off)
+			if h > cur.Start {
+				left := cur
+				left.End = h - 1
+				out = append(out, left)
+			}
+			cur.Start = h + 1
+			loss += 1 + nextGap()
+		}
+		if cur.Start <= cur.End {
+			out = append(out, cur)
+		}
+		off += n
 	}
 	return out
 }

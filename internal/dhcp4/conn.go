@@ -100,9 +100,20 @@ type Client struct {
 	HW      HWAddr
 	Clock   Clock
 	Timeout time.Duration
+	// Jitter randomizes the RFC 2131 §4.1 retransmission delays; nil
+	// uses the unjittered 4→8→16→32→64 s base schedule.
+	Jitter Jitter
+	// WaitScale compresses the retransmission schedule for tests (the
+	// 4 s first wait becomes 4 ms at 0.001); 0 means 1. Timeout still
+	// caps the whole exchange in real wall time.
+	WaitScale float64
 
 	xid uint32
 }
+
+// ErrExchangeTimeout is returned when every transmission of an exchange
+// went unanswered and the retransmission schedule gave up.
+var ErrExchangeTimeout = errors.New("dhcp4: no reply before give-up")
 
 func (c *Client) timeout() time.Duration {
 	if c.Timeout <= 0 {
@@ -119,27 +130,61 @@ func (c *Client) now() int64 {
 	return c.Clock.Now()
 }
 
+// exchange transmits req and waits for the matching reply, retransmitting
+// the identical datagram on the RFC 2131 §4.1 schedule (4→8→16→32→64 s,
+// jittered ±1 s) until a reply with the request's xid arrives or the
+// schedule — or the client's overall Timeout — gives up. Replies carrying
+// any other xid are late or duplicated answers to earlier transactions
+// and are discarded; a duplicated reply to *this* request is accepted
+// once and its twin dropped by the next exchange's xid filter. Deadlines
+// are genuine wire I/O bounds and run on the wall clock even in
+// simulations; the virtual-time equivalent of this loop is
+// faultnet.Link.Exchange.
 func (c *Client) exchange(req *Message) (*Message, error) {
-	if _, err := c.Conn.WriteTo(req.Marshal(), c.Server); err != nil {
-		return nil, fmt.Errorf("dhcp4: client write: %w", err)
+	payload := req.Marshal()
+	rt := NewRetransmitter(c.Jitter)
+	scale := c.WaitScale
+	if scale <= 0 {
+		scale = 1
 	}
-	// The read deadline is genuine wire I/O: it bounds how long the real
-	// socket blocks, so it runs on the wall clock even in simulations.
-	if err := c.Conn.SetReadDeadline(time.Now().Add(c.timeout())); err != nil {
-		return nil, fmt.Errorf("dhcp4: set deadline: %w", err)
-	}
+	remaining := c.timeout() // overall budget: the waits may not sum past it
 	buf := make([]byte, 1500)
+	sends := 0
 	for {
-		n, _, err := c.Conn.ReadFrom(buf)
-		if err != nil {
-			return nil, fmt.Errorf("dhcp4: client read: %w", err)
+		if _, err := c.Conn.WriteTo(payload, c.Server); err != nil {
+			return nil, fmt.Errorf("dhcp4: client write: %w", err)
 		}
-		rep, err := Unmarshal(buf[:n])
-		if err != nil {
-			continue
+		sends++
+		waitMS, more := rt.Next()
+		wait := time.Duration(float64(waitMS)*scale) * time.Millisecond
+		last := !more
+		if wait >= remaining {
+			wait = remaining
+			last = true
 		}
-		if rep.XID == req.XID && rep.CHAddr == c.HW {
-			return rep, nil
+		remaining -= wait
+		if err := c.Conn.SetReadDeadline(time.Now().Add(wait)); err != nil {
+			return nil, fmt.Errorf("dhcp4: set deadline: %w", err)
+		}
+		for {
+			n, _, err := c.Conn.ReadFrom(buf)
+			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					break // this wait expired; retransmit or give up
+				}
+				return nil, fmt.Errorf("dhcp4: client read: %w", err)
+			}
+			rep, err := Unmarshal(buf[:n])
+			if err != nil {
+				continue
+			}
+			if rep.XID == req.XID && rep.CHAddr == c.HW {
+				return rep, nil
+			}
+		}
+		if last {
+			return nil, fmt.Errorf("%w (%d transmissions of xid %d)", ErrExchangeTimeout, sends, req.XID)
 		}
 	}
 }
@@ -154,6 +199,9 @@ func (c *Client) Acquire() (Lease, error) {
 	if offer.Type() != Offer {
 		return Lease{}, fmt.Errorf("dhcp4: expected OFFER, got %v", offer.Type())
 	}
+	// A fresh xid for the REQUEST leg keeps a late or duplicated OFFER
+	// from the discover leg out of this exchange's reply filter.
+	c.xid++
 	req := NewMessage(Request, c.xid, c.HW)
 	req.SetAddrOption(OptRequestedIP, offer.YIAddr)
 	ack, err := c.exchange(req)

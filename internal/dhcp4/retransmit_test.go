@@ -1,0 +1,149 @@
+package dhcp4
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"dynamips/internal/faultnet"
+)
+
+// collect drains a retransmitter into (sendTimesMS, giveUpMS): the
+// virtual send instants and the moment the client abandons the exchange.
+func collect(rt interface {
+	Next() (int64, bool)
+}) (sends []int64, giveUp int64) {
+	t := int64(0)
+	for {
+		sends = append(sends, t)
+		wait, more := rt.Next()
+		t += wait
+		if !more {
+			return sends, t
+		}
+	}
+}
+
+func TestRetransmitterBaseSchedule(t *testing.T) {
+	// RFC 2131 §4.1: delays of 4, 8, 16, 32, 64 seconds — five
+	// transmissions, giving up 124 s after the first.
+	sends, giveUp := collect(NewRetransmitter(nil))
+	want := []int64{0, 4_000, 12_000, 28_000, 60_000}
+	if len(sends) != len(want) {
+		t.Fatalf("sends = %v, want %v", sends, want)
+	}
+	for i := range want {
+		if sends[i] != want[i] {
+			t.Fatalf("send %d at %d ms, want %d ms (all: %v)", i, sends[i], want[i], sends)
+		}
+	}
+	if giveUp != 124_000 {
+		t.Fatalf("give-up at %d ms, want 124000", giveUp)
+	}
+}
+
+// constJitter always draws the same fraction.
+type constJitter float64
+
+func (c constJitter) Float64() float64 { return float64(c) }
+
+func TestRetransmitterJitterBounds(t *testing.T) {
+	cases := []struct {
+		name   string
+		j      Jitter
+		offset int64 // per-wait shift vs the base schedule, ms
+	}{
+		{"low extreme", constJitter(0), -1000},
+		{"high extreme", constJitter(0.9999999), +1000},
+		{"midpoint", constJitter(0.5), 0},
+	}
+	base := []int64{4_000, 8_000, 16_000, 32_000, 64_000}
+	for _, c := range cases {
+		rt := NewRetransmitter(c.j)
+		for i, b := range base {
+			wait, more := rt.Next()
+			if wait != b+c.offset {
+				t.Fatalf("%s: wait %d = %d ms, want %d ms", c.name, i, wait, b+c.offset)
+			}
+			if more != (i < len(base)-1) {
+				t.Fatalf("%s: wait %d reported more=%v", c.name, i, more)
+			}
+		}
+	}
+}
+
+func TestRetransmitterJitterStaysInRFCBand(t *testing.T) {
+	// Any jitter draw keeps each wait within ±1 s of its base value.
+	s := faultnet.NewStream(7, 0)
+	for trial := 0; trial < 200; trial++ {
+		rt := NewRetransmitter(s)
+		for _, b := range []int64{4_000, 8_000, 16_000, 32_000, 64_000} {
+			wait, _ := rt.Next()
+			if wait < b-1000 || wait > b+1000 {
+				t.Fatalf("wait %d ms outside [%d,%d]", wait, b-1000, b+1000)
+			}
+		}
+	}
+}
+
+// lossyPipe builds a connected UDP client/server socket pair with the
+// client's outbound datagrams routed through a faultnet wrapper.
+func lossyPipe(t *testing.T, prof faultnet.Profile, seed uint64) (client net.PacketConn, server net.PacketConn) {
+	t.Helper()
+	srv, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); cli.Close() })
+	return faultnet.WrapConn(cli, prof, seed), srv
+}
+
+// TestClientRetransmitsThroughLoss drops the first client datagram on the
+// wire and relies on the RFC schedule (compressed by WaitScale) to carry
+// the DORA exchange through.
+func TestClientRetransmitsThroughLoss(t *testing.T) {
+	// Seed chosen so the wrapper's first two bernoulli(0.5) draws are
+	// drop, pass — asserted below so a faultnet change can't silently
+	// weaken the test.
+	prof := faultnet.Profile{Drop: 0.5}
+	seed := pickDropThenPassSeed(t)
+	cli, srvConn := lossyPipe(t, prof, seed)
+
+	srv, clk := newTestServer(86400, false)
+	go Serve(srvConn, srv)
+
+	c := &Client{
+		Conn:      cli,
+		Server:    srvConn.LocalAddr(),
+		HW:        hw(201),
+		Clock:     clk,
+		Timeout:   5 * time.Second,
+		WaitScale: 0.01, // 4 s base wait → 40 ms of test time
+	}
+	lease, err := c.Acquire()
+	if err != nil {
+		t.Fatalf("Acquire through 50%% loss: %v", err)
+	}
+	if !lease.Addr.IsValid() {
+		t.Fatal("Acquire returned an invalid lease address")
+	}
+}
+
+// pickDropThenPassSeed finds a wrapper seed whose first draws at p=0.5
+// are (drop, pass), so the first DISCOVER is lost and the retransmission
+// must succeed.
+func pickDropThenPassSeed(t *testing.T) uint64 {
+	t.Helper()
+	for seed := uint64(0); seed < 1000; seed++ {
+		s := faultnet.NewStream(seed, 0)
+		if s.Float64() < 0.5 && s.Float64() >= 0.5 {
+			return seed
+		}
+	}
+	t.Fatal("no (drop, pass) seed in [0,1000)")
+	return 0
+}

@@ -84,9 +84,20 @@ type Client struct {
 	DUID    DUID
 	Clock   Clock
 	Timeout time.Duration
+	// Jitter supplies RFC 8415 §15's RAND factor for retransmission
+	// timing; nil uses the unjittered schedule.
+	Jitter Jitter
+	// WaitScale compresses the retransmission schedule for tests (the
+	// 1 s Solicit IRT becomes 1 ms at 0.001); 0 means 1. Timeout still
+	// caps the whole exchange in real wall time.
+	WaitScale float64
 
 	txn uint32
 }
+
+// ErrExchangeTimeout is returned when every transmission of an exchange
+// went unanswered and the retransmission schedule gave up.
+var ErrExchangeTimeout = errors.New("dhcp6: no reply before give-up")
 
 // now reads the injected clock.
 func (c *Client) now() int64 {
@@ -96,29 +107,63 @@ func (c *Client) now() int64 {
 	return c.Clock.Now()
 }
 
-func (c *Client) exchange(req *Message) (*Message, error) {
-	if _, err := c.Conn.WriteTo(req.Marshal(), c.Server); err != nil {
-		return nil, fmt.Errorf("dhcp6: client write: %w", err)
-	}
+// exchange transmits req and waits for the matching reply, retransmitting
+// the identical datagram on the RFC 8415 §15 schedule given by p until a
+// reply with the request's transaction-id arrives, MRC/MRD terminate the
+// schedule, or the client's overall Timeout expires. Replies carrying any
+// other transaction-id are late or duplicated answers to earlier
+// transactions and are discarded. Deadlines are genuine wire I/O bounds
+// and run on the wall clock even in simulations; the virtual-time
+// equivalent of this loop is faultnet.Link.Exchange.
+func (c *Client) exchange(req *Message, p RetransParams) (*Message, error) {
+	payload := req.Marshal()
+	rt := NewRetransmitter(p, c.Jitter)
 	timeout := c.Timeout
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
-	if err := c.Conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
-		return nil, fmt.Errorf("dhcp6: set deadline: %w", err)
+	scale := c.WaitScale
+	if scale <= 0 {
+		scale = 1
 	}
+	remaining := timeout // overall budget: the waits may not sum past it
 	buf := make([]byte, 1500)
+	sends := 0
 	for {
-		n, _, err := c.Conn.ReadFrom(buf)
-		if err != nil {
-			return nil, fmt.Errorf("dhcp6: client read: %w", err)
+		if _, err := c.Conn.WriteTo(payload, c.Server); err != nil {
+			return nil, fmt.Errorf("dhcp6: client write: %w", err)
 		}
-		rep, err := Unmarshal(buf[:n])
-		if err != nil {
-			continue
+		sends++
+		waitMS, more := rt.Next()
+		wait := time.Duration(float64(waitMS)*scale) * time.Millisecond
+		last := !more
+		if wait >= remaining {
+			wait = remaining
+			last = true
 		}
-		if rep.TxnID == req.TxnID {
-			return rep, nil
+		remaining -= wait
+		if err := c.Conn.SetReadDeadline(time.Now().Add(wait)); err != nil {
+			return nil, fmt.Errorf("dhcp6: set deadline: %w", err)
+		}
+		for {
+			n, _, err := c.Conn.ReadFrom(buf)
+			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					break // this wait expired; retransmit or give up
+				}
+				return nil, fmt.Errorf("dhcp6: client read: %w", err)
+			}
+			rep, err := Unmarshal(buf[:n])
+			if err != nil {
+				continue
+			}
+			if rep.TxnID == req.TxnID {
+				return rep, nil
+			}
+		}
+		if last {
+			return nil, fmt.Errorf("%w (%d transmissions of txn %d)", ErrExchangeTimeout, sends, req.TxnID)
 		}
 	}
 }
@@ -127,17 +172,20 @@ func (c *Client) exchange(req *Message) (*Message, error) {
 // the delegated prefix binding.
 func (c *Client) AcquirePD() (Binding, error) {
 	c.txn++
-	adv, err := c.exchange(NewMessage(Solicit, c.txn, c.DUID))
+	adv, err := c.exchange(NewMessage(Solicit, c.txn, c.DUID), SolicitParams())
 	if err != nil {
 		return Binding{}, err
 	}
 	if adv.Type != Advertise || len(adv.IAPDs) == 0 || len(adv.IAPDs[0].Prefixes) == 0 {
 		return Binding{}, fmt.Errorf("dhcp6: no advertisement")
 	}
+	// RFC 8415 §16.1: each exchange is its own transaction; a fresh id
+	// also keeps late or duplicated Advertises out of this reply filter.
+	c.txn++
 	req := NewMessage(Request, c.txn, c.DUID)
 	req.ServerID = adv.ServerID
 	req.IAPDs = []IAPD{{IAID: adv.IAPDs[0].IAID, Prefixes: adv.IAPDs[0].Prefixes}}
-	rep, err := c.exchange(req)
+	rep, err := c.exchange(req, RequestParams())
 	if err != nil {
 		return Binding{}, err
 	}

@@ -1,0 +1,104 @@
+package dhcp6
+
+// Jitter supplies RFC 8415 §15's RAND factor, a uniform draw over
+// [-0.1, +0.1] of the current timeout. *math/rand.Rand and
+// *faultnet.Stream both implement it; nil yields the unjittered schedule
+// (RAND = 0, except the first Solicit where RFC 8415 §18.2.1 requires a
+// strictly non-negative RAND and nil yields the IRT itself).
+type Jitter interface {
+	Float64() float64
+}
+
+// RetransParams are the RFC 8415 §7.6 timing constants for one message
+// type: initial/maximum retransmission times, maximum retransmission
+// count, and maximum retransmission duration. Zero MRT, MRC, or MRD mean
+// "no bound", as in the RFC.
+type RetransParams struct {
+	IRT int64 // initial retransmission time, ms
+	MRT int64 // maximum retransmission time, ms (0 = no ceiling)
+	MRC int   // maximum transmissions (0 = unbounded)
+	MRD int64 // maximum total duration, ms (0 = unbounded)
+	// FirstRandPositive selects §18.2.1's Solicit special case: the
+	// first RT uses RAND drawn from [0, +0.1] so clients never transmit
+	// before IRT elapses.
+	FirstRandPositive bool
+}
+
+// SolicitParams returns SOL_TIMEOUT/SOL_MAX_RT (RFC 8415 §7.6): IRT 1 s,
+// MRT 3600 s, unbounded count and duration.
+func SolicitParams() RetransParams {
+	return RetransParams{IRT: 1_000, MRT: 3_600_000, FirstRandPositive: true}
+}
+
+// RequestParams returns REQ_TIMEOUT/REQ_MAX_RT/REQ_MAX_RC: IRT 1 s, MRT
+// 30 s, at most 10 transmissions.
+func RequestParams() RetransParams {
+	return RetransParams{IRT: 1_000, MRT: 30_000, MRC: 10}
+}
+
+// RenewParams returns REN_TIMEOUT/REN_MAX_RT: IRT 10 s, MRT 600 s.
+func RenewParams() RetransParams {
+	return RetransParams{IRT: 10_000, MRT: 600_000}
+}
+
+// Retransmitter implements RFC 8415 §15's retransmission algorithm:
+//
+//	RT(first) = IRT + RAND*IRT
+//	RT(n)     = 2*RT(n-1) + RAND*RT(n-1)
+//	RT        = MRT + RAND*MRT   once RT would exceed MRT
+//
+// terminating after MRC transmissions or MRD elapsed milliseconds.
+type Retransmitter struct {
+	p       RetransParams
+	j       Jitter
+	rt      int64 // previous jittered RT, ms
+	sent    int
+	elapsed int64
+}
+
+// NewRetransmitter builds the machine for one message exchange.
+func NewRetransmitter(p RetransParams, j Jitter) *Retransmitter {
+	return &Retransmitter{p: p, j: j}
+}
+
+// rand draws RAND as a fraction: uniform over [-0.1, +0.1], or [0, +0.1]
+// for the first Solicit transmission.
+func (r *Retransmitter) rand(firstPositive bool) float64 {
+	if r.j == nil {
+		return 0
+	}
+	f := r.j.Float64()
+	if firstPositive {
+		return 0.1 * f
+	}
+	return 0.2*f - 0.1
+}
+
+// Next returns the wait after the upcoming transmission and whether a
+// further transmission may follow; ok=false marks the final timeout
+// (MRC reached, or MRD truncating the wait).
+func (r *Retransmitter) Next() (waitMS int64, ok bool) {
+	if r.sent == 0 {
+		r.rt = r.p.IRT + int64(r.rand(r.p.FirstRandPositive)*float64(r.p.IRT))
+	} else {
+		rt := 2*r.rt + int64(r.rand(false)*float64(r.rt))
+		if r.p.MRT > 0 && rt > r.p.MRT {
+			rt = r.p.MRT + int64(r.rand(false)*float64(r.p.MRT))
+		}
+		r.rt = rt
+	}
+	r.sent++
+	wait := r.rt
+	more := r.p.MRC == 0 || r.sent < r.p.MRC
+	if r.p.MRD > 0 {
+		if left := r.p.MRD - r.elapsed; wait >= left {
+			wait = left
+			more = false
+		}
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	r.elapsed += wait
+	return wait, more
+}

@@ -1,0 +1,133 @@
+package dhcp6
+
+import (
+	"testing"
+
+	"dynamips/internal/faultnet"
+)
+
+// waits drains up to n waits from the machine, stopping early at the
+// final (ok=false) timeout.
+func waits(rt *Retransmitter, n int) (ws []int64, gaveUp bool) {
+	for i := 0; i < n; i++ {
+		w, more := rt.Next()
+		ws = append(ws, w)
+		if !more {
+			return ws, true
+		}
+	}
+	return ws, false
+}
+
+func TestRequestScheduleRFCConstants(t *testing.T) {
+	// RFC 8415 §7.6/§15: REQ IRT 1 s doubling to MRT 30 s, at most
+	// REQ_MAX_RC = 10 transmissions. Unjittered: 1,2,4,8,16,30,30,30,30,30.
+	ws, gaveUp := waits(NewRetransmitter(RequestParams(), nil), 50)
+	want := []int64{1_000, 2_000, 4_000, 8_000, 16_000, 30_000, 30_000, 30_000, 30_000, 30_000}
+	if !gaveUp || len(ws) != len(want) {
+		t.Fatalf("request schedule %v (gaveUp=%v), want %v", ws, gaveUp, want)
+	}
+	for i := range want {
+		if ws[i] != want[i] {
+			t.Fatalf("request wait %d = %d ms, want %d (all: %v)", i, ws[i], want[i], ws)
+		}
+	}
+}
+
+func TestSolicitScheduleUnbounded(t *testing.T) {
+	// SOL: IRT 1 s, MRT 3600 s, no MRC/MRD — the client solicits forever,
+	// with RT pinned near MRT once reached.
+	ws, gaveUp := waits(NewRetransmitter(SolicitParams(), nil), 30)
+	if gaveUp {
+		t.Fatalf("solicit schedule terminated: %v", ws)
+	}
+	want := []int64{1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 128_000,
+		256_000, 512_000, 1_024_000, 2_048_000, 3_600_000, 3_600_000}
+	for i := range want {
+		if ws[i] != want[i] {
+			t.Fatalf("solicit wait %d = %d ms, want %d", i, ws[i], want[i])
+		}
+	}
+}
+
+func TestRenewScheduleRFCConstants(t *testing.T) {
+	ws, _ := waits(NewRetransmitter(RenewParams(), nil), 8)
+	want := []int64{10_000, 20_000, 40_000, 80_000, 160_000, 320_000, 600_000, 600_000}
+	for i := range want {
+		if ws[i] != want[i] {
+			t.Fatalf("renew wait %d = %d ms, want %d (all: %v)", i, ws[i], want[i], ws)
+		}
+	}
+}
+
+func TestMRDTruncatesFinalWait(t *testing.T) {
+	p := RetransParams{IRT: 1_000, MRD: 2_500}
+	ws, gaveUp := waits(NewRetransmitter(p, nil), 10)
+	// 1 s, then the 2 s doubling is cut to the 1.5 s left before MRD.
+	want := []int64{1_000, 1_500}
+	if !gaveUp || len(ws) != 2 || ws[0] != want[0] || ws[1] != want[1] {
+		t.Fatalf("MRD schedule %v (gaveUp=%v), want %v terminating", ws, gaveUp, want)
+	}
+}
+
+func TestMRCGivesUpAfterCount(t *testing.T) {
+	p := RetransParams{IRT: 1_000, MRC: 3}
+	ws, gaveUp := waits(NewRetransmitter(p, nil), 10)
+	if !gaveUp || len(ws) != 3 {
+		t.Fatalf("MRC=3 schedule %v (gaveUp=%v), want exactly 3 waits", ws, gaveUp)
+	}
+}
+
+// constJitter6 always draws the same fraction.
+type constJitter6 float64
+
+func (c constJitter6) Float64() float64 { return float64(c) }
+
+func TestFirstSolicitRandNonNegative(t *testing.T) {
+	// RFC 8415 §18.2.1: the first Solicit RT uses RAND from [0, 0.1], so
+	// the client never transmits again before IRT elapses.
+	low := NewRetransmitter(SolicitParams(), constJitter6(0))
+	if w, _ := low.Next(); w != 1_000 {
+		t.Fatalf("first solicit wait at RAND lower extreme = %d ms, want 1000", w)
+	}
+	high := NewRetransmitter(SolicitParams(), constJitter6(0.9999999))
+	if w, _ := high.Next(); w < 1_000 || w > 1_100 {
+		t.Fatalf("first solicit wait at RAND upper extreme = %d ms, want (1000,1100]", w)
+	}
+}
+
+func TestRequestJitterBounds(t *testing.T) {
+	// Non-first transmissions draw RAND from [-0.1, 0.1]: each wait stays
+	// within 10% of the unjittered value (cap re-randomized around MRT).
+	base := []int64{1_000, 2_000, 4_000, 8_000, 16_000, 30_000, 30_000, 30_000, 30_000, 30_000}
+	s := faultnet.NewStream(11, 0)
+	for trial := 0; trial < 100; trial++ {
+		rt := NewRetransmitter(RequestParams(), s)
+		prev := int64(0)
+		for i := range base {
+			w, more := rt.Next()
+			if more != (i < len(base)-1) {
+				t.Fatalf("trial %d: wait %d more=%v", trial, i, more)
+			}
+			// The RFC jitters each RT around the previous RT's double —
+			// or around MRT once the doubled value exceeds it — so the
+			// band is relative to the realized prev.
+			lo19, hi21 := 2*prev-prev/10-1, 2*prev+prev/10+1
+			var lo, hi int64
+			switch {
+			case i == 0:
+				lo, hi = 900, 1_100
+			case lo19 > 30_000: // every draw exceeds MRT: always capped
+				lo, hi = 27_000-1, 33_000+1
+			case hi21 <= 30_000: // no draw can exceed MRT: never capped
+				lo, hi = lo19, hi21
+			default: // straddles the cap: either band is legitimate
+				lo, hi = min(lo19, 27_000-1), 33_000+1
+			}
+			if w < lo || w > hi {
+				t.Fatalf("trial %d: wait %d = %d ms outside [%d,%d]", trial, i, w, lo, hi)
+			}
+			prev = w
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"dynamips/internal/bgp"
 	"dynamips/internal/cdn"
 	"dynamips/internal/core"
+	"dynamips/internal/faultnet"
 	"dynamips/internal/isp"
 	"dynamips/internal/parallel"
 )
@@ -34,6 +35,14 @@ type Config struct {
 	// RNG streams and merges results in input order, so any value
 	// reproduces the same tables byte-for-byte.
 	Workers int
+	// Faults, when non-nil, injects deterministic network faults into
+	// both planes: assignment exchanges (RADIUS/DHCPv6) retransmit over
+	// lossy links inside every AS simulation, and hourly echo
+	// measurements are dropped from the probe fleets. Fault schedules
+	// come from seed-derived faultnet streams, so the worker-count
+	// invariance above holds under any profile, and a non-nil all-zero
+	// profile reproduces the nil output byte-for-byte.
+	Faults *faultnet.Profile
 }
 
 // Default returns the configuration the benchmarks and the CLI use.
@@ -97,11 +106,16 @@ func BuildAtlas(cfg Config) (*AtlasData, error) {
 			Subscribers: subs,
 			Hours:       cfg.Hours,
 			Seed:        cfg.Seed + int64(i)*1000,
+			Faults:      cfg.Faults,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: simulating %s: %w", prof.Name, err)
 		}
-		fleet, err := atlas.BuildFleet(res, atlas.DefaultFleetConfig(probes, cfg.Seed+int64(i)*1000+1))
+		fc := atlas.DefaultFleetConfig(probes, cfg.Seed+int64(i)*1000+1)
+		if cfg.Faults != nil {
+			fc.Faults = *cfg.Faults
+		}
+		fleet, err := atlas.BuildFleet(res, fc)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fleet for %s: %w", prof.Name, err)
 		}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"dynamips/internal/core"
+	"dynamips/internal/faultnet"
+)
+
+// lossCfg is the soak configuration: small enough for CI, large enough
+// that every AS profile fires outages, renumberings, and thousands of
+// faulted exchanges.
+func lossCfg(drop float64, workers int) Config {
+	cfg := Config{Seed: 77, Hours: 4000, ProbeScale: 0.05, CDNScale: 0.02, CDNDays: 60, Workers: workers}
+	if drop >= 0 {
+		cfg.Faults = &faultnet.Profile{Drop: drop}
+	}
+	return cfg
+}
+
+// renderAtlas builds the Atlas pipeline and renders the deterministic
+// reports the repo's byte-identity contract is stated over.
+func renderAtlas(t *testing.T, cfg Config) (string, *AtlasData) {
+	t.Helper()
+	a, err := BuildAtlas(cfg)
+	if err != nil {
+		t.Fatalf("BuildAtlas(faults=%v workers=%d): %v", cfg.Faults, cfg.Workers, err)
+	}
+	var buf bytes.Buffer
+	for _, run := range []func() error{
+		func() error { return RunTable1(&buf, a) },
+		func() error { return RunFig6(&buf, a) },
+		func() error { return RunSanitizeReport(&buf, a) },
+	} {
+		if err := run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.String(), a
+}
+
+// TestPipelineUnderLoss is the soak test: the full Atlas pipeline runs at
+// 0%, 10%, and 30% datagram loss, and at every loss rate the output must
+// be byte-identical across worker counts (fault schedules ride per-link
+// seeded streams, not goroutine timing). At 0% the fault path must also
+// be byte-identical to the legacy no-faults path, and under loss the
+// analysis may only ever see fewer assignment changes per probe than the
+// clean run — gapped observations are dropped, never invented.
+func TestPipelineUnderLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	legacy, base := renderAtlas(t, lossCfg(-1, 1))
+
+	zero, _ := renderAtlas(t, lossCfg(0, 1))
+	if zero != legacy {
+		t.Error("all-zero fault profile diverged from the no-faults pipeline")
+	}
+
+	baseChanges := probeChanges(base)
+	for _, drop := range []float64{0, 0.1, 0.3} {
+		seq, a := renderAtlas(t, lossCfg(drop, 1))
+		for _, workers := range []int{2, 8} {
+			if par, _ := renderAtlas(t, lossCfg(drop, workers)); par != seq {
+				t.Errorf("drop=%v: workers=%d output differs from workers=1", drop, workers)
+			}
+		}
+		if drop == 0 {
+			continue
+		}
+		lost := probeChanges(a)
+		fabricated := 0
+		for id, n := range lost {
+			if b, ok := baseChanges[id]; ok && n > b {
+				fabricated++
+				t.Logf("probe %d: %d changes under drop=%v vs %d clean", id, n, drop, b)
+			}
+		}
+		if fabricated > 0 {
+			t.Errorf("drop=%v: %d probes gained assignment changes — loss fabricated reassignments", drop, fabricated)
+		}
+		if len(a.PAS) == 0 {
+			t.Fatalf("drop=%v: no probes survived sanitization", drop)
+		}
+	}
+}
+
+// probeChanges digests an analysis into per-probe change counts (both
+// families summed).
+func probeChanges(a *AtlasData) map[int]int {
+	out := make(map[int]int, len(a.PAS))
+	for _, pa := range a.PAS {
+		out[pa.Probe.ID] = core.Changes(pa.V4) + core.Changes(pa.V6)
+	}
+	return out
+}
+
+// TestFaultProfileShapesPipeline checks that non-drop faults flow end to
+// end: duplication and delay alone must leave the pipeline deterministic
+// and non-empty.
+func TestFaultProfileShapesPipeline(t *testing.T) {
+	cfg := lossCfg(-1, 2)
+	cfg.Faults = &faultnet.Profile{Dup: 0.2, Delay: 0.3, DelayMinMS: 10, DelayMaxMS: 5000}
+	a, aa := renderAtlas(t, cfg)
+	b, _ := renderAtlas(t, cfg)
+	if a != b {
+		t.Error("dup/delay profile not reproducible")
+	}
+	if len(aa.PAS) == 0 {
+		t.Fatal("dup/delay profile emptied the pipeline")
+	}
+}

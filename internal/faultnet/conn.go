@@ -1,0 +1,102 @@
+package faultnet
+
+import (
+	"net"
+	"sync"
+)
+
+// Conn wraps a net.PacketConn, applying the profile's faults to outgoing
+// datagrams: drops are swallowed (the write still reports success, as a
+// lossy network does), duplicates are written twice, and delay/reorder
+// hold the datagram back until the next write. Every decision comes from
+// the deterministic stream, so a given (profile, seed) produces the same
+// fault schedule for the same write sequence. Payload bytes are copied on
+// hold and never modified: the wrapper reorders or discards whole
+// datagrams but cannot corrupt, truncate, or invent bytes (FuzzReorder
+// asserts this).
+//
+// Reads pass through untouched; to fault both directions of a wire
+// exchange, wrap both endpoints' conns.
+type Conn struct {
+	net.PacketConn
+
+	mu   sync.Mutex
+	prof Profile
+	s    *Stream
+	held []heldPacket
+}
+
+type heldPacket struct {
+	payload []byte
+	addr    net.Addr
+}
+
+// WrapConn builds the fault-injecting wrapper around inner.
+func WrapConn(inner net.PacketConn, prof Profile, seed uint64) *Conn {
+	return &Conn{PacketConn: inner, prof: prof, s: NewStream(seed, 0)}
+}
+
+// WriteTo applies the fault schedule to one outgoing datagram. It always
+// reports the full payload length on success paths: a dropped datagram
+// looks sent, as on a real lossy network.
+func (c *Conn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.s.bernoulli(c.prof.Drop) {
+		return len(b), c.flushHeld()
+	}
+	copies := 1
+	if c.s.bernoulli(c.prof.Dup) {
+		copies = 2
+	}
+	// Delay on a real socket has no virtual clock to wait on; both delay
+	// and reorder are realized by holding the datagram until after the
+	// next write.
+	hold := c.s.bernoulli(c.prof.Reorder) || c.s.delayMS(c.prof) > 0
+	if hold {
+		// Hold this datagram one write slot and release the previously
+		// held ones now, so no packet stalls more than one slot even
+		// when every write draws a hold.
+		prev := c.held
+		c.held = nil
+		for i := 0; i < copies; i++ {
+			c.held = append(c.held, heldPacket{payload: append([]byte(nil), b...), addr: addr})
+		}
+		for _, h := range prev {
+			if _, err := c.PacketConn.WriteTo(h.payload, h.addr); err != nil {
+				return 0, err
+			}
+		}
+		return len(b), nil
+	}
+	// Write the current datagram first, then the held ones: a held
+	// packet overtaken by this write is the observable reordering.
+	for i := 0; i < copies; i++ {
+		if _, err := c.PacketConn.WriteTo(b, addr); err != nil {
+			return 0, err
+		}
+	}
+	return len(b), c.flushHeld()
+}
+
+// flushHeld transmits every held-back datagram, oldest first. Callers
+// hold c.mu.
+func (c *Conn) flushHeld() error {
+	for _, h := range c.held {
+		if _, err := c.PacketConn.WriteTo(h.payload, h.addr); err != nil {
+			c.held = nil
+			return err
+		}
+	}
+	c.held = nil
+	return nil
+}
+
+// Close discards any held datagrams (they were still "in flight") and
+// closes the inner conn.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.held = nil
+	c.mu.Unlock()
+	return c.PacketConn.Close()
+}

@@ -1,0 +1,302 @@
+// Package faultnet injects deterministic network faults into the
+// assignment plane. The paper attributes a large share of observed
+// reassignments to outages and measurement gaps (§2.2, Appendix A.1);
+// this package supplies the lossy-network scenario those code paths need:
+// datagrams are dropped, duplicated, and delayed according to a per-link
+// FaultProfile whose every decision comes from a seeded SplitMix64 stream
+// and the simulation's virtual clock — never wall time and never a shared
+// RNG — so identical seeds yield identical fault schedules regardless of
+// worker count.
+//
+// Two transports are provided. Link is the in-memory fast path the
+// internal/isp simulator drives: Exchange replays one request/reply
+// datagram exchange, including the client's RFC retransmission schedule,
+// entirely in virtual milliseconds. Conn wraps a real net.PacketConn for
+// wire-level integration tests.
+package faultnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Profile configures the faults one link injects, all probabilities per
+// datagram. The zero value is a perfect network: every datagram is
+// delivered immediately, and no stream state is consumed deciding so.
+type Profile struct {
+	// Drop is the probability a datagram is lost.
+	Drop float64
+	// Dup is the probability a delivered datagram arrives twice.
+	Dup float64
+	// Delay is the probability a delivered datagram is delayed by a
+	// uniform draw from [DelayMinMS, DelayMaxMS] virtual milliseconds.
+	Delay                  float64
+	DelayMinMS, DelayMaxMS int64
+	// Reorder is the probability the Conn wrapper holds a datagram back
+	// and transmits it after the next write (on a real socket, delay is
+	// realized as reordering; Link models true virtual-time delay).
+	Reorder float64
+}
+
+// Zero reports whether the profile injects no faults at all.
+func (p Profile) Zero() bool {
+	return p.Drop <= 0 && p.Dup <= 0 && p.Delay <= 0 && p.Reorder <= 0
+}
+
+// Validate rejects probabilities outside [0,1] and inverted delay bounds.
+func (p Profile) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"drop", p.Drop}, {"dup", p.Dup}, {"delay", p.Delay}, {"reorder", p.Reorder}} {
+		if f.v < 0 || f.v > 1 || math.IsNaN(f.v) {
+			return fmt.Errorf("faultnet: %s probability %v outside [0,1]", f.name, f.v)
+		}
+	}
+	if p.DelayMinMS < 0 || p.DelayMaxMS < p.DelayMinMS {
+		return fmt.Errorf("faultnet: delay bounds [%d,%d] ms invalid", p.DelayMinMS, p.DelayMaxMS)
+	}
+	return nil
+}
+
+// ParseProfile parses the CLI fault specification: comma-separated
+// key=value fields, e.g. "drop=0.1,dup=0.02,delay=0.05:200-1500,reorder=0.01".
+// The delay value is "prob" or "prob:minms-maxms".
+func ParseProfile(s string) (Profile, error) {
+	var p Profile
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("faultnet: field %q is not key=value", field)
+		}
+		switch key {
+		case "drop", "dup", "reorder":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Profile{}, fmt.Errorf("faultnet: %s=%q: %w", key, val, err)
+			}
+			switch key {
+			case "drop":
+				p.Drop = f
+			case "dup":
+				p.Dup = f
+			default:
+				p.Reorder = f
+			}
+		case "delay":
+			prob, bounds, hasBounds := strings.Cut(val, ":")
+			f, err := strconv.ParseFloat(prob, 64)
+			if err != nil {
+				return Profile{}, fmt.Errorf("faultnet: delay=%q: %w", val, err)
+			}
+			p.Delay = f
+			p.DelayMinMS, p.DelayMaxMS = 0, 1000
+			if hasBounds {
+				lo, hi, ok := strings.Cut(bounds, "-")
+				if !ok {
+					return Profile{}, fmt.Errorf("faultnet: delay bounds %q want minms-maxms", bounds)
+				}
+				if p.DelayMinMS, err = strconv.ParseInt(lo, 10, 64); err != nil {
+					return Profile{}, fmt.Errorf("faultnet: delay min %q: %w", lo, err)
+				}
+				if p.DelayMaxMS, err = strconv.ParseInt(hi, 10, 64); err != nil {
+					return Profile{}, fmt.Errorf("faultnet: delay max %q: %w", hi, err)
+				}
+			}
+		default:
+			return Profile{}, fmt.Errorf("faultnet: unknown field %q (have drop, dup, delay, reorder)", key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// String renders the profile in ParseProfile's format, fields in a fixed
+// order with zero fields omitted.
+func (p Profile) String() string {
+	var fields []string
+	if p.Drop > 0 {
+		fields = append(fields, "drop="+trimFloat(p.Drop))
+	}
+	if p.Dup > 0 {
+		fields = append(fields, "dup="+trimFloat(p.Dup))
+	}
+	if p.Delay > 0 {
+		fields = append(fields, fmt.Sprintf("delay=%s:%d-%d", trimFloat(p.Delay), p.DelayMinMS, p.DelayMaxMS))
+	}
+	if p.Reorder > 0 {
+		fields = append(fields, "reorder="+trimFloat(p.Reorder))
+	}
+	sort.Strings(fields) // already ordered; keeps output canonical regardless
+	return strings.Join(fields, ",")
+}
+
+func trimFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// gamma is 2^64/φ, the SplitMix64 increment; it also spreads link ids
+// drawn from one seed across the state space (as in cdn's operatorSeed).
+const gamma = 0x9E3779B97F4A7C15
+
+// Stream is one deterministic fault-decision sequence: a SplitMix64
+// generator seeded from (seed, id). Each link direction owns a Stream, so
+// no link's schedule depends on any other link's traffic — the property
+// that makes fault injection invariant under the pipeline's worker count.
+type Stream struct {
+	x uint64
+}
+
+// NewStream derives the (seed, id) stream.
+func NewStream(seed, id uint64) *Stream {
+	return &Stream{x: seed + (id+1)*gamma}
+}
+
+// Uint64 advances the stream (SplitMix64 output function).
+func (s *Stream) Uint64() uint64 {
+	s.x += gamma
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 draws uniformly from [0,1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// IntN draws uniformly from [0,n); n must be positive.
+func (s *Stream) IntN(n int64) int64 {
+	if n <= 0 {
+		panic("faultnet: IntN on non-positive n")
+	}
+	return int64(s.Uint64() % uint64(n))
+}
+
+// bernoulli draws a biased coin. Degenerate probabilities consume no
+// stream state, so a zero profile never advances its streams: the
+// fault path with an all-zero profile replays the fault-free schedule
+// exactly.
+func (s *Stream) bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// delayMS draws one delay decision: 0 when the datagram is not delayed.
+func (s *Stream) delayMS(p Profile) int64 {
+	if !s.bernoulli(p.Delay) {
+		return 0
+	}
+	if p.DelayMaxMS <= p.DelayMinMS {
+		return p.DelayMinMS
+	}
+	return p.DelayMinMS + s.IntN(p.DelayMaxMS-p.DelayMinMS+1)
+}
+
+// Retransmitter paces a client's retransmissions. Next returns the wait
+// in virtual milliseconds after the upcoming transmission and whether a
+// further transmission may follow it; ok=false means the returned wait is
+// the final timeout, after which the client gives up (RFC 2131 §4.1's
+// 64 s ceiling, RFC 8415 §15's MRC/MRD). internal/dhcp4, internal/dhcp6,
+// and internal/radius provide the RFC implementations.
+type Retransmitter interface {
+	Next() (waitMS int64, ok bool)
+}
+
+// Link is one client↔server path with independent per-direction fault
+// streams plus a client-side stream for retransmission jitter and
+// transaction identifiers.
+type Link struct {
+	prof             Profile
+	up, down, client *Stream
+}
+
+// NewLink builds the link for (seed, id). Distinct ids yield uncorrelated
+// fault schedules from the same seed.
+func NewLink(prof Profile, seed, id uint64) *Link {
+	return &Link{
+		prof:   prof,
+		up:     NewStream(seed, 3*id),
+		down:   NewStream(seed, 3*id+1),
+		client: NewStream(seed, 3*id+2),
+	}
+}
+
+// Client returns the link's client-side stream, the deterministic source
+// for retransmission jitter and message identifiers.
+func (l *Link) Client() *Stream { return l.client }
+
+// Verdict summarizes one simulated request/reply exchange.
+type Verdict struct {
+	// OK reports whether a reply reached the client before it gave up.
+	OK bool
+	// DoneMS is the virtual millisecond the winning reply arrived, or
+	// the give-up time when OK is false.
+	DoneMS int64
+	// Sends counts client transmissions (first send plus retransmits).
+	Sends int
+	// Delivered counts request copies that reached the server,
+	// duplicates included.
+	Delivered int
+}
+
+// Exchange replays one request/reply exchange starting at virtual time
+// nowMS: the client transmits, the uplink may drop/duplicate/delay each
+// copy, every copy that survives is handed to deliver (the server's
+// Handle — duplicate deliveries are how RADIUS duplicate detection gets
+// exercised), and each reply independently crosses the downlink. The
+// client accepts the earliest surviving reply and stops retransmitting;
+// replies arriving after give-up are discarded, exactly the late-reply
+// dedup the wire clients perform by transaction id. deliver may be nil
+// when only the timing verdict matters.
+func (l *Link) Exchange(nowMS int64, rt Retransmitter, deliver func(copy int)) Verdict {
+	const never = int64(math.MaxInt64)
+	v := Verdict{DoneMS: nowMS}
+	t := nowMS
+	best := never
+	for {
+		v.Sends++
+		if !l.up.bernoulli(l.prof.Drop) {
+			copies := 1
+			if l.up.bernoulli(l.prof.Dup) {
+				copies = 2
+			}
+			for c := 0; c < copies; c++ {
+				upDelay := l.up.delayMS(l.prof)
+				if deliver != nil {
+					deliver(c)
+				}
+				v.Delivered++
+				if l.down.bernoulli(l.prof.Drop) {
+					continue // reply lost on the way back
+				}
+				if arrival := t + upDelay + l.down.delayMS(l.prof); arrival < best {
+					best = arrival
+				}
+			}
+		}
+		wait, more := rt.Next()
+		if best <= t+wait {
+			v.OK = true
+			v.DoneMS = best
+			return v
+		}
+		t += wait
+		if !more {
+			v.DoneMS = t
+			return v
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package faultnet
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream(42, 7)
+	b := NewStream(42, 7)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: streams diverged (%d vs %d)", i, av, bv)
+		}
+	}
+	c := NewStream(42, 8)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("distinct ids collided on %d of 1000 draws", same)
+	}
+}
+
+func TestStreamRanges(t *testing.T) {
+	s := NewStream(1, 0)
+	for i := 0; i < 10000; i++ {
+		if f := s.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		if n := s.IntN(7); n < 0 || n >= 7 {
+			t.Fatalf("IntN(7) out of range: %d", n)
+		}
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Profile
+	}{
+		{"", Profile{}},
+		{"drop=0.1", Profile{Drop: 0.1}},
+		{"drop=0.1,dup=0.02,delay=0.05:200-1500,reorder=0.01",
+			Profile{Drop: 0.1, Dup: 0.02, Delay: 0.05, DelayMinMS: 200, DelayMaxMS: 1500, Reorder: 0.01}},
+		{"delay=0.5", Profile{Delay: 0.5, DelayMinMS: 0, DelayMaxMS: 1000}},
+		{" drop=0.3 , reorder=1 ", Profile{Drop: 0.3, Reorder: 1}},
+	}
+	for _, c := range cases {
+		got, err := ParseProfile(c.in)
+		if err != nil {
+			t.Fatalf("ParseProfile(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseProfile(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	for _, in := range []string{
+		"drop",             // no key=value
+		"drop=x",           // not a float
+		"drop=1.5",         // outside [0,1]
+		"drop=-0.1",        // outside [0,1]
+		"delay=0.1:5",      // bounds missing the dash
+		"delay=0.1:9-2",    // inverted bounds
+		"delay=0.1:-5-2",   // negative minimum
+		"delay=0.1:a-b",    // non-numeric bounds
+		"jitter=0.1",       // unknown key
+		"drop=0.1,,dup=.2", // empty field
+	} {
+		if _, err := ParseProfile(in); err == nil {
+			t.Errorf("ParseProfile(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestProfileStringRoundtrip(t *testing.T) {
+	p := Profile{Drop: 0.1, Dup: 0.02, Delay: 0.05, DelayMinMS: 200, DelayMaxMS: 1500, Reorder: 0.01}
+	back, err := ParseProfile(p.String())
+	if err != nil {
+		t.Fatalf("reparsing %q: %v", p.String(), err)
+	}
+	if back != p {
+		t.Fatalf("roundtrip %q = %+v, want %+v", p.String(), back, p)
+	}
+	if s := (Profile{}).String(); s != "" {
+		t.Fatalf("zero profile renders %q, want empty", s)
+	}
+}
+
+// fixedRT yields a fixed wait forever, or gives up after maxSends.
+type fixedRT struct {
+	wait     int64
+	sent     int
+	maxSends int
+}
+
+func (r *fixedRT) Next() (int64, bool) {
+	r.sent++
+	return r.wait, r.maxSends == 0 || r.sent < r.maxSends
+}
+
+func TestExchangeZeroProfile(t *testing.T) {
+	l := NewLink(Profile{}, 1, 0)
+	calls := 0
+	v := l.Exchange(5_000, &fixedRT{wait: 4000, maxSends: 5}, func(int) { calls++ })
+	if !v.OK || v.DoneMS != 5_000 || v.Sends != 1 || v.Delivered != 1 || calls != 1 {
+		t.Fatalf("zero-profile exchange: %+v (deliver calls %d)", v, calls)
+	}
+	// A zero profile must consume no stream state: the next draws from
+	// every stream match a fresh link's.
+	fresh := NewLink(Profile{}, 1, 0)
+	if l.up.Uint64() != fresh.up.Uint64() || l.down.Uint64() != fresh.down.Uint64() {
+		t.Fatal("zero-profile exchange consumed fault-stream draws")
+	}
+}
+
+func TestExchangeAllDropped(t *testing.T) {
+	l := NewLink(Profile{Drop: 1}, 1, 0)
+	calls := 0
+	v := l.Exchange(0, &fixedRT{wait: 4000, maxSends: 5}, func(int) { calls++ })
+	if v.OK || v.Delivered != 0 || calls != 0 {
+		t.Fatalf("drop=1 exchange delivered: %+v (calls %d)", v, calls)
+	}
+	if v.Sends != 5 || v.DoneMS != 5*4000 {
+		t.Fatalf("drop=1 exchange: want 5 sends giving up at 20000, got %+v", v)
+	}
+}
+
+func TestExchangeDuplicates(t *testing.T) {
+	l := NewLink(Profile{Dup: 1}, 1, 0)
+	copies := []int{}
+	v := l.Exchange(0, &fixedRT{wait: 4000, maxSends: 5}, func(c int) { copies = append(copies, c) })
+	if !v.OK || v.Sends != 1 || v.Delivered != 2 {
+		t.Fatalf("dup=1 exchange: %+v", v)
+	}
+	if !reflect.DeepEqual(copies, []int{0, 1}) {
+		t.Fatalf("dup=1 deliver copies = %v", copies)
+	}
+}
+
+func TestExchangeDelay(t *testing.T) {
+	l := NewLink(Profile{Delay: 1, DelayMinMS: 10, DelayMaxMS: 10}, 1, 0)
+	v := l.Exchange(100, &fixedRT{wait: 4000, maxSends: 5}, nil)
+	if !v.OK || v.DoneMS != 120 {
+		t.Fatalf("delayed exchange: want arrival at 120 (10 up + 10 down), got %+v", v)
+	}
+}
+
+func TestExchangeDelayBeyondWaitRetransmits(t *testing.T) {
+	// A reply slower than the first wait forces a retransmission; the
+	// client still accepts the earliest arrival.
+	l := NewLink(Profile{Delay: 1, DelayMinMS: 5000, DelayMaxMS: 5000}, 1, 0)
+	v := l.Exchange(0, &fixedRT{wait: 4000, maxSends: 5}, nil)
+	if !v.OK || v.Sends < 2 {
+		t.Fatalf("slow-reply exchange: %+v", v)
+	}
+	if v.DoneMS != 10_000 { // first send at 0 arrives at 10000 (5s up + 5s down)
+		t.Fatalf("slow-reply exchange arrived at %d, want 10000", v.DoneMS)
+	}
+}
+
+func TestExchangeDeterminism(t *testing.T) {
+	run := func() []Verdict {
+		l := NewLink(Profile{Drop: 0.5, Dup: 0.2, Delay: 0.3, DelayMinMS: 1, DelayMaxMS: 2000}, 99, 3)
+		var vs []Verdict
+		now := int64(0)
+		for i := 0; i < 200; i++ {
+			v := l.Exchange(now, &fixedRT{wait: 4000, maxSends: 5}, nil)
+			now = v.DoneMS
+			vs = append(vs, v)
+		}
+		return vs
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical seeds produced different exchange schedules")
+	}
+	ok := 0
+	for _, v := range a {
+		if v.OK {
+			ok++
+		}
+	}
+	if ok == 0 || ok == len(a) {
+		t.Fatalf("50%% loss produced degenerate outcome: %d/%d exchanges ok", ok, len(a))
+	}
+}
+
+// memConn is an in-memory PacketConn capturing writes.
+type memConn struct {
+	writes [][]byte
+	closed bool
+}
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "mem" }
+
+func (m *memConn) ReadFrom(p []byte) (int, net.Addr, error) { select {} }
+func (m *memConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	m.writes = append(m.writes, append([]byte(nil), p...))
+	return len(p), nil
+}
+func (m *memConn) Close() error                       { m.closed = true; return nil }
+func (m *memConn) LocalAddr() net.Addr                { return memAddr{} }
+func (m *memConn) SetDeadline(t time.Time) error      { return nil }
+func (m *memConn) SetReadDeadline(t time.Time) error  { return nil }
+func (m *memConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func TestConnDropAndDup(t *testing.T) {
+	inner := &memConn{}
+	c := WrapConn(inner, Profile{Drop: 1}, 1)
+	if n, err := c.WriteTo([]byte("abc"), memAddr{}); err != nil || n != 3 {
+		t.Fatalf("dropped write reported (%d, %v)", n, err)
+	}
+	if len(inner.writes) != 0 {
+		t.Fatalf("drop=1 leaked %d writes", len(inner.writes))
+	}
+
+	inner = &memConn{}
+	c = WrapConn(inner, Profile{Dup: 1}, 1)
+	if _, err := c.WriteTo([]byte("abc"), memAddr{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.writes) != 2 || string(inner.writes[0]) != "abc" || string(inner.writes[1]) != "abc" {
+		t.Fatalf("dup=1 wrote %q", inner.writes)
+	}
+}
+
+func TestConnReorderSwapsAndPreservesBytes(t *testing.T) {
+	// Scan seeds for a hold/no-hold pattern on two writes; that seed's
+	// wrapper must emit them swapped, byte-identical.
+	for seed := uint64(0); seed < 1000; seed++ {
+		inner := &memConn{}
+		c := WrapConn(inner, Profile{Reorder: 0.5}, seed)
+		c.WriteTo([]byte("first"), memAddr{})
+		c.WriteTo([]byte("second"), memAddr{})
+		if len(inner.writes) == 2 && string(inner.writes[0]) == "second" {
+			if string(inner.writes[1]) != "first" {
+				t.Fatalf("seed %d: reorder corrupted payload: %q", seed, inner.writes)
+			}
+			return
+		}
+	}
+	t.Fatal("no seed in [0,1000) produced a swap at reorder=0.5")
+}
+
+func TestConnHeldPacketReleasedNextWrite(t *testing.T) {
+	inner := &memConn{}
+	c := WrapConn(inner, Profile{Reorder: 1}, 1)
+	c.WriteTo([]byte("a"), memAddr{})
+	if len(inner.writes) != 0 {
+		t.Fatalf("held packet escaped immediately: %q", inner.writes)
+	}
+	c.WriteTo([]byte("b"), memAddr{})
+	c.WriteTo([]byte("c"), memAddr{})
+	// Every write held: each released at the following write.
+	if len(inner.writes) != 2 || string(inner.writes[0]) != "a" || string(inner.writes[1]) != "b" {
+		t.Fatalf("reorder=1 emitted %q, want [a b]", inner.writes)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !inner.closed || len(inner.writes) != 2 {
+		t.Fatalf("Close must discard held packets (closed=%v writes=%q)", inner.closed, inner.writes)
+	}
+}

@@ -1,0 +1,137 @@
+package faultnet
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// FuzzParseProfile asserts the CLI parser never panics, that every
+// accepted profile validates, and that accepted profiles survive a
+// String/Parse roundtrip.
+func FuzzParseProfile(f *testing.F) {
+	f.Add("")
+	f.Add("drop=0.1")
+	f.Add("drop=0.1,dup=0.02,delay=0.05:200-1500,reorder=0.01")
+	f.Add("delay=1:0-0")
+	f.Add("drop=1e-3,reorder=0.999")
+	f.Add("drop=NaN")
+	f.Add("delay=0.1:9-2")
+	f.Add("=,=,=")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseProfile(s)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParseProfile(%q) accepted an invalid profile %+v: %v", s, p, verr)
+		}
+		back, err := ParseProfile(p.String())
+		if err != nil {
+			t.Fatalf("reparsing String() of %+v (%q): %v", p, p.String(), err)
+		}
+		// Delay bounds are only meaningful with Delay > 0 (String omits
+		// them otherwise), so compare what the wire behavior depends on.
+		if p.Delay <= 0 {
+			back.DelayMinMS, back.DelayMaxMS = p.DelayMinMS, p.DelayMaxMS
+		}
+		if back != p {
+			t.Fatalf("roundtrip of %q: %+v != %+v", s, back, p)
+		}
+	})
+}
+
+// sink captures every datagram the wrapper lets through.
+type sink struct {
+	writes [][]byte
+}
+
+type sinkAddr struct{}
+
+func (sinkAddr) Network() string { return "sink" }
+func (sinkAddr) String() string  { return "sink" }
+
+func (s *sink) ReadFrom(p []byte) (int, net.Addr, error) { select {} }
+func (s *sink) WriteTo(p []byte, addr net.Addr) (int, error) {
+	s.writes = append(s.writes, append([]byte(nil), p...))
+	return len(p), nil
+}
+func (s *sink) Close() error                       { return nil }
+func (s *sink) LocalAddr() net.Addr                { return sinkAddr{} }
+func (s *sink) SetDeadline(t time.Time) error      { return nil }
+func (s *sink) SetReadDeadline(t time.Time) error  { return nil }
+func (s *sink) SetWriteDeadline(t time.Time) error { return nil }
+
+// FuzzReorder drives the fault-injecting wrapper with arbitrary payloads
+// and fault probabilities and asserts the invariant the package promises:
+// the wrapper drops, duplicates, and reorders whole datagrams but never
+// corrupts, truncates, or invents payload bytes — every delivered
+// datagram is byte-identical to one that was written, at most two copies
+// of any write are delivered, and reported write sizes are always the
+// full payload length.
+func FuzzReorder(f *testing.F) {
+	f.Add(uint64(1), 0.0, 0.0, 0.0, []byte("hello"), []byte("world"), []byte("!"))
+	f.Add(uint64(2), 0.5, 0.5, 0.5, []byte{0, 1, 2}, []byte{}, []byte{0xff})
+	f.Add(uint64(3), 1.0, 0.0, 1.0, []byte("aa"), []byte("aa"), []byte("ab"))
+	f.Fuzz(func(t *testing.T, seed uint64, drop, dup, reorder float64, p1, p2, p3 []byte) {
+		prof := Profile{Drop: clamp01(drop), Dup: clamp01(dup), Reorder: clamp01(reorder)}
+		inner := &sink{}
+		c := WrapConn(inner, prof, seed)
+		written := [][]byte{p1, p2, p3}
+		for _, p := range written {
+			n, err := c.WriteTo(p, sinkAddr{})
+			if err != nil {
+				t.Fatalf("WriteTo: %v", err)
+			}
+			if n != len(p) {
+				t.Fatalf("WriteTo reported %d of %d bytes", n, len(p))
+			}
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if len(inner.writes) > 2*len(written) {
+			t.Fatalf("delivered %d datagrams from %d writes", len(inner.writes), len(written))
+		}
+		// Each delivered datagram must be one of the written payloads,
+		// and no payload may be delivered more than twice.
+		for _, got := range inner.writes {
+			copies, matched := 0, false
+			for _, w := range written {
+				if bytes.Equal(got, w) {
+					matched = true
+				}
+			}
+			if !matched {
+				t.Fatalf("wrapper invented datagram %q (writes %q)", got, written)
+			}
+			for _, other := range inner.writes {
+				if bytes.Equal(got, other) {
+					copies++
+				}
+			}
+			// Identical payloads may legitimately stack, but never past
+			// two copies per write of that payload.
+			limit := 0
+			for _, w := range written {
+				if bytes.Equal(got, w) {
+					limit += 2
+				}
+			}
+			if copies > limit {
+				t.Fatalf("payload %q delivered %d times (limit %d)", got, copies, limit)
+			}
+		}
+	})
+}
+
+func clamp01(f float64) float64 {
+	if f != f || f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

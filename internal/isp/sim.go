@@ -10,6 +10,7 @@ import (
 
 	"dynamips/internal/bgp"
 	"dynamips/internal/dhcp6"
+	"dynamips/internal/faultnet"
 	"dynamips/internal/netutil"
 	"dynamips/internal/radius"
 )
@@ -24,6 +25,17 @@ type Config struct {
 	Hours int64
 	// Seed makes the run reproducible.
 	Seed int64
+	// Faults, when non-nil, routes every assignment change through a
+	// lossy subscriber↔server link: RADIUS Access-Requests go over the
+	// wire codec with RFC-style retransmission and server-side duplicate
+	// detection, and DHCPv6 changes only land when the simulated
+	// Solicit/Request (or Renew) exchange survives the link. Each
+	// subscriber×family link draws its fault schedule from its own
+	// faultnet stream seeded by Seed, so the simulation's main RNG — and
+	// with it the change schedule — is untouched: a non-nil all-zero
+	// profile reproduces the nil-Faults output byte for byte. nil keeps
+	// the direct in-process call path.
+	Faults *faultnet.Profile
 }
 
 // V4Step is one IPv4 assignment: Addr holds from Start (hours) until the
@@ -124,6 +136,10 @@ type sim struct {
 	// v6Srvs[i]: one delegation server per regional pool; indices
 	// >= Regions are pools in BGP6Extra aggregates.
 	v6Srvs []*dhcp6.Server
+
+	// links4/links6 are the per-subscriber lossy links (nil without
+	// cfg.Faults); link ids 2i and 2i+1 keep the families uncorrelated.
+	links4, links6 []*faultnet.Link
 
 	events eventHeap
 	seq    int
@@ -287,6 +303,15 @@ func (s *sim) buildSubscribers() {
 		}
 		s.subs[i] = sub
 	}
+	if s.cfg.Faults != nil {
+		prof := *s.cfg.Faults
+		s.links4 = make([]*faultnet.Link, len(s.subs))
+		s.links6 = make([]*faultnet.Link, len(s.subs))
+		for i := range s.subs {
+			s.links4[i] = faultnet.NewLink(prof, uint64(s.cfg.Seed), uint64(2*i))
+			s.links6[i] = faultnet.NewLink(prof, uint64(s.cfg.Seed), uint64(2*i+1))
+		}
+	}
 }
 
 // pushInfra schedules a regional infrastructure outage; these events are
@@ -399,15 +424,67 @@ func (s *sim) changeV4(t int64, sub *Subscriber) {
 		bgpIdx = s.rng.Intn(len(p.BGP4))
 	}
 	srv := s.v4Srvs[sub.Region][bgpIdx]
-	sess, err := srv.StartSession(sub.user, s.clock.sec)
-	if err != nil {
-		return // pool exhausted: keep the old address
+	var addr netip.Addr
+	if s.cfg.Faults != nil {
+		a, ok := s.accessOverLink(sub, srv)
+		if !ok {
+			return // no Accept survived the network: keep the old address
+		}
+		addr = a
+	} else {
+		sess, err := srv.StartSession(sub.user, s.clock.sec)
+		if err != nil {
+			return // pool exhausted: keep the old address
+		}
+		addr = sess.Addr4
 	}
 	if sub.v4Srv != nil && sub.v4Srv != srv {
 		sub.v4Srv.StopSession(sub.user)
 	}
 	sub.v4Srv = srv
-	sub.pushV4(V4Step{Start: t, Addr: sess.Addr4})
+	sub.pushV4(V4Step{Start: t, Addr: addr})
+}
+
+// v4AttemptCap bounds how many full retransmission schedules a CPE runs
+// before giving up on a change and keeping its address — the same
+// fallback as pool exhaustion.
+const v4AttemptCap = 8
+
+// accessOverLink runs Access-Request/Accept over the subscriber's lossy
+// link. The request's identifier and authenticator come from the link's
+// client stream; every copy the uplink delivers hits srv.Handle, so a
+// duplicated request genuinely exercises the server's RFC 5080 duplicate
+// cache (same reply, no second allocation); and the client takes the
+// reply only when the downlink delivered it before the RADIUS
+// retransmission schedule gave up. A failed schedule is retried with a
+// fresh identifier — a new request, as a rebooting CPE would send — up to
+// v4AttemptCap attempts.
+func (s *sim) accessOverLink(sub *Subscriber, srv *radius.Server) (netip.Addr, bool) {
+	link := s.links4[sub.ID]
+	cs := link.Client()
+	nowMS := s.clock.sec * 1000
+	for attempt := 0; attempt < v4AttemptCap; attempt++ {
+		req := radius.New(radius.AccessRequest, byte(cs.Uint64()))
+		binary.BigEndian.PutUint64(req.Authenticator[0:8], cs.Uint64())
+		binary.BigEndian.PutUint64(req.Authenticator[8:16], cs.Uint64())
+		req.AddString(radius.AttrUserName, sub.user)
+		var rep *radius.Packet
+		v := link.Exchange(nowMS, radius.NewRetransmitter(cs), func(int) {
+			if r, err := srv.Handle(req, s.clock.sec); err == nil && rep == nil {
+				rep = r
+			}
+		})
+		nowMS = v.DoneMS
+		if !v.OK || rep == nil {
+			continue // every transmission or every reply was lost
+		}
+		if rep.Code != radius.AccessAccept {
+			return netip.Addr{}, false // pool exhausted: keep the old address
+		}
+		a, ok := rep.GetAddr4(radius.AttrFramedIPAddress)
+		return a, ok
+	}
+	return netip.Addr{}, false
 }
 
 // pushV4 records a step, coalescing multiple changes within the same hour
@@ -450,6 +527,9 @@ func (s *sim) changeV6(t int64, sub *Subscriber) {
 		}
 	}
 	srv := s.v6Srvs[poolIdx]
+	if s.cfg.Faults != nil && !s.v6ChangeDelivered(sub, sub.v6Srv == srv) {
+		return // the exchange never completed: keep the old delegation
+	}
 	var (
 		b   dhcp6.Binding
 		err error
@@ -468,6 +548,34 @@ func (s *sim) changeV6(t int64, sub *Subscriber) {
 	sub.v6Srv = srv
 	sub.v6SrvID = poolIdx
 	sub.pushV6(V6Step{Start: t, LAN: s.lanFrom(b.Prefix, sub), Delegated: b.Prefix})
+}
+
+// v6SimBoundMS caps simulated DHCPv6 schedules at one virtual hour: RFC
+// 8415 lets Solicit and Renew retransmit indefinitely, but past the hour
+// the change is moot at the dataset's granularity and the CPE keeps its
+// old delegation.
+const v6SimBoundMS = 3_600_000
+
+// v6ChangeDelivered replays the message exchanges a v6 change rides on:
+// Renew for an in-place reassignment, Solicit then Request when the
+// subscriber moves servers. The server-side allocation happens once,
+// in-process, only after every exchange survived the link — DHCPv6
+// transaction-id dedup is modeled by that single-call gate (the RADIUS
+// path is where genuine server-side duplicate detection is exercised).
+func (s *sim) v6ChangeDelivered(sub *Subscriber, sameSrv bool) bool {
+	link := s.links6[sub.ID]
+	cs := link.Client()
+	nowMS := s.clock.sec * 1000
+	exchange := func(p dhcp6.RetransParams) bool {
+		p.MRD = v6SimBoundMS
+		v := link.Exchange(nowMS, dhcp6.NewRetransmitter(p, cs), nil)
+		nowMS = v.DoneMS
+		return v.OK
+	}
+	if sameSrv && sub.v6Srv != nil {
+		return exchange(dhcp6.RenewParams())
+	}
+	return exchange(dhcp6.SolicitParams()) && exchange(dhcp6.RequestParams())
 }
 
 func (s *sim) run() {

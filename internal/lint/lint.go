@@ -34,6 +34,7 @@ func DefaultConfig() Config {
 			"internal/core",
 			"internal/dhcp4",
 			"internal/dhcp6",
+			"internal/faultnet",
 			"internal/radius",
 			"internal/cgnat",
 			"internal/experiments",

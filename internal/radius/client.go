@@ -1,0 +1,154 @@
+package radius
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Jitter randomizes retransmission delays (RFC 5080 §2.2.1 recommends
+// jittered backoff to avoid synchronized retry storms). *math/rand.Rand
+// and *faultnet.Stream both implement it; nil yields the base schedule.
+type Jitter interface {
+	Float64() float64
+}
+
+// Retransmitter paces Access-Request retransmissions: delays double from
+// 3 s to 24 s (3→6→12→24, each jittered by ±500 ms), four transmissions
+// in all — the BRAS-typical policy; RFC 2865 leaves timing to the
+// implementation. Crucially, every retransmission reuses the same
+// Identifier and Request Authenticator, which is what lets the server's
+// duplicate detection recognize the retry.
+type Retransmitter struct {
+	j    Jitter
+	base int64 // upcoming unjittered wait, ms
+}
+
+// clientCeilingMS is the 24-second delay ceiling of the retry policy.
+const clientCeilingMS = 24_000
+
+// NewRetransmitter builds the machine; j may be nil.
+func NewRetransmitter(j Jitter) *Retransmitter {
+	return &Retransmitter{j: j, base: 3_000}
+}
+
+// Next returns the wait after the upcoming transmission and whether a
+// further transmission may follow; ok=false marks the final timeout.
+func (r *Retransmitter) Next() (waitMS int64, ok bool) {
+	wait := r.base
+	if r.j != nil {
+		wait += int64(r.j.Float64()*1001) - 500
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	more := r.base < clientCeilingMS
+	if more {
+		r.base *= 2
+	}
+	return wait, more
+}
+
+// Client performs RADIUS exchanges over a PacketConn with
+// identifier-based retransmission: a request is resent byte-identical
+// (same Identifier, same Request Authenticator) on timeout, and replies
+// are matched by Identifier and verified against the shared secret, so
+// late or duplicated replies from earlier transmissions are accepted once
+// and stale ones discarded.
+type Client struct {
+	Conn   net.PacketConn
+	Server net.Addr
+	Secret []byte
+	// Jitter seeds the retransmission jitter; nil uses the base schedule.
+	Jitter Jitter
+	// Timeout caps the whole exchange in wall time (default 2 s); raise
+	// it to let the full retry schedule play out against a flaky server.
+	Timeout time.Duration
+	// WaitScale compresses the retransmission schedule (tests run the
+	// 3→24 s ladder in milliseconds); 0 means 1.
+	WaitScale float64
+
+	id byte
+}
+
+// ErrExchangeTimeout is returned when every transmission went unanswered.
+var ErrExchangeTimeout = errors.New("radius: no valid reply before give-up")
+
+// NextID returns the next request identifier. Callers building their own
+// packets use it to keep retransmitted and fresh requests distinct.
+func (c *Client) NextID() byte {
+	c.id++
+	return c.id
+}
+
+// Exchange sends req (which must already carry its Identifier and
+// Request Authenticator) and returns the first verified reply, driving
+// the retransmission schedule on timeouts.
+func (c *Client) Exchange(req *Packet) (*Packet, error) {
+	payload := req.Encode()
+	rt := NewRetransmitter(c.Jitter)
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	scale := c.WaitScale
+	if scale <= 0 {
+		scale = 1
+	}
+	remaining := timeout // overall budget: the waits may not sum past it
+	buf := make([]byte, 4096)
+	sends := 0
+	for {
+		if _, err := c.Conn.WriteTo(payload, c.Server); err != nil {
+			return nil, fmt.Errorf("radius: client write: %w", err)
+		}
+		sends++
+		waitMS, more := rt.Next()
+		wait := time.Duration(float64(waitMS)*scale) * time.Millisecond
+		last := !more
+		if wait >= remaining {
+			wait = remaining
+			last = true
+		}
+		remaining -= wait
+		if err := c.Conn.SetReadDeadline(time.Now().Add(wait)); err != nil {
+			return nil, fmt.Errorf("radius: set deadline: %w", err)
+		}
+		for {
+			n, _, err := c.Conn.ReadFrom(buf)
+			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					break // retransmit or give up
+				}
+				return nil, fmt.Errorf("radius: client read: %w", err)
+			}
+			rep, err := Parse(buf[:n])
+			if err != nil || rep.Identifier != req.Identifier {
+				continue // stale identifier: reply to a finished exchange
+			}
+			if VerifyResponse(buf[:n], req, c.Secret) != nil {
+				continue
+			}
+			return rep, nil
+		}
+		if last {
+			return nil, fmt.Errorf("%w (%d transmissions to %v)", ErrExchangeTimeout, sends, c.Server)
+		}
+	}
+}
+
+// Access performs one Access-Request for user: it assigns a fresh
+// Identifier, fills the Request Authenticator from the jitter stream (or
+// zeroes without one), and runs the retransmitting exchange.
+func (c *Client) Access(user string) (*Packet, error) {
+	req := New(AccessRequest, c.NextID())
+	if c.Jitter != nil {
+		for i := range req.Authenticator {
+			req.Authenticator[i] = byte(c.Jitter.Float64() * 256)
+		}
+	}
+	req.AddString(AttrUserName, user)
+	return c.Exchange(req)
+}

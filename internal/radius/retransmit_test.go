@@ -1,0 +1,213 @@
+package radius
+
+import (
+	"net"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"dynamips/internal/faultnet"
+)
+
+func TestClientRetransmitterSchedule(t *testing.T) {
+	rt := NewRetransmitter(nil)
+	want := []int64{3_000, 6_000, 12_000, 24_000}
+	for i, w := range want {
+		wait, more := rt.Next()
+		if wait != w {
+			t.Fatalf("wait %d = %d ms, want %d", i, wait, w)
+		}
+		if more != (i < len(want)-1) {
+			t.Fatalf("wait %d reported more=%v", i, more)
+		}
+	}
+}
+
+// accessReq builds an Access-Request with a distinctive authenticator.
+func accessReq(id byte, auth byte, user string) *Packet {
+	req := New(AccessRequest, id)
+	req.Authenticator = [16]byte{auth, 1, 2, 3}
+	req.AddString(AttrUserName, user)
+	return req
+}
+
+// TestDuplicateAccessRequestIsIdempotent pins the RFC 5080 §2.2.2 fix: a
+// retransmitted Access-Request (same Identifier and Request
+// Authenticator) must return the same Access-Accept — same
+// Framed-IP-Address, same Session-Timeout — without allocating a second
+// session or resetting the first one.
+func TestDuplicateAccessRequestIsIdempotent(t *testing.T) {
+	s := newTestServer(86400, false)
+	req := accessReq(7, 0xaa, "dup-user")
+
+	first, err := s.Handle(req, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Code != AccessAccept {
+		t.Fatalf("first reply %v", first.Code)
+	}
+	addr1, _ := first.GetAddr4(AttrFramedIPAddress)
+	sessions := s.ActiveSessions()
+
+	// The duplicate arrives 5 seconds later, well inside the window.
+	second, err := s.Handle(req, 105)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("duplicate got a different reply:\nfirst  %+v\nsecond %+v", first, second)
+	}
+	addr2, _ := second.GetAddr4(AttrFramedIPAddress)
+	if addr1 != addr2 {
+		t.Fatalf("duplicate reallocated: %v then %v", addr1, addr2)
+	}
+	if s.ActiveSessions() != sessions {
+		t.Fatalf("duplicate changed session count: %d -> %d", sessions, s.ActiveSessions())
+	}
+	// The original session's start time must not have been reset by the
+	// duplicate: a fresh allocation at now=105 would start then.
+	if sess := s.sessions["dup-user"]; sess.Start != 100 {
+		t.Fatalf("duplicate reset session start to %d", sess.Start)
+	}
+}
+
+func TestFreshAuthenticatorAllocatesFreshly(t *testing.T) {
+	s := newTestServer(86400, false)
+	a, _ := s.Handle(accessReq(7, 0xaa, "re-user"), 100)
+	// Same identifier, different authenticator: a genuinely new request
+	// (a reconnect), which RADIUS-style assignment answers with a fresh
+	// address.
+	b, _ := s.Handle(accessReq(7, 0xbb, "re-user"), 101)
+	addrA, _ := a.GetAddr4(AttrFramedIPAddress)
+	addrB, _ := b.GetAddr4(AttrFramedIPAddress)
+	if addrA == addrB {
+		t.Fatalf("new authenticator reused address %v", addrA)
+	}
+	if s.ActiveSessions() != 1 {
+		t.Fatalf("reconnect left %d sessions", s.ActiveSessions())
+	}
+}
+
+func TestDuplicateWindowExpiry(t *testing.T) {
+	s := newTestServer(86400, false)
+	req := accessReq(7, 0xaa, "slow-user")
+	a, _ := s.Handle(req, 100)
+	// Past the 30 s window the same bytes are a new request again.
+	b, _ := s.Handle(req, 100+replayWindowSec)
+	addrA, _ := a.GetAddr4(AttrFramedIPAddress)
+	addrB, _ := b.GetAddr4(AttrFramedIPAddress)
+	if addrA == addrB {
+		t.Fatalf("expired duplicate still served cached address %v", addrA)
+	}
+	if len(s.replay) != 1 || len(s.replayQ) != 1 {
+		t.Fatalf("expired entries not pruned: map %d queue %d", len(s.replay), len(s.replayQ))
+	}
+}
+
+func TestDuplicateRejectIsCached(t *testing.T) {
+	s := NewServer(ServerConfig{
+		Pools4:         []netip.Prefix{netip.MustParsePrefix("81.10.0.0/31")},
+		SessionTimeout: 3600,
+	})
+	// Exhaust the 2-address pool, then duplicate the failing request.
+	s.Handle(accessReq(1, 1, "u1"), 0)
+	s.Handle(accessReq(2, 2, "u2"), 0)
+	rej, _ := s.Handle(accessReq(3, 3, "u3"), 0)
+	if rej.Code != AccessReject {
+		t.Fatalf("expected reject, got %v", rej.Code)
+	}
+	again, _ := s.Handle(accessReq(3, 3, "u3"), 1)
+	if !reflect.DeepEqual(rej, again) {
+		t.Fatal("duplicate of a rejected request got a different reply")
+	}
+}
+
+// TestClientRetransmitsOverLossyWire runs Access over a UDP socket whose
+// client side drops the first datagram: the identifier-based retransmit
+// must deliver, and the duplicate the wire creates must not consume a
+// second address.
+func TestClientRetransmitsOverLossyWire(t *testing.T) {
+	s := NewGuarded(newTestServer(86400, false))
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go Serve(pc, s, func() int64 { return 0 })
+
+	cc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	// Seed such that the first write is dropped and the second passes:
+	// the exchange succeeds only via retransmission.
+	seed := dropThenPassSeed(t)
+	c := &Client{
+		Conn:      faultnet.WrapConn(cc, faultnet.Profile{Drop: 0.5}, seed),
+		Server:    pc.LocalAddr(),
+		Secret:    []byte("s3cret"),
+		Timeout:   5 * time.Second,
+		WaitScale: 0.01, // 3 s base wait → 30 ms of test time
+	}
+	rep, err := c.Access("wire-user")
+	if err != nil {
+		t.Fatalf("Access through 50%% loss: %v", err)
+	}
+	if rep.Code != AccessAccept {
+		t.Fatalf("reply %v", rep.Code)
+	}
+	if s.ActiveSessions() != 1 {
+		t.Fatalf("lossy exchange left %d sessions", s.ActiveSessions())
+	}
+}
+
+// TestDuplicateOverWire duplicates the request datagram on the wire: the
+// server must answer both copies identically from one allocation.
+func TestDuplicateOverWire(t *testing.T) {
+	s := NewGuarded(newTestServer(86400, false))
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go Serve(pc, s, func() int64 { return 0 })
+
+	cc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	c := &Client{
+		Conn:    faultnet.WrapConn(cc, faultnet.Profile{Dup: 1}, 1),
+		Server:  pc.LocalAddr(),
+		Secret:  []byte("s3cret"),
+		Timeout: 5 * time.Second,
+	}
+	rep, err := c.Access("dup-wire-user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Code != AccessAccept {
+		t.Fatalf("reply %v", rep.Code)
+	}
+	if s.ActiveSessions() != 1 {
+		t.Fatalf("duplicated request allocated %d sessions", s.ActiveSessions())
+	}
+}
+
+func dropThenPassSeed(t *testing.T) uint64 {
+	t.Helper()
+	for seed := uint64(0); seed < 1000; seed++ {
+		s := faultnet.NewStream(seed, 0)
+		if s.Float64() < 0.5 && s.Float64() >= 0.5 {
+			return seed
+		}
+	}
+	t.Fatal("no (drop, pass) seed in [0,1000)")
+	return 0
+}

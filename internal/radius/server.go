@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"sync"
 
 	"dynamips/internal/netutil"
 )
@@ -45,12 +46,35 @@ type Session struct {
 	Timeout uint32
 }
 
+// replayWindowSec is how long a duplicate Access-Request — same
+// Identifier and Request Authenticator, i.e. a client retransmission —
+// is answered from the duplicate cache instead of allocating again
+// (RFC 5080 §2.2.2 duplicate detection).
+const replayWindowSec = 30
+
+// replayKey identifies a request for duplicate detection. The
+// Identifier alone is too narrow (it wraps at 256 across subscribers);
+// Identifier plus Request Authenticator is what RFC 5080 prescribes.
+type replayKey struct {
+	id   byte
+	auth [16]byte
+}
+
+type replayEntry struct {
+	key   replayKey
+	reply *Packet
+	at    int64
+}
+
 // Server allocates per-session addresses RADIUS-style: every new session
 // draws the next free address; nothing is remembered once a session stops.
 // It is not safe for concurrent use.
 type Server struct {
 	cfg      ServerConfig
 	sessions map[string]*Session
+
+	replay  map[replayKey]*replayEntry
+	replayQ []*replayEntry // insertion order, for window pruning
 
 	cursor4 int
 	offset4 uint64
@@ -96,6 +120,7 @@ func NewServer(cfg ServerConfig) *Server {
 	return &Server{
 		cfg:      cfg,
 		sessions: make(map[string]*Session),
+		replay:   make(map[replayKey]*replayEntry),
 		used4:    make(map[netip.Addr]bool),
 		used6:    make(map[netip.Prefix]bool),
 	}
@@ -103,6 +128,46 @@ func NewServer(cfg ServerConfig) *Server {
 
 // ActiveSessions returns the number of live sessions.
 func (s *Server) ActiveSessions() int { return len(s.sessions) }
+
+// Secret returns the shared secret replies are authenticated with.
+func (s *Server) Secret() []byte { return s.cfg.Secret }
+
+// Handler answers one RADIUS packet. *Server implements it directly for
+// single-goroutine use; wrap a Server in NewGuarded when anything else —
+// a test assertion, an administrative operation — must interleave with a
+// live Serve loop.
+type Handler interface {
+	Handle(req *Packet, now int64) (*Packet, error)
+	Secret() []byte
+}
+
+// Guarded serializes access to a Server shared between a Serve loop and
+// concurrent observers. The plain simulator path keeps calling the
+// Server directly and pays no locking.
+type Guarded struct {
+	mu  sync.Mutex
+	srv *Server
+}
+
+// NewGuarded wraps srv for concurrent use.
+func NewGuarded(srv *Server) *Guarded { return &Guarded{srv: srv} }
+
+// Handle answers one packet under the lock.
+func (g *Guarded) Handle(req *Packet, now int64) (*Packet, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.srv.Handle(req, now)
+}
+
+// Secret returns the shared secret (immutable after construction).
+func (g *Guarded) Secret() []byte { return g.srv.Secret() }
+
+// ActiveSessions counts live sessions under the lock.
+func (g *Guarded) ActiveSessions() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.srv.ActiveSessions()
+}
 
 func (s *Server) nextFree4() (netip.Addr, error) {
 	for len(s.freed4) > 0 {
@@ -207,25 +272,52 @@ func (s *Server) StopSession(user string) {
 	}
 }
 
+// handleAccess authenticates and allocates for one first-seen
+// Access-Request, returning Access-Accept or Access-Reject.
+func (s *Server) handleAccess(req *Packet, now int64) *Packet {
+	user, ok := req.GetString(AttrUserName)
+	if !ok || user == "" {
+		return New(AccessReject, req.Identifier)
+	}
+	sess, err := s.StartSession(user, now)
+	if err != nil {
+		return New(AccessReject, req.Identifier)
+	}
+	rep := New(AccessAccept, req.Identifier)
+	rep.AddAddr4(AttrFramedIPAddress, sess.Addr4)
+	rep.AddU32(AttrSessionTimeout, sess.Timeout)
+	if sess.Prefix6.IsValid() {
+		rep.AddPrefix6(AttrDelegatedIPv6Prefix, sess.Prefix6)
+	}
+	return rep
+}
+
 // Handle processes one RADIUS packet and returns the reply (nil for
 // unhandled codes). now is the current time in seconds.
+//
+// A retransmitted Access-Request — same Identifier and Request
+// Authenticator within the duplicate window — returns the cached reply
+// without touching session state: the subscriber keeps the address the
+// first transmission allocated, and its Session-Timeout is not reset.
 func (s *Server) Handle(req *Packet, now int64) (*Packet, error) {
 	switch req.Code {
 	case AccessRequest:
-		user, ok := req.GetString(AttrUserName)
-		if !ok || user == "" {
-			rep := New(AccessReject, req.Identifier)
-			return rep, nil
+		key := replayKey{id: req.Identifier, auth: req.Authenticator}
+		if e, ok := s.replay[key]; ok && now-e.at < replayWindowSec {
+			return e.reply, nil
 		}
-		sess, err := s.StartSession(user, now)
-		if err != nil {
-			return New(AccessReject, req.Identifier), nil
-		}
-		rep := New(AccessAccept, req.Identifier)
-		rep.AddAddr4(AttrFramedIPAddress, sess.Addr4)
-		rep.AddU32(AttrSessionTimeout, sess.Timeout)
-		if sess.Prefix6.IsValid() {
-			rep.AddPrefix6(AttrDelegatedIPv6Prefix, sess.Prefix6)
+		rep := s.handleAccess(req, now)
+		e := &replayEntry{key: key, reply: rep, at: now}
+		s.replay[key] = e
+		s.replayQ = append(s.replayQ, e)
+		for len(s.replayQ) > 0 && now-s.replayQ[0].at >= replayWindowSec {
+			old := s.replayQ[0]
+			s.replayQ = s.replayQ[1:]
+			// A key re-inserted after expiry owns a newer entry; only
+			// drop the mapping the stale queue slot still owns.
+			if s.replay[old.key] == old {
+				delete(s.replay, old.key)
+			}
 		}
 		return rep, nil
 
@@ -244,7 +336,11 @@ func (s *Server) Handle(req *Packet, now int64) (*Packet, error) {
 
 // Serve answers RADIUS packets on conn until it is closed, returning
 // net.ErrClosed. now() supplies session start times.
-func Serve(conn net.PacketConn, s *Server, now func() int64) error {
+//
+// A bare *Server is not safe for concurrent use: Serve processes packets
+// strictly in arrival order, and nothing else may touch the server while
+// the loop runs. To observe server state mid-serve, pass a *Guarded.
+func Serve(conn net.PacketConn, s Handler, now func() int64) error {
 	buf := make([]byte, 4096)
 	for {
 		n, src, err := conn.ReadFrom(buf)
@@ -262,7 +358,7 @@ func Serve(conn net.PacketConn, s *Server, now func() int64) error {
 		if err != nil || rep == nil {
 			continue
 		}
-		if _, err := conn.WriteTo(rep.EncodeResponse(req, s.cfg.Secret), src); err != nil {
+		if _, err := conn.WriteTo(rep.EncodeResponse(req, s.Secret()), src); err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return net.ErrClosed
 			}

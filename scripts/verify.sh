@@ -1,12 +1,15 @@
 #!/bin/sh
 # verify.sh — the repository's full correctness gate, run locally and in CI:
 #   build, go vet, dynalint (determinism/netip/errwrap/lockcopy), the test
-#   suite under the race detector, and a bounded fuzz smoke over every
-#   wire-codec Fuzz* target. FUZZTIME bounds each fuzz run (default 10s).
+#   suite under the race detector (which includes the fault-injection soak,
+#   TestPipelineUnderLoss), a coverage floor over the assignment-plane
+#   protocol packages, and a bounded fuzz smoke over every wire-codec and
+#   fault-injection Fuzz* target. FUZZTIME bounds each fuzz run (default 10s).
 set -eu
 
 cd "$(dirname "$0")/.."
 FUZZTIME="${FUZZTIME:-10s}"
+COVERAGE_FLOOR="${COVERAGE_FLOOR:-80}"
 
 echo "==> go build ./..."
 go build ./...
@@ -17,12 +20,29 @@ go vet ./...
 echo "==> dynalint ./..."
 go run ./cmd/dynalint ./...
 
-echo "==> go test -race ./..."
+echo "==> go test -race ./... (includes the loss soak)"
 go test -race ./...
+
+echo "==> coverage floor (>=${COVERAGE_FLOOR}% of statements)"
+for pkg in internal/dhcp4 internal/dhcp6 internal/radius internal/faultnet; do
+	line=$(go test -cover "./$pkg" | tail -n 1)
+	echo "$line"
+	pct=$(echo "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+	if [ -z "$pct" ]; then
+		echo "FAIL: no coverage figure for $pkg" >&2
+		exit 1
+	fi
+	if awk -v p="$pct" -v f="$COVERAGE_FLOOR" 'BEGIN{exit !(p < f)}'; then
+		echo "FAIL: $pkg coverage ${pct}% below floor ${COVERAGE_FLOOR}%" >&2
+		exit 1
+	fi
+done
 
 echo "==> fuzz smoke (-fuzztime ${FUZZTIME} each)"
 go test ./internal/dhcp4 -run '^$' -fuzz '^FuzzUnmarshal$' -fuzztime "$FUZZTIME"
 go test ./internal/dhcp6 -run '^$' -fuzz '^FuzzUnmarshal$' -fuzztime "$FUZZTIME"
 go test ./internal/radius -run '^$' -fuzz '^FuzzParse$' -fuzztime "$FUZZTIME"
+go test ./internal/faultnet -run '^$' -fuzz '^FuzzParseProfile$' -fuzztime "$FUZZTIME"
+go test ./internal/faultnet -run '^$' -fuzz '^FuzzReorder$' -fuzztime "$FUZZTIME"
 
 echo "==> verify OK"
