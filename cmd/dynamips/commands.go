@@ -2,21 +2,100 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/netip"
 	"os"
 	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"dynamips/internal/atlas"
 	"dynamips/internal/bgp"
 	"dynamips/internal/cdn"
+	"dynamips/internal/checkpoint"
 	"dynamips/internal/core"
 	"dynamips/internal/experiments"
 	"dynamips/internal/faultnet"
 	"dynamips/internal/isp"
 	"dynamips/internal/stats"
 )
+
+// logf is the CLI's warning channel: checkpoint recovery notes, stale
+// manifest discards, journal truncations. Stderr, so it never pollutes a
+// dataset being written to stdout.
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dynamips: "+format+"\n", args...)
+}
+
+// writeOutput routes a command's output: "-" (or empty) streams to stdout,
+// anything else goes through the checkpoint atomic writer — tempfile,
+// fsync, CRC-32C read-back, rename — so an interrupted run never leaves a
+// truncated destination file.
+func writeOutput(path string, write func(io.Writer) error) error {
+	if path == "" || path == "-" {
+		bw := bufio.NewWriter(os.Stdout)
+		if err := write(bw); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	return checkpoint.WriteFileAtomic(path, write)
+}
+
+// runSpec is the manifest command record: everything needed to re-run (or
+// resume) a checkpointed invocation. It doubles as the manifest key's
+// config input after normalization (see specKey).
+type runSpec struct {
+	Kind       string  `json:"kind"` // "experiment" or "gen-cdn"
+	Name       string  `json:"name,omitempty"`
+	Out        string  `json:"out"`
+	JSON       bool    `json:"json,omitempty"`
+	Seed       int64   `json:"seed"`
+	Hours      int64   `json:"hours,omitempty"`
+	ProbeScale float64 `json:"probe_scale,omitempty"`
+	CDNScale   float64 `json:"cdn_scale,omitempty"`
+	CDNDays    int     `json:"cdn_days,omitempty"`
+	Days       int     `json:"days,omitempty"`
+	Scale      float64 `json:"scale,omitempty"`
+	Faults     string  `json:"faults,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+}
+
+// specKey derives the manifest key for a spec. Workers is zeroed before
+// hashing: the determinism contract guarantees the worker count never
+// changes any output, so a resume may legally change it. Everything else
+// participates — a different seed, scale, fault profile, experiment, or
+// destination is a different run and must invalidate stale journals.
+func specKey(spec runSpec) (checkpoint.Key, error) {
+	spec.Workers = 0
+	h, err := checkpoint.HashConfig(spec)
+	if err != nil {
+		return checkpoint.Key{}, err
+	}
+	return checkpoint.Key{Seed: spec.Seed, ConfigHash: h, Code: checkpoint.CodeVersion()}, nil
+}
+
+// openCheckpoint opens dir as this spec's checkpoint run; a "" dir means
+// checkpointing is off and returns a nil run (which every consumer
+// accepts).
+func openCheckpoint(dir string, spec runSpec) (*checkpoint.Run, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	key, err := specKey(spec)
+	if err != nil {
+		return nil, err
+	}
+	command, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("recording command: %w", err)
+	}
+	return checkpoint.Open(dir, key, command, logf)
+}
 
 func cmdProfiles(args []string) error {
 	fs := newFlagSet("profiles")
@@ -47,7 +126,7 @@ func cmdGen(args []string) error {
 	kind := args[0]
 	fs := newFlagSet("gen " + kind)
 	seed := fs.Int64("seed", 1, "generator seed")
-	out := fs.String("o", "-", "output file (default stdout)")
+	out := fs.String("o", "-", "output file (default stdout; written atomically)")
 	switch kind {
 	case "atlas":
 		profileName := fs.String("profile", "DTAG", "ISP profile name")
@@ -62,24 +141,20 @@ func cmdGen(args []string) error {
 		days := fs.Int("days", 150, "collection window in days")
 		scale := fs.Float64("scale", 1, "population scale factor")
 		workers := fs.Int("workers", 0, "per-operator generation fan-out, 0 = all CPUs (output is identical for any value)")
+		ckpt := fs.String("checkpoint", "", "journal completed operators under this directory; resumable with 'dynamips resume'")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
-		return genCDN(*days, *scale, *seed, *workers, *out)
+		spec := runSpec{Kind: "gen-cdn", Out: *out, Seed: *seed, Days: *days, Scale: *scale, Workers: *workers}
+		run, err := openCheckpoint(*ckpt, spec)
+		if err != nil {
+			return err
+		}
+		defer run.Close()
+		return runGenCDNSpec(spec, run)
 	default:
 		return fmt.Errorf("gen: unknown dataset kind %q", kind)
 	}
-}
-
-func openOut(path string) (*os.File, func(), error) {
-	if path == "-" || path == "" {
-		return os.Stdout, func() {}, nil
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return nil, nil, fmt.Errorf("creating %s: %w", path, err)
-	}
-	return f, func() { f.Close() }, nil
 }
 
 func genAtlas(profileName string, probes int, hours, seed int64, raw bool, out string) error {
@@ -95,36 +170,31 @@ func genAtlas(profileName string, probes int, hours, seed int64, raw bool, out s
 	if err != nil {
 		return err
 	}
-	f, closeOut, err := openOut(out)
-	if err != nil {
-		return err
-	}
-	defer closeOut()
-	if raw {
-		var recs []atlas.Record
-		for i := range fleet.Series {
-			recs = append(recs, fleet.Series[i].Expand()...)
+	return writeOutput(out, func(w io.Writer) error {
+		if raw {
+			var recs []atlas.Record
+			for i := range fleet.Series {
+				recs = append(recs, fleet.Series[i].Expand()...)
+			}
+			return atlas.WriteRecords(w, recs)
 		}
-		return atlas.WriteRecords(f, recs)
-	}
-	return atlas.WriteSeries(f, fleet.Series)
+		return atlas.WriteSeries(w, fleet.Series)
+	})
 }
 
-func genCDN(days int, scale float64, seed int64, workers int, out string) error {
-	cfg := cdn.DefaultGenConfig(seed)
-	cfg.Days = days
-	cfg.Scale = scale
-	cfg.Workers = workers
+func runGenCDNSpec(spec runSpec, run *checkpoint.Run) error {
+	cfg := cdn.DefaultGenConfig(spec.Seed)
+	cfg.Days = spec.Days
+	cfg.Scale = spec.Scale
+	cfg.Workers = spec.Workers
+	cfg.Checkpoint = run
 	ds, err := cdn.Generate(cfg)
 	if err != nil {
 		return err
 	}
-	f, closeOut, err := openOut(out)
-	if err != nil {
-		return err
-	}
-	defer closeOut()
-	return cdn.WriteCSV(f, ds.Assocs)
+	return writeOutput(spec.Out, func(w io.Writer) error {
+		return cdn.WriteCSV(w, ds.Assocs)
+	})
 }
 
 // cmdAnalyzeCDN loads an association CSV and reruns the CDN analyses on
@@ -135,6 +205,7 @@ func cmdAnalyzeCDN(args []string) error {
 	fs := newFlagSet("analyze-cdn")
 	threshold := fs.Int("mobile-threshold", 350, "unique-/64 degree above which a /24 is labeled mobile")
 	pfx2as := fs.String("pfx2as", "", "pfx2as file for per-operator attribution (optional)")
+	out := fs.String("o", "-", "report output file (default stdout; written atomically)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,7 +221,25 @@ func cmdAnalyzeCDN(args []string) error {
 	if err != nil {
 		return err
 	}
-	mobile := cdn.MobileLabel(assocs, *threshold)
+	var table *bgp.Table
+	if *pfx2as != "" {
+		pf, err := os.Open(*pfx2as)
+		if err != nil {
+			return fmt.Errorf("opening pfx2as: %w", err)
+		}
+		table, err = bgp.ReadPfx2as(pf)
+		pf.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return writeOutput(*out, func(w io.Writer) error {
+		return analyzeCDNReport(w, assocs, table, *threshold)
+	})
+}
+
+func analyzeCDNReport(w io.Writer, assocs []cdn.Association, table *bgp.Table, threshold int) error {
+	mobile := cdn.MobileLabel(assocs, threshold)
 	eps := cdn.Episodes(assocs, cdn.DefaultEpisodeConfig())
 	var fixedD, mobileD []float64
 	for _, ep := range eps {
@@ -160,27 +249,18 @@ func cmdAnalyzeCDN(args []string) error {
 			fixedD = append(fixedD, float64(ep.Days()))
 		}
 	}
-	fmt.Printf("associations: %d, episodes: %d\n", len(assocs), len(eps))
+	fmt.Fprintf(w, "associations: %d, episodes: %d\n", len(assocs), len(eps))
 	if len(fixedD) > 0 {
-		fmt.Printf("fixed  durations: %s\n", stats.NewECDF(fixedD).Box())
+		fmt.Fprintf(w, "fixed  durations: %s\n", stats.NewECDF(fixedD).Box())
 	}
 	if len(mobileD) > 0 {
-		fmt.Printf("mobile durations: %s\n", stats.NewECDF(mobileD).Box())
+		fmt.Fprintf(w, "mobile durations: %s\n", stats.NewECDF(mobileD).Box())
 	}
 	dd := cdn.Degrees(assocs, mobile)
-	fmt.Printf("degrees: mobile peak %.0f, fixed peak %.0f\n",
+	fmt.Fprintf(w, "degrees: mobile peak %.0f, fixed peak %.0f\n",
 		dd.MobileUnique.PeakX(), dd.FixedUnique.PeakX())
 
-	if *pfx2as != "" {
-		pf, err := os.Open(*pfx2as)
-		if err != nil {
-			return fmt.Errorf("opening pfx2as: %w", err)
-		}
-		defer pf.Close()
-		table, err := bgp.ReadPfx2as(pf)
-		if err != nil {
-			return err
-		}
+	if table != nil {
 		perOp := map[uint32][]float64{}
 		for _, ep := range eps {
 			a := cdn.Association{K64: ep.K64}
@@ -193,9 +273,9 @@ func cmdAnalyzeCDN(args []string) error {
 			asns = append(asns, asn)
 		}
 		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
-		fmt.Println("per-operator association durations:")
+		fmt.Fprintln(w, "per-operator association durations:")
 		for _, asn := range asns {
-			fmt.Printf("  %-12s %s\n", table.Name(asn), stats.NewECDF(perOp[asn]).Box())
+			fmt.Fprintf(w, "  %-12s %s\n", table.Name(asn), stats.NewECDF(perOp[asn]).Box())
 		}
 	}
 
@@ -211,11 +291,11 @@ func cmdAnalyzeCDN(args []string) error {
 		prefixes = append(prefixes, a.P64())
 	}
 	b := core.ClassifyTrailingZeros(prefixes)
-	fmt.Printf("trailing zeros (fixed /64s): %.1f%% inferable;", 100*b.InferableFrac())
+	fmt.Fprintf(w, "trailing zeros (fixed /64s): %.1f%% inferable;", 100*b.InferableFrac())
 	for _, l := range []int{48, 52, 56, 60} {
-		fmt.Printf(" /%d=%.2f", l, b.Frac(l))
+		fmt.Fprintf(w, " /%d=%.2f", l, b.Frac(l))
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	return nil
 }
 
@@ -224,6 +304,7 @@ func cmdAnalyze(args []string) error {
 	pfx2as := fs.String("pfx2as", "", "pfx2as file for BGP classification (optional)")
 	format := fs.String("format", "series", "input format: series (RLE JSONL), records (hourly JSONL), or ripe (RIPE Atlas results)")
 	epoch := fs.Int64("epoch", 1409529600, "unix time of hour 0 for -format ripe (default: 2014-09-01, the paper's window start)")
+	out := fs.String("o", "-", "report output file (default stdout; written atomically)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -263,8 +344,8 @@ func cmdAnalyze(args []string) error {
 		if err != nil {
 			return fmt.Errorf("opening pfx2as: %w", err)
 		}
-		defer pf.Close()
 		table, err = bgp.ReadPfx2as(pf)
+		pf.Close()
 		if err != nil {
 			return err
 		}
@@ -286,34 +367,40 @@ func cmdAnalyze(args []string) error {
 			}
 		}
 	}
+	return writeOutput(*out, func(w io.Writer) error {
+		return analyzeReport(w, series, table)
+	})
+}
+
+func analyzeReport(w io.Writer, series []atlas.Series, table *bgp.Table) error {
 	clean := atlas.Sanitize(series, table, atlas.DefaultSanitizeConfig())
-	fmt.Printf("probes: %d in, %d clean, drops: %v, splits: %d\n",
+	fmt.Fprintf(w, "probes: %d in, %d clean, drops: %v, splits: %d\n",
 		len(series), len(clean.Clean), clean.Drops, clean.VirtualSplits)
 
 	pas := core.Analyze(clean.Clean, core.DefaultExtractConfig())
 	rows := core.Table1(pas, nil)
-	fmt.Printf("\n%-12s %6s %8s %9s %9s %17s %9s\n",
+	fmt.Fprintf(w, "\n%-12s %6s %8s %9s %9s %17s %9s\n",
 		"AS", "ASN", "probes", "v4chg", "DSprobes", "DS v4chg (share)", "v6chg")
 	for _, r := range rows {
-		fmt.Println(r.String())
+		fmt.Fprintln(w, r.String())
 	}
 
 	durations := core.CollectDurations(pas)
 	periodic := core.DetectPeriodicRenumbering(durations, 0.05, 0.3)
 	if len(periodic) > 0 {
-		fmt.Println("\nperiodic renumbering detected:")
+		fmt.Fprintln(w, "\nperiodic renumbering detected:")
 		for _, p := range periodic {
-			fmt.Printf("  AS%-8d %-7s", p.ASN, p.Population)
+			fmt.Fprintf(w, "  AS%-8d %-7s", p.ASN, p.Population)
 			for _, m := range p.Modes {
-				fmt.Printf(" %gh(%.0f%%)", m.Period, 100*m.Fraction)
+				fmt.Fprintf(w, " %gh(%.0f%%)", m.Period, 100*m.Fraction)
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 	}
 
 	perAS, pooled := core.SubscriberLengths(pas)
 	if pooled.N > 0 {
-		fmt.Println("\ninferred subscriber prefix lengths:")
+		fmt.Fprintln(w, "\ninferred subscriber prefix lengths:")
 		asns := make([]uint32, 0, len(perAS))
 		for asn := range perAS {
 			asns = append(asns, asn)
@@ -321,7 +408,7 @@ func cmdAnalyze(args []string) error {
 		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
 		for _, asn := range asns {
 			h := perAS[asn]
-			fmt.Printf("  AS%-8d mode=/%d over %d probes\n", asn, h.ArgMax(), h.N)
+			fmt.Fprintf(w, "  AS%-8d mode=/%d over %d probes\n", asn, h.ArgMax(), h.N)
 		}
 	}
 	return nil
@@ -338,16 +425,15 @@ func cmdExperiment(args []string) error {
 	faults := fs.String("faults", "", "fault profile, e.g. drop=0.1,dup=0.02,delay=0.05:200-1500,reorder=0.01 (empty = perfect network)")
 	loss := fs.Float64("loss", 0, "shorthand for the fault profile's drop probability; overrides drop= in -faults")
 	asJSON := fs.Bool("json", false, "emit the figure's data series as JSON (fig1/fig2/fig3/fig5/fig9)")
+	out := fs.String("o", "-", "output file (default stdout; written atomically)")
+	ckpt := fs.String("checkpoint", "", "journal completed pipeline units under this directory; resumable with 'dynamips resume'")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("experiment: need a name (one of %v) or 'all'", experiments.Names)
 	}
-	cfg := experiments.Config{
-		Seed: *seed, Hours: *hours, ProbeScale: *probeScale,
-		CDNScale: *cdnScale, CDNDays: *cdnDays, Workers: *workers,
-	}
+	faultSpec := ""
 	if *faults != "" || *loss != 0 {
 		prof, err := faultnet.ParseProfile(*faults)
 		if err != nil {
@@ -359,10 +445,39 @@ func cmdExperiment(args []string) error {
 		if err := prof.Validate(); err != nil {
 			return fmt.Errorf("experiment: %w", err)
 		}
+		faultSpec = prof.String()
+	}
+	spec := runSpec{
+		Kind: "experiment", Name: fs.Arg(0), Out: *out, JSON: *asJSON,
+		Seed: *seed, Hours: *hours, ProbeScale: *probeScale,
+		CDNScale: *cdnScale, CDNDays: *cdnDays, Faults: faultSpec, Workers: *workers,
+	}
+	run, err := openCheckpoint(*ckpt, spec)
+	if err != nil {
+		return err
+	}
+	defer run.Close()
+	return runExperimentSpec(spec, run)
+}
+
+// runExperimentSpec executes an experiment invocation (fresh or resumed):
+// builds whichever pipelines the experiment needs under the optional
+// checkpoint run, and writes the full report atomically.
+func runExperimentSpec(spec runSpec, run *checkpoint.Run) error {
+	cfg := experiments.Config{
+		Seed: spec.Seed, Hours: spec.Hours, ProbeScale: spec.ProbeScale,
+		CDNScale: spec.CDNScale, CDNDays: spec.CDNDays, Workers: spec.Workers,
+		Checkpoint: run,
+	}
+	if spec.Faults != "" {
+		prof, err := faultnet.ParseProfile(spec.Faults)
+		if err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
 		cfg.Faults = &prof
 	}
-	name := fs.Arg(0)
-	if *asJSON {
+	name := spec.Name
+	if spec.JSON {
 		var (
 			a   *experiments.AtlasData
 			c   *experiments.CDNData
@@ -377,45 +492,111 @@ func cmdExperiment(args []string) error {
 				return err
 			}
 		}
-		return experiments.WriteFigureJSON(os.Stdout, name, a, c)
+		return writeOutput(spec.Out, func(w io.Writer) error {
+			return experiments.WriteFigureJSON(w, name, a, c)
+		})
 	}
 	if name != "all" {
-		return experiments.Run(name, os.Stdout, cfg)
+		if experiments.NeedsAtlas(name) {
+			a, err := experiments.BuildAtlas(cfg)
+			if err != nil {
+				return err
+			}
+			return writeOutput(spec.Out, func(w io.Writer) error {
+				return experiments.RunAtlasExperiment(name, w, a)
+			})
+		}
+		c, err := experiments.BuildCDN(cfg)
+		if err != nil {
+			return err
+		}
+		return writeOutput(spec.Out, func(w io.Writer) error {
+			return experiments.RunCDNExperiment(name, w, c)
+		})
 	}
-	// Build each pipeline once and run everything.
+	// Build each pipeline once (journaled, when checkpointed), then render
+	// everything into one atomic output.
 	var (
 		a   *experiments.AtlasData
 		c   *experiments.CDNData
 		err error
 	)
 	for _, n := range experiments.Names {
-		fmt.Printf("==== %s ====\n", n)
-		if experiments.NeedsAtlas(n) {
-			if a == nil {
-				if a, err = experiments.BuildAtlas(cfg); err != nil {
-					return err
-				}
+		if experiments.NeedsAtlas(n) && a == nil {
+			if a, err = experiments.BuildAtlas(cfg); err != nil {
+				return err
 			}
-			err = experiments.RunAtlasExperiment(n, os.Stdout, a)
-		} else {
-			if c == nil {
-				if c, err = experiments.BuildCDN(cfg); err != nil {
-					return err
-				}
+		}
+		if !experiments.NeedsAtlas(n) && c == nil {
+			if c, err = experiments.BuildCDN(cfg); err != nil {
+				return err
 			}
-			err = experiments.RunCDNExperiment(n, os.Stdout, c)
 		}
-		if err != nil {
-			return fmt.Errorf("experiment %s: %w", n, err)
-		}
-		fmt.Println()
 	}
-	return nil
+	return writeOutput(spec.Out, func(w io.Writer) error {
+		for _, n := range experiments.Names {
+			fmt.Fprintf(w, "==== %s ====\n", n)
+			if experiments.NeedsAtlas(n) {
+				err = experiments.RunAtlasExperiment(n, w, a)
+			} else {
+				err = experiments.RunCDNExperiment(n, w, c)
+			}
+			if err != nil {
+				return fmt.Errorf("experiment %s: %w", n, err)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	})
+}
+
+// cmdResume replays an interrupted (or completed) checkpointed run: the
+// manifest's recorded command is re-dispatched against the same journal
+// directory, completed units are decoded instead of recomputed, and the
+// output is rewritten atomically — byte-identical to an uninterrupted run.
+func cmdResume(args []string) error {
+	fs := newFlagSet("resume")
+	workers := fs.Int("workers", -1, "override the recorded worker count (output is identical for any value); -1 keeps the recorded value")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("resume: need one checkpoint directory")
+	}
+	run, err := checkpoint.Resume(fs.Arg(0), logf)
+	if err != nil {
+		return err
+	}
+	defer run.Close()
+	var spec runSpec
+	if err := json.Unmarshal(run.Command(), &spec); err != nil {
+		return fmt.Errorf("resume: manifest command record: %w", err)
+	}
+	key, err := specKey(spec)
+	if err != nil {
+		return err
+	}
+	if key != run.Key() {
+		return fmt.Errorf("resume: manifest key does not match its own command record (corrupt checkpoint)")
+	}
+	if *workers >= 0 {
+		spec.Workers = *workers
+	}
+	logf("resuming %s run (seed %d) into %s", spec.Kind, spec.Seed, spec.Out)
+	switch spec.Kind {
+	case "experiment":
+		return runExperimentSpec(spec, run)
+	case "gen-cdn":
+		return runGenCDNSpec(spec, run)
+	default:
+		return fmt.Errorf("resume: manifest records unknown command kind %q", spec.Kind)
+	}
 }
 
 func cmdServeEcho(args []string) error {
 	fs := newFlagSet("serve-echo")
 	listen := fs.String("listen", "127.0.0.1:8080", "listen address")
+	grace := fs.Duration("grace", 5*time.Second, "graceful shutdown drain deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -425,8 +606,11 @@ func cmdServeEcho(args []string) error {
 	}
 	fmt.Printf("IP echo server on %s (GET returns %s header)\n", srv.Addr(), atlas.EchoHeader)
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("shutting down")
-	return srv.Close()
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	signal.Stop(sig)
+	fmt.Printf("received %v; draining connections (max %s)\n", s, *grace)
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	return srv.Shutdown(ctx)
 }

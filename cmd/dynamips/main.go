@@ -5,9 +5,13 @@
 //	dynamips gen cdn [flags]               generate CDN association tuples (CSV on stdout)
 //	dynamips analyze [flags] <series.jsonl>  sanitize + analyze an IP-echo dataset
 //	dynamips experiment <name|all> [flags] regenerate a paper table/figure
+//	dynamips resume <dir>                  resume an interrupted checkpointed run
 //	dynamips serve-echo [-listen addr]     run the IP echo HTTP server
 //
 // Every generator is seeded; the same flags reproduce identical output.
+// Runs started with -checkpoint DIR journal completed work units and can
+// be resumed after a crash with 'dynamips resume DIR'; the resumed output
+// is byte-identical to an uninterrupted run.
 package main
 
 import (
@@ -33,6 +37,8 @@ func main() {
 		err = cmdAnalyzeCDN(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
+	case "resume":
+		err = cmdResume(os.Args[2:])
 	case "serve-echo":
 		err = cmdServeEcho(os.Args[2:])
 	case "-h", "--help", "help":
@@ -57,6 +63,7 @@ commands:
   analyze <series.jsonl>   sanitize and analyze an IP-echo dataset
   analyze-cdn <assoc.csv>  rerun the CDN analyses on an association file
   experiment <name|all>    regenerate a paper table/figure
+  resume <dir>             resume an interrupted checkpointed run
   serve-echo               run the IP echo HTTP server
 
 run 'dynamips <command> -h' for command flags

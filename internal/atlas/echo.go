@@ -48,7 +48,17 @@ func StartEchoServer(listen string) (*EchoServer, error) {
 		return nil, fmt.Errorf("atlas: echo listen: %w", err)
 	}
 	s := &EchoServer{
-		srv:  &http.Server{Handler: EchoHandler(), ReadHeaderTimeout: 5 * time.Second},
+		srv: &http.Server{
+			Handler: EchoHandler(),
+			// Bound every connection phase so a stalled or malicious
+			// client can't pin a goroutine: the echo exchange is a
+			// header-only GET, so tight limits are safe.
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			WriteTimeout:      10 * time.Second,
+			IdleTimeout:       60 * time.Second,
+			MaxHeaderBytes:    1 << 16,
+		},
 		ln:   ln,
 		addr: ln.Addr().String(),
 	}
@@ -62,11 +72,21 @@ func (s *EchoServer) Addr() string { return s.addr }
 // URL returns the echo endpoint URL.
 func (s *EchoServer) URL() string { return "http://" + s.addr + "/" }
 
-// Close shuts the server down.
+// Close shuts the server down with a short default drain.
 func (s *EchoServer) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
-	return s.srv.Shutdown(ctx)
+	return s.Shutdown(ctx)
+}
+
+// Shutdown drains in-flight connections until ctx expires, then force
+// closes whatever is left so the listener is always released.
+func (s *EchoServer) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		s.srv.Close() //nolint:errcheck // best-effort after failed drain
+	}
+	return err
 }
 
 // EchoClient is the probe-side measurement: one HTTP GET per invocation,

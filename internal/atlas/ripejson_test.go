@@ -61,3 +61,55 @@ func TestReadRIPEResultsIntoPipeline(t *testing.T) {
 		t.Errorf("spans = %+v", series[0].V4)
 	}
 }
+
+// TestReadRIPEResultsCorruptedInput: truncated or garbage streams must
+// return an error or skip the unusable line — never panic and never
+// fabricate a record.
+func TestReadRIPEResultsCorruptedInput(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantErr bool
+	}{
+		{"truncated object", `{"prb_id":7,"timestamp":36`, true},
+		{"binary garbage", "\x00\x01\x02\xff\xfe garbage\n", true},
+		{"bare array", "[1,2,3]\n", true},
+		{"wrong field type", `{"prb_id":"seven","timestamp":3600}` + "\n", true},
+		{"result not a list", `{"prb_id":7,"result":{"af":4}}` + "\n", true},
+		{"hdr not strings", `{"prb_id":7,"result":[{"hdr":[42]}]}` + "\n", true},
+		{"valid JSON, no echo", `{"prb_id":7,"timestamp":3600,"result":[{"af":4,"hdr":["Date: x"]}]}` + "\n", false},
+		{"unparsable echo addr", `{"prb_id":7,"result":[{"x_client_ip":"not-an-ip"}]}` + "\n", false},
+		{"unparsable src addr", `{"prb_id":7,"src_addr":"::gg","result":[{"x_client_ip":"81.10.0.1"}]}` + "\n", false},
+		{"header without colon", `{"prb_id":7,"result":[{"hdr":["X-Client-IP 81.10.0.1"]}]}` + "\n", false},
+		{"null result entry", `{"prb_id":7,"result":[null]}` + "\n", false},
+		{"blank lines only", "\n\n\n", false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			recs, err := ReadRIPEResults(strings.NewReader(c.in), 0)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("corrupted input accepted: %+v", recs)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("skippable input errored: %v", err)
+			}
+			// Only the "unparsable src" case yields a record (the echo is
+			// fine); everything else must yield none.
+			if c.name != "unparsable src addr" && len(recs) != 0 {
+				t.Fatalf("fabricated records: %+v", recs)
+			}
+		})
+	}
+}
+
+// TestReadRIPEResultsOversizedLine: a line beyond the scanner's buffer is
+// an error, not a hang or a panic.
+func TestReadRIPEResultsOversizedLine(t *testing.T) {
+	huge := `{"prb_id":7,"junk":"` + strings.Repeat("x", 17*1024*1024) + `"}`
+	if _, err := ReadRIPEResults(strings.NewReader(huge), 0); err == nil {
+		t.Error("oversized line accepted")
+	}
+}

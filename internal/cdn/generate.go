@@ -7,8 +7,8 @@ import (
 
 	"dynamips/internal/bgp"
 	"dynamips/internal/cgnat"
+	"dynamips/internal/checkpoint"
 	"dynamips/internal/netutil"
-	"dynamips/internal/parallel"
 	"dynamips/internal/rir"
 )
 
@@ -36,6 +36,12 @@ type GenConfig struct {
 	// stream and the streams are merged in operator order, so the worker
 	// count never changes the generated dataset.
 	Workers int
+	// Checkpoint, when non-nil, journals each operator's generated chunk
+	// under the "cdn" stage so an interrupted run resumes without
+	// regenerating completed operators. The caller owns manifest keying:
+	// the journal is only valid for an identical (Seed, Days, Scale, ...)
+	// configuration.
+	Checkpoint *checkpoint.Run
 }
 
 // DefaultGenConfig returns the experiments' configuration.
@@ -90,11 +96,14 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 	}
 	// One seed-derived RNG stream per operator: each operator's draw
 	// sequence depends only on (Seed, operator index), never on how the
-	// other operators are scheduled.
-	chunks, err := parallel.MapErr(len(ops), cfg.Workers, func(oi int) ([]Association, error) {
-		rng := rand.New(rand.NewSource(operatorSeed(cfg.Seed, oi)))
-		return generateOperator(ops[oi], ops, oi, cfg, rng)
-	})
+	// other operators are scheduled. Completed chunks are journaled in
+	// operator order when a checkpoint is attached.
+	chunks, err := checkpoint.Stage(cfg.Checkpoint, "cdn", len(ops), cfg.Workers,
+		func(oi int) ([]Association, error) {
+			rng := rand.New(rand.NewSource(operatorSeed(cfg.Seed, oi)))
+			return generateOperator(ops[oi], ops, oi, cfg, rng)
+		},
+		checkpoint.GobEncode[[]Association], checkpoint.GobDecode[[]Association])
 	if err != nil {
 		return nil, err
 	}

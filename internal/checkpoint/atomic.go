@@ -1,0 +1,155 @@
+// Package checkpoint is the pipeline's crash-safety layer: an atomic
+// output writer and a chunked run journal (write-ahead log) that records
+// completed work units as CRC-32C-framed entries under a manifest keyed on
+// (seed, config hash, code version).
+//
+// The design leans on the repository's determinism contract: because the
+// same configuration regenerates every work unit byte-for-byte regardless
+// of worker count, a journal holding any contiguous prefix of completed
+// units is a valid resume point — recovery replays only the missing units
+// and the final output is byte-identical to an uninterrupted run. Workers
+// report unit completion in index order (parallel.MapErrOrdered), so the
+// journal is such a prefix by construction.
+//
+// Everything here is stdlib-only and deterministic: no wall clock, no
+// randomness. The only nondeterminism a crash can introduce — a torn
+// trailing frame — is healed on open by truncating at the first corrupt
+// frame and recomputing from there.
+package checkpoint
+
+import (
+	"bufio"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// castagnoli is the CRC-32C polynomial table shared by the atomic writer's
+// read-back verification and the journal's frame checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AtomicFile writes a destination file without ever exposing a torn
+// intermediate state: bytes go to a same-directory tempfile, and Commit
+// fsyncs, re-reads the tempfile to verify a CRC-32C of everything written,
+// and only then renames it over the destination. A crash at any point
+// leaves either the old file or the new file, never a truncated mix.
+type AtomicFile struct {
+	f    *os.File
+	path string // final destination
+	crc  hash.Hash32
+	n    int64
+	done bool
+}
+
+// CreateAtomic opens an atomic writer for path. The caller must finish
+// with either Commit or Abort; Abort after Commit is a no-op, so
+// `defer af.Abort()` is the idiomatic cleanup.
+func CreateAtomic(path string) (*AtomicFile, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: creating tempfile for %s: %w", path, err)
+	}
+	return &AtomicFile{f: f, path: path, crc: crc32.New(castagnoli)}, nil
+}
+
+// Write appends to the tempfile, folding the bytes into the running CRC.
+func (a *AtomicFile) Write(p []byte) (int, error) {
+	n, err := a.f.Write(p)
+	a.crc.Write(p[:n])
+	a.n += int64(n)
+	if err != nil {
+		return n, fmt.Errorf("checkpoint: writing %s: %w", a.path, err)
+	}
+	return n, nil
+}
+
+// Commit publishes the file: fsync the tempfile, verify its on-disk bytes
+// against the running CRC-32C, rename it over the destination, and fsync
+// the directory so the rename itself is durable.
+func (a *AtomicFile) Commit() error {
+	if a.done {
+		return fmt.Errorf("checkpoint: %s already committed or aborted", a.path)
+	}
+	tmp := a.f.Name()
+	if err := a.f.Sync(); err != nil {
+		a.Abort()
+		return fmt.Errorf("checkpoint: syncing %s: %w", tmp, err)
+	}
+	if err := a.verify(); err != nil {
+		a.Abort()
+		return err
+	}
+	a.done = true
+	if err := a.f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, a.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: publishing %s: %w", a.path, err)
+	}
+	syncDir(filepath.Dir(a.path))
+	return nil
+}
+
+// verify re-reads the synced tempfile and compares size and CRC-32C with
+// what Write accumulated, catching torn or corrupted writes before the
+// rename makes them visible.
+func (a *AtomicFile) verify() error {
+	if _, err := a.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("checkpoint: rewinding %s: %w", a.f.Name(), err)
+	}
+	reread := crc32.New(castagnoli)
+	n, err := io.Copy(reread, a.f)
+	if err != nil {
+		return fmt.Errorf("checkpoint: re-reading %s: %w", a.f.Name(), err)
+	}
+	if n != a.n || reread.Sum32() != a.crc.Sum32() {
+		return fmt.Errorf("checkpoint: %s failed CRC-32C read-back (wrote %d bytes crc %08x, read %d bytes crc %08x)",
+			a.path, a.n, a.crc.Sum32(), n, reread.Sum32())
+	}
+	return nil
+}
+
+// Abort discards the tempfile. Safe to call after Commit (no-op).
+func (a *AtomicFile) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	tmp := a.f.Name()
+	a.f.Close()
+	os.Remove(tmp)
+}
+
+// WriteFileAtomic runs write against a buffered atomic writer and commits
+// on success. On any error the destination is untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	af, err := CreateAtomic(path)
+	if err != nil {
+		return err
+	}
+	defer af.Abort()
+	bw := bufio.NewWriter(af)
+	if err := write(bw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return af.Commit()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Best effort: some platforms cannot sync directories.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync() //nolint:errcheck // best effort; rename already happened
+	d.Close()
+}

@@ -1,0 +1,792 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// collectLog returns a logf that appends formatted warnings to a
+// mutex-guarded slice (journals may log from worker goroutines).
+func collectLog() (func(format string, args ...any), func() []string) {
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	get := func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), lines...)
+	}
+	return logf, get
+}
+
+func hasWarning(lines []string, substr string) bool {
+	for _, l := range lines {
+		if strings.Contains(l, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAtomicFileCommit(t *testing.T) {
+	dir := t.TempDir()
+	dest := filepath.Join(dir, "out.txt")
+	af, err := CreateAtomic(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer af.Abort()
+	if _, err := af.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := af.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := af.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dest)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if err := af.Commit(); err == nil {
+		t.Error("double Commit accepted")
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("tempfile left behind: %v", entries)
+	}
+}
+
+func TestAtomicFileAbortLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	dest := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(dest, []byte("original"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	af, err := CreateAtomic(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af.Write([]byte("half-written repl")) //nolint:errcheck
+	af.Abort()
+	got, err := os.ReadFile(dest)
+	if err != nil || string(got) != "original" {
+		t.Fatalf("abort clobbered destination: %q, %v", got, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("tempfile left behind after abort: %v", entries)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	dest := filepath.Join(dir, "data.csv")
+	if err := WriteFileAtomic(dest, func(w io.Writer) error {
+		_, err := fmt.Fprintln(w, "a,b,c")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(dest)
+	if string(got) != "a,b,c\n" {
+		t.Fatalf("content %q", got)
+	}
+
+	// A failing write callback must leave the previous content intact.
+	boom := errors.New("render failed")
+	err := WriteFileAtomic(dest, func(w io.Writer) error {
+		fmt.Fprintln(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	got, _ = os.ReadFile(dest)
+	if string(got) != "a,b,c\n" {
+		t.Fatalf("failed write clobbered destination: %q", got)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("tempfile left behind: %v", entries)
+	}
+}
+
+func TestWriteFileAtomicMissingDir(t *testing.T) {
+	if err := WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), func(io.Writer) error {
+		return nil
+	}); err == nil {
+		t.Error("write into missing directory accepted")
+	}
+}
+
+func testPayloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("unit-%d-payload", i))
+	}
+	// An empty payload is legal; exercise it.
+	if n > 2 {
+		out[2] = nil
+	}
+	return out
+}
+
+func appendAll(t *testing.T, j *Journal, payloads [][]byte) {
+	t.Helper()
+	for i, p := range payloads {
+		if err := j.Append(i, p); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func TestJournalAppendRecover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stage.wal")
+	j, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testPayloads(40) // crosses the syncEvery boundary
+	appendAll(t, j, want)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+
+	logf, lines := collectLog()
+	j2, err := OpenJournal(path, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got := j2.Payloads()
+	if len(got) != len(want) || j2.Next() != len(want) {
+		t.Fatalf("recovered %d payloads, next=%d", len(got), j2.Next())
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("payload %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if len(lines()) != 0 {
+		t.Errorf("clean recovery logged warnings: %v", lines())
+	}
+	// The journal must keep accepting appends after recovery.
+	if err := j2.Append(len(want), []byte("next")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalAppendErrors(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "s.wal"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(1, nil); err == nil {
+		t.Error("out-of-order append accepted")
+	}
+	if err := j.Append(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(0, nil); err == nil {
+		t.Error("repeated index accepted")
+	}
+}
+
+// TestJournalCorruptionMatrix: every corruption mode must recover by
+// truncating at the last intact frame with a logged warning, never an
+// error or a panic, and the journal must accept appends at the truncated
+// index afterwards.
+func TestJournalCorruptionMatrix(t *testing.T) {
+	const units = 5
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+		keep    int    // intact prefix expected after recovery
+		warn    string // required warning substring
+	}{
+		{
+			name: "bad file header",
+			corrupt: func(t *testing.T, path string) {
+				patchFile(t, path, 0, []byte("NOTAWAL!"))
+			},
+			keep: 0,
+			warn: "unrecognized file header",
+		},
+		{
+			name: "short file header",
+			corrupt: func(t *testing.T, path string) {
+				truncateFile(t, path, 3)
+			},
+			keep: 0,
+			warn: "unrecognized file header",
+		},
+		{
+			name: "torn frame header",
+			corrupt: func(t *testing.T, path string) {
+				truncateFile(t, path, frameOffset(t, path, units)+7)
+			},
+			keep: units,
+			warn: "torn frame header",
+		},
+		{
+			name: "torn payload",
+			corrupt: func(t *testing.T, path string) {
+				truncateFile(t, path, frameOffset(t, path, units)+frameHdrSize+3)
+			},
+			keep: units,
+			warn: "truncating torn frame",
+		},
+		{
+			name: "bad magic mid-file",
+			corrupt: func(t *testing.T, path string) {
+				patchFile(t, path, frameOffset(t, path, 2), []byte("XXXX"))
+			},
+			keep: 2,
+			warn: "bad frame magic",
+		},
+		{
+			name: "payload bit flip",
+			corrupt: func(t *testing.T, path string) {
+				off := frameOffset(t, path, 3) + frameHdrSize
+				flipByte(t, path, off)
+			},
+			keep: 3,
+			warn: "failed CRC-32C",
+		},
+		{
+			name: "index out of sequence",
+			corrupt: func(t *testing.T, path string) {
+				off := frameOffset(t, path, 1) + 4
+				var idx [4]byte
+				binary.BigEndian.PutUint32(idx[:], 9)
+				patchFile(t, path, off, idx[:])
+			},
+			keep: 1,
+			warn: "index 9, want 1",
+		},
+		{
+			name: "absurd length claim",
+			corrupt: func(t *testing.T, path string) {
+				off := frameOffset(t, path, 4) + 8
+				var ln [4]byte
+				binary.BigEndian.PutUint32(ln[:], 1<<31)
+				patchFile(t, path, off, ln[:])
+			},
+			keep: 4,
+			warn: "truncating torn frame",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "stage.wal")
+			j, err := OpenJournal(path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One extra frame so mid-file corruption has a tail to drop.
+			appendAll(t, j, testPayloads(units+1))
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, path)
+
+			logf, lines := collectLog()
+			j2, err := OpenJournal(path, logf)
+			if err != nil {
+				t.Fatalf("recovery errored: %v", err)
+			}
+			defer j2.Close()
+			if got := len(j2.Payloads()); got != tc.keep {
+				t.Fatalf("recovered %d payloads, want %d", got, tc.keep)
+			}
+			if !hasWarning(lines(), tc.warn) {
+				t.Fatalf("warning %q not logged; got %v", tc.warn, lines())
+			}
+			// The truncated journal must be appendable at its new end and
+			// reopen cleanly.
+			if err := j2.Append(tc.keep, []byte("replacement")); err != nil {
+				t.Fatal(err)
+			}
+			if err := j2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			j3, err := OpenJournal(path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j3.Close()
+			if got := len(j3.Payloads()); got != tc.keep+1 {
+				t.Fatalf("after repair: %d payloads, want %d", got, tc.keep+1)
+			}
+		})
+	}
+}
+
+// frameOffset returns the byte offset of frame idx by scanning headers.
+func frameOffset(t *testing.T, path string, idx int) int64 {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(len(fileHeader))
+	for i := 0; i < idx; i++ {
+		length := binary.BigEndian.Uint32(b[off+8 : off+12])
+		off += frameHdrSize + int64(length)
+	}
+	return off
+}
+
+func patchFile(t *testing.T, path string, off int64, p []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(p, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func truncateFile(t *testing.T, path string, size int64) {
+	t.Helper()
+	if err := os.Truncate(path, size); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalCrashPlan(t *testing.T) {
+	for _, torn := range []bool{false, true} {
+		t.Run(fmt.Sprintf("torn=%v", torn), func(t *testing.T) {
+			defer SetCrashPlan(0, false)
+			path := filepath.Join(t.TempDir(), "s.wal")
+			j, err := OpenJournal(path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			SetCrashPlan(3, torn)
+			var gotErr error
+			for i := 0; i < 5; i++ {
+				if gotErr = j.Append(i, []byte(fmt.Sprintf("p%d", i))); gotErr != nil {
+					break
+				}
+			}
+			if !errors.Is(gotErr, ErrCrashInjected) {
+				t.Fatalf("err = %v, want ErrCrashInjected", gotErr)
+			}
+			j.Close() //nolint:errcheck // simulating a dead process
+			SetCrashPlan(0, false)
+
+			logf, lines := collectLog()
+			j2, err := OpenJournal(path, logf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j2.Close()
+			if got := len(j2.Payloads()); got != 2 {
+				t.Fatalf("recovered %d payloads, want 2 (appends before the crash)", got)
+			}
+			if torn && !hasWarning(lines(), "truncating") {
+				t.Errorf("torn crash left no truncation warning: %v", lines())
+			}
+		})
+	}
+}
+
+func TestRunOpenFreshAndResume(t *testing.T) {
+	dir := t.TempDir()
+	key := Key{Seed: 7, ConfigHash: "abc", Code: CodeVersion()}
+	cmd := json.RawMessage(`{"kind":"test"}`)
+
+	r, err := Open(dir, key, cmd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Resumed() {
+		t.Error("fresh open reported resumed")
+	}
+	if r.Dir() != dir || r.Key() != key || string(r.Command()) != string(cmd) {
+		t.Error("accessors disagree with Open arguments")
+	}
+	j, err := r.Journal("stage-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Journal caching: same stage returns the same journal.
+	if j2, _ := r.Journal("stage-a"); j2 != j {
+		t.Error("stage journal not cached")
+	}
+	if _, err := r.Journal("Bad Name!"); err == nil {
+		t.Error("invalid stage name accepted")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same key: resumes, journal intact.
+	r2, err := Open(dir, key, cmd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Resumed() {
+		t.Error("same-key reopen did not resume")
+	}
+	j, err = r2.Journal("stage-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Payloads()) != 1 {
+		t.Errorf("journal lost across reopen: %d payloads", len(j.Payloads()))
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume() on the same directory works and exposes the command.
+	r3, err := Resume(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replay struct{ Kind string }
+	if err := json.Unmarshal(r3.Command(), &replay); err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Resumed() || replay.Kind != "test" {
+		t.Error("Resume lost manifest state")
+	}
+	r3.Close()
+
+	// Different key: stale checkpoint is discarded with a warning and the
+	// journals are cleared.
+	logf, lines := collectLog()
+	r4, err := Open(dir, Key{Seed: 8, ConfigHash: "abc", Code: CodeVersion()}, cmd, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r4.Close()
+	if r4.Resumed() {
+		t.Error("stale checkpoint reported resumed")
+	}
+	if !hasWarning(lines(), "starting fresh") {
+		t.Errorf("stale discard not logged: %v", lines())
+	}
+	j, err = r4.Journal("stage-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Payloads()) != 0 {
+		t.Error("stale journal survived key change")
+	}
+}
+
+func TestRunResumeErrors(t *testing.T) {
+	if _, err := Resume(filepath.Join(t.TempDir(), "nothing-here"), nil); err == nil {
+		t.Error("Resume of empty directory accepted")
+	}
+
+	// Unparseable manifest: Resume errors, Open starts fresh with warning.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(dir, nil); err == nil {
+		t.Error("Resume with corrupt manifest accepted")
+	}
+	logf, lines := collectLog()
+	r, err := Open(dir, Key{Seed: 1, Code: CodeVersion()}, nil, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if !hasWarning(lines(), "unreadable manifest") {
+		t.Errorf("corrupt manifest not logged: %v", lines())
+	}
+
+	// Manifest from a different code version: Resume must refuse.
+	dir2 := t.TempDir()
+	m := Manifest{Format: FormatVersion, Key: Key{Seed: 1, Code: "some-other-binary"}}
+	b, _ := json.Marshal(m)
+	if err := os.WriteFile(filepath.Join(dir2, manifestName), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(dir2, nil); err == nil {
+		t.Error("Resume across code versions accepted")
+	}
+
+	// Nil-run Close is a no-op.
+	var nilRun *Run
+	if err := nilRun.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}
+
+func TestHashConfigAndCodeVersion(t *testing.T) {
+	type cfg struct {
+		A int
+		B string
+	}
+	h1, err := HashConfig(cfg{1, "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := HashConfig(cfg{1, "x"})
+	h3, _ := HashConfig(cfg{2, "x"})
+	if h1 != h2 {
+		t.Error("equal configs hash differently")
+	}
+	if h1 == h3 {
+		t.Error("different configs hash equal")
+	}
+	if _, err := HashConfig(func() {}); err == nil {
+		t.Error("unmarshalable config accepted")
+	}
+	if !strings.HasPrefix(CodeVersion(), FormatVersion) {
+		t.Errorf("CodeVersion %q does not start with format version", CodeVersion())
+	}
+}
+
+func stageCodecs() (func(int) ([]byte, error), func([]byte) (int, error)) {
+	return GobEncode[int], GobDecode[int]
+}
+
+func TestStageNilRun(t *testing.T) {
+	enc, dec := stageCodecs()
+	out, err := Stage(nil, "s", 5, 2, func(i int) (int, error) { return i * 10, nil }, enc, dec)
+	if err != nil || len(out) != 5 || out[3] != 30 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestStageJournalAndResume(t *testing.T) {
+	dir := t.TempDir()
+	key := Key{Seed: 1, ConfigHash: "h", Code: CodeVersion()}
+	enc, dec := stageCodecs()
+
+	// First run crashes at unit 6 (compute error stands in for a kill).
+	boom := errors.New("crash")
+	r, err := Open(dir, key, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Stage(r, "work", 10, 1, func(i int) (int, error) {
+		if i == 6 {
+			return 0, boom
+		}
+		return i * i, nil
+	}, enc, dec)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	r.Close()
+
+	// Second run must recompute only units 6..9.
+	logf, lines := collectLog()
+	r2, err := Open(dir, key, nil, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	var computed []int
+	var mu sync.Mutex
+	out, err := Stage(r2, "work", 10, 4, func(i int) (int, error) {
+		mu.Lock()
+		computed = append(computed, i)
+		mu.Unlock()
+		return i * i, nil
+	}, enc, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	for _, i := range computed {
+		if i < 6 {
+			t.Fatalf("journaled unit %d recomputed", i)
+		}
+	}
+	if !hasWarning(lines(), "resuming with 6/10") {
+		t.Errorf("resume not logged: %v", lines())
+	}
+}
+
+func TestStageOversizedJournal(t *testing.T) {
+	dir := t.TempDir()
+	key := Key{Seed: 1, ConfigHash: "h", Code: CodeVersion()}
+	enc, dec := stageCodecs()
+	r, err := Open(dir, key, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stage(r, "s", 4, 1, func(i int) (int, error) { return i, nil }, enc, dec); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r2, err := Open(dir, key, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, err := Stage(r2, "s", 2, 1, func(i int) (int, error) { return i, nil }, enc, dec); err == nil {
+		t.Error("journal longer than the run accepted")
+	}
+}
+
+func TestStageUndecodablePayloadRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	key := Key{Seed: 1, ConfigHash: "h", Code: CodeVersion()}
+	r, err := Open(dir, key, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Journal a frame whose payload is not valid gob.
+	j, err := r.Journal("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(0, []byte("not gob")); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	logf, lines := collectLog()
+	r2, err := Open(dir, key, nil, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	enc, dec := stageCodecs()
+	out, err := Stage(r2, "s", 2, 1, func(i int) (int, error) { return 100 + i, nil }, enc, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 100 || out[1] != 101 {
+		t.Fatalf("out = %v", out)
+	}
+	if !hasWarning(lines(), "undecodable") {
+		t.Errorf("undecodable payload not logged: %v", lines())
+	}
+}
+
+func TestGobCodecNetip(t *testing.T) {
+	type unit struct {
+		Addr   netip.Addr
+		Prefix netip.Prefix
+		Xs     []float64
+	}
+	in := unit{
+		Addr:   netip.MustParseAddr("2001:db8::1"),
+		Prefix: netip.MustParsePrefix("81.10.0.0/16"),
+		Xs:     []float64{1, 2.5},
+	}
+	b, err := GobEncode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GobDecode[unit](b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != in.Addr || got.Prefix != in.Prefix || len(got.Xs) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if _, err := GobDecode[unit]([]byte("junk")); err == nil {
+		t.Error("garbage gob accepted")
+	}
+}
+
+// FuzzJournalScan: journal recovery must never panic or error on arbitrary
+// file bytes — any input recovers to some intact prefix that then accepts
+// an append and reopens cleanly.
+func FuzzJournalScan(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(fileHeader))
+	f.Add([]byte("DYNWAL01DJF1\x00\x00\x00\x00\x00\x00\x00\x04\x00\x00\x00\x00abcd"))
+	// A genuine two-frame journal as a seed.
+	dir := f.TempDir()
+	seedPath := filepath.Join(dir, "seed.wal")
+	j, err := OpenJournal(seedPath, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	j.Append(0, []byte("hello")) //nolint:errcheck
+	j.Append(1, []byte("world")) //nolint:errcheck
+	j.Close()                    //nolint:errcheck
+	seed, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(append(seed, "DJF1garbage"...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.wal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := OpenJournal(path, nil)
+		if err != nil {
+			t.Fatalf("recovery errored on arbitrary bytes: %v", err)
+		}
+		n := j.Next()
+		if n != len(j.Payloads()) {
+			t.Fatalf("Next()=%d but %d payloads", n, len(j.Payloads()))
+		}
+		if err := j.Append(n, []byte("tail")); err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		j2, err := OpenJournal(path, nil)
+		if err != nil {
+			t.Fatalf("reopen after repair: %v", err)
+		}
+		defer j2.Close()
+		if got := len(j2.Payloads()); got != n+1 {
+			t.Fatalf("reopen found %d payloads, want %d", got, n+1)
+		}
+	})
+}

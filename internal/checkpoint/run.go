@@ -1,0 +1,221 @@
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime/debug"
+	"sync"
+)
+
+// FormatVersion names the journal/manifest format. It participates in the
+// manifest key, so bumping it invalidates every existing checkpoint.
+const FormatVersion = "dynamips-checkpoint-v1"
+
+// manifestName is the manifest file inside a checkpoint directory.
+const manifestName = "MANIFEST.json"
+
+// Key identifies what a checkpoint directory's journals are valid for. A
+// journal frame may only be replayed when all three components match:
+// the seed and config hash pin the deterministic computation, the code
+// string pins the binary that produced the frames.
+type Key struct {
+	Seed       int64  `json:"seed"`
+	ConfigHash string `json:"config_hash"`
+	Code       string `json:"code"`
+}
+
+// Manifest is the checkpoint directory's root record: the key plus the
+// caller's opaque command description, which `dynamips resume` replays.
+type Manifest struct {
+	Format  string          `json:"format"`
+	Key     Key             `json:"key"`
+	Command json.RawMessage `json:"command"`
+}
+
+// CodeVersion returns the code component of the manifest key: the format
+// version, refined with the VCS revision when the binary carries one.
+func CodeVersion() string {
+	v := FormatVersion
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				v += "+" + s.Value
+			}
+		}
+	}
+	return v
+}
+
+// HashConfig returns the hex SHA-256 of v's canonical JSON, the config
+// component of the manifest key. Callers must hash a normalized config:
+// fields that provably do not change the output (worker counts, output
+// paths) belong outside the hash so a resume may vary them.
+func HashConfig(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: hashing config: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Run is an open checkpoint directory: a manifest plus one journal per
+// pipeline stage.
+type Run struct {
+	dir      string
+	manifest Manifest
+	resumed  bool
+	logf     func(format string, args ...any)
+
+	mu       sync.Mutex
+	journals map[string]*Journal
+}
+
+// Open opens dir as a checkpoint for the run identified by key, creating
+// it if needed. command is an opaque record of the invocation (replayed by
+// Resume). If dir already holds a checkpoint for the same key, the run
+// resumes from its journals; a checkpoint for a different key (or an
+// unreadable manifest) is stale — it is discarded with a logged warning
+// and the run starts fresh. logf may be nil.
+func Open(dir string, key Key, command json.RawMessage, logf func(format string, args ...any)) (*Run, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
+	}
+	r := &Run{dir: dir, logf: logf, journals: make(map[string]*Journal)}
+	m, err := readManifest(dir)
+	switch {
+	case err == nil && m.Format == FormatVersion && m.Key == key:
+		r.manifest = *m
+		r.resumed = true
+		return r, nil
+	case err == nil:
+		logf("checkpoint %s: manifest key does not match this run (stale seed, config, or code); starting fresh", dir)
+	case !os.IsNotExist(err):
+		logf("checkpoint %s: unreadable manifest (%v); starting fresh", dir, err)
+	}
+	if err := clearJournals(dir); err != nil {
+		return nil, err
+	}
+	r.manifest = Manifest{Format: FormatVersion, Key: key, Command: command}
+	if err := writeManifest(dir, &r.manifest); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Resume opens an existing checkpoint directory for replay. Unlike Open it
+// never starts fresh: a missing or unreadable manifest, or one written by
+// a different code version, is an error, because the caller is asking to
+// continue that specific run.
+func Resume(dir string, logf func(format string, args ...any)) (*Run, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: no resumable run in %s: %w", dir, err)
+	}
+	if m.Format != FormatVersion || m.Key.Code != CodeVersion() {
+		return nil, fmt.Errorf("checkpoint: %s was written by %s/%s; this binary is %s/%s — rerun from scratch",
+			dir, m.Format, m.Key.Code, FormatVersion, CodeVersion())
+	}
+	return &Run{dir: dir, manifest: *m, resumed: true, logf: logf, journals: make(map[string]*Journal)}, nil
+}
+
+// Dir returns the checkpoint directory.
+func (r *Run) Dir() string { return r.dir }
+
+// Key returns the manifest key the directory is bound to.
+func (r *Run) Key() Key { return r.manifest.Key }
+
+// Command returns the opaque command record stored at Open time.
+func (r *Run) Command() json.RawMessage { return r.manifest.Command }
+
+// Resumed reports whether the directory held a matching checkpoint when
+// opened (journals may hold completed units).
+func (r *Run) Resumed() bool { return r.resumed }
+
+// Logf logs through the run's logger.
+func (r *Run) Logf(format string, args ...any) { r.logf(format, args...) }
+
+var stageNameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9-]*$`)
+
+// Journal opens (or returns the already-open) journal for a named stage.
+func (r *Run) Journal(stage string) (*Journal, error) {
+	if !stageNameRE.MatchString(stage) {
+		return nil, fmt.Errorf("checkpoint: invalid stage name %q", stage)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j, ok := r.journals[stage]; ok {
+		return j, nil
+	}
+	j, err := OpenJournal(filepath.Join(r.dir, stage+".wal"), r.logf)
+	if err != nil {
+		return nil, err
+	}
+	r.journals[stage] = j
+	return j, nil
+}
+
+// Close syncs and closes every open journal. The directory and its
+// journals stay on disk: a completed run resumes into a pure replay that
+// reproduces the same output bytes.
+func (r *Run) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, j := range r.journals {
+		if err := j.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	r.journals = make(map[string]*Journal)
+	return first
+}
+
+func readManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("parsing manifest: %w", err)
+	}
+	return &m, nil
+}
+
+func writeManifest(dir string, m *Manifest) error {
+	return WriteFileAtomic(filepath.Join(dir, manifestName), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}
+
+// clearJournals removes every stage journal in dir (stale checkpoints).
+func clearJournals(dir string) error {
+	wals, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil {
+		return fmt.Errorf("checkpoint: listing journals in %s: %w", dir, err)
+	}
+	for _, w := range wals {
+		if err := os.Remove(w); err != nil {
+			return fmt.Errorf("checkpoint: removing stale journal %s: %w", w, err)
+		}
+	}
+	return nil
+}

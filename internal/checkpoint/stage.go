@@ -1,0 +1,92 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"dynamips/internal/parallel"
+)
+
+// Stage runs one journaled pipeline stage: n independent work units
+// computed under the usual deterministic fan-out, with each completed
+// unit's encoded result appended to the run's stage journal in index
+// order. Units already present in the journal are decoded instead of
+// recomputed, so an interrupted run resumes exactly where the journal's
+// intact prefix ends. A nil run degrades to plain parallel.MapErr.
+//
+// The determinism contract makes this sound: compute(i) depends only on i
+// and the run's configuration (which the manifest key pins), so a decoded
+// unit is byte-equivalent to a recomputed one and the final output of a
+// resumed run matches an uninterrupted run bit-for-bit at any worker
+// count.
+func Stage[T any](run *Run, stage string, n, workers int, compute func(i int) (T, error), enc func(T) ([]byte, error), dec func([]byte) (T, error)) ([]T, error) {
+	if run == nil {
+		return parallel.MapErr(n, workers, compute)
+	}
+	j, err := run.Journal(stage)
+	if err != nil {
+		return nil, err
+	}
+	recovered := j.Payloads()
+	if len(recovered) > n {
+		return nil, fmt.Errorf("checkpoint: stage %s journal holds %d units but the run has %d — manifest key failed to invalidate it", stage, len(recovered), n)
+	}
+	if len(recovered) > 0 {
+		run.Logf("checkpoint: stage %s resuming with %d/%d units journaled", stage, len(recovered), n)
+	}
+	done := len(recovered)
+	fn := func(i int) (T, error) {
+		if i < done {
+			v, derr := dec(recovered[i])
+			if derr == nil {
+				return v, nil
+			}
+			// A payload that passed the CRC but fails to decode means a
+			// codec change the key missed; recompute rather than fail.
+			run.Logf("checkpoint: stage %s unit %d: journaled payload undecodable (%v); recomputing", stage, i, derr)
+			return compute(i)
+		}
+		return compute(i)
+	}
+	commit := func(i int, v T) error {
+		if i < done {
+			return nil
+		}
+		b, err := enc(v)
+		if err != nil {
+			return fmt.Errorf("checkpoint: stage %s unit %d: %w", stage, i, err)
+		}
+		return j.Append(i, b)
+	}
+	out, err := parallel.MapErrOrdered(n, workers, fn, commit)
+	if err != nil {
+		return nil, err
+	}
+	// The stage is complete: make its tail durable before the next stage
+	// starts consuming it.
+	if err := j.Sync(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GobEncode is the default unit codec: encoding/gob, which round-trips
+// the pipeline's result structs (including netip values, which gob
+// serializes via their binary marshalers) losslessly.
+func GobEncode[T any](v T) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, fmt.Errorf("checkpoint: gob encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode is GobEncode's inverse.
+func GobDecode[T any](b []byte) (T, error) {
+	var v T
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
+		return v, fmt.Errorf("checkpoint: gob decode: %w", err)
+	}
+	return v, nil
+}

@@ -11,6 +11,7 @@ import (
 	"net/netip"
 
 	"dynamips/internal/atlas"
+	"dynamips/internal/checkpoint"
 	"dynamips/internal/netutil"
 )
 
@@ -46,6 +47,11 @@ type ExtractConfig struct {
 	// per CPU. Series are digested independently and results keep input
 	// order, so the worker count never changes the output.
 	Workers int
+	// Checkpoint, when non-nil, makes AnalyzeErr journal each digested
+	// series under the "analyze" stage so an interrupted run resumes
+	// without re-digesting completed series. Analyze ignores it; the
+	// caller owns manifest keying.
+	Checkpoint *checkpoint.Run
 }
 
 // DefaultExtractConfig allows assignments to ride out short probe

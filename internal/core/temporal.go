@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dynamips/internal/atlas"
+	"dynamips/internal/checkpoint"
 	"dynamips/internal/parallel"
 	"dynamips/internal/stats"
 )
@@ -24,17 +25,33 @@ type ProbeAnalysis struct {
 
 // Analyze digests sanitized series into per-probe analyses. Series are
 // independent, so they are digested concurrently under cfg.Workers; the
-// result keeps the input order.
+// result keeps the input order. Analyze never journals (and so never
+// fails); checkpointed pipelines use AnalyzeErr.
 func Analyze(series []atlas.Series, cfg ExtractConfig) []ProbeAnalysis {
 	return parallel.Map(len(series), cfg.Workers, func(i int) ProbeAnalysis {
-		s := &series[i]
-		return ProbeAnalysis{
-			Probe:     s.Probe,
-			V4:        V4Assignments(s.V4, cfg),
-			V6:        V6Assignments(s.V6, cfg),
-			DualStack: s.DualStack(DualStackMinHours),
-		}
+		return analyzeOne(&series[i], cfg)
 	})
+}
+
+// AnalyzeErr is Analyze with crash-safe journaling: when cfg.Checkpoint is
+// set, each digested series is recorded in index order under the "analyze"
+// stage, and a resumed run decodes completed digests instead of
+// recomputing them. With a nil Checkpoint it is exactly Analyze.
+func AnalyzeErr(series []atlas.Series, cfg ExtractConfig) ([]ProbeAnalysis, error) {
+	return checkpoint.Stage(cfg.Checkpoint, "analyze", len(series), cfg.Workers,
+		func(i int) (ProbeAnalysis, error) {
+			return analyzeOne(&series[i], cfg), nil
+		},
+		checkpoint.GobEncode[ProbeAnalysis], checkpoint.GobDecode[ProbeAnalysis])
+}
+
+func analyzeOne(s *atlas.Series, cfg ExtractConfig) ProbeAnalysis {
+	return ProbeAnalysis{
+		Probe:     s.Probe,
+		V4:        V4Assignments(s.V4, cfg),
+		V6:        V6Assignments(s.V6, cfg),
+		DualStack: s.DualStack(DualStackMinHours),
+	}
 }
 
 // GroupByASN buckets analyses by the probe's AS.

@@ -10,10 +10,10 @@ import (
 	"dynamips/internal/atlas"
 	"dynamips/internal/bgp"
 	"dynamips/internal/cdn"
+	"dynamips/internal/checkpoint"
 	"dynamips/internal/core"
 	"dynamips/internal/faultnet"
 	"dynamips/internal/isp"
-	"dynamips/internal/parallel"
 )
 
 // Config sizes the synthetic datasets. The defaults approximate the
@@ -43,6 +43,14 @@ type Config struct {
 	// invariance above holds under any profile, and a non-nil all-zero
 	// profile reproduces the nil output byte-for-byte.
 	Faults *faultnet.Profile
+	// Checkpoint, when non-nil, journals every completed work unit —
+	// per-profile fleet builds, per-series core analyses, per-operator
+	// CDN chunks — so an interrupted build resumes from the journal's
+	// intact prefix and, by the determinism contract, produces output
+	// byte-identical to an uninterrupted run. The caller must key the
+	// checkpoint's manifest on this Config (minus Workers and Checkpoint
+	// itself, which never change the output).
+	Checkpoint *checkpoint.Run
 }
 
 // Default returns the configuration the benchmarks and the CLI use.
@@ -92,35 +100,40 @@ func BuildAtlas(cfg Config) (*AtlasData, error) {
 		Names:  make(map[uint32]string),
 	}
 	// Each AS gets a seed derived from its profile index, so the fleets
-	// are independent of build order and concurrency.
+	// are independent of build order and concurrency. When a checkpoint
+	// is attached, every completed fleet is journaled (series plus BGP
+	// announcements — the parts the merge below consumes) in profile
+	// order.
 	profiles := isp.Profiles()
-	fleets, err := parallel.MapErr(len(profiles), cfg.Workers, func(i int) (*atlas.Fleet, error) {
-		prof := profiles[i]
-		probes := int(float64(probeCounts[prof.Name]) * cfg.ProbeScale)
-		if probes < 10 {
-			probes = 10
-		}
-		subs := probes * 2
-		res, err := isp.Run(isp.Config{
-			Profile:     prof,
-			Subscribers: subs,
-			Hours:       cfg.Hours,
-			Seed:        cfg.Seed + int64(i)*1000,
-			Faults:      cfg.Faults,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: simulating %s: %w", prof.Name, err)
-		}
-		fc := atlas.DefaultFleetConfig(probes, cfg.Seed+int64(i)*1000+1)
-		if cfg.Faults != nil {
-			fc.Faults = *cfg.Faults
-		}
-		fleet, err := atlas.BuildFleet(res, fc)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fleet for %s: %w", prof.Name, err)
-		}
-		return fleet, nil
-	})
+	fleets, err := checkpoint.Stage(cfg.Checkpoint, "atlas", len(profiles), cfg.Workers,
+		func(i int) (fleetUnit, error) {
+			prof := profiles[i]
+			probes := int(float64(probeCounts[prof.Name]) * cfg.ProbeScale)
+			if probes < 10 {
+				probes = 10
+			}
+			subs := probes * 2
+			res, err := isp.Run(isp.Config{
+				Profile:     prof,
+				Subscribers: subs,
+				Hours:       cfg.Hours,
+				Seed:        cfg.Seed + int64(i)*1000,
+				Faults:      cfg.Faults,
+			})
+			if err != nil {
+				return fleetUnit{}, fmt.Errorf("experiments: simulating %s: %w", prof.Name, err)
+			}
+			fc := atlas.DefaultFleetConfig(probes, cfg.Seed+int64(i)*1000+1)
+			if cfg.Faults != nil {
+				fc.Faults = *cfg.Faults
+			}
+			fleet, err := atlas.BuildFleet(res, fc)
+			if err != nil {
+				return fleetUnit{}, fmt.Errorf("experiments: fleet for %s: %w", prof.Name, err)
+			}
+			return fleetUnit{Series: fleet.Series, Routes: fleet.BGP.Entries()}, nil
+		},
+		checkpoint.GobEncode[fleetUnit], checkpoint.GobDecode[fleetUnit])
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +141,7 @@ func BuildAtlas(cfg Config) (*AtlasData, error) {
 	for i, fleet := range fleets {
 		prof := profiles[i]
 		all = append(all, fleet.Series...)
-		for _, e := range fleet.BGP.Entries() {
+		for _, e := range fleet.Routes {
 			a.BGP.Announce(e.Prefix, e.ASN)
 		}
 		a.Names[prof.ASN] = prof.Name
@@ -138,9 +151,20 @@ func BuildAtlas(cfg Config) (*AtlasData, error) {
 	a.Sanitize = atlas.Sanitize(all, a.BGP, atlas.DefaultSanitizeConfig())
 	ec := core.DefaultExtractConfig()
 	ec.Workers = cfg.Workers
-	a.PAS = core.Analyze(a.Sanitize.Clean, ec)
+	ec.Checkpoint = cfg.Checkpoint
+	if a.PAS, err = core.AnalyzeErr(a.Sanitize.Clean, ec); err != nil {
+		return nil, err
+	}
 	a.Durations = core.CollectDurations(a.PAS)
 	return a, nil
+}
+
+// fleetUnit is the journaled payload of one per-profile atlas build: the
+// probe series and the AS's route announcements, exactly the parts
+// BuildAtlas's merge consumes.
+type fleetUnit struct {
+	Series []atlas.Series
+	Routes []bgp.Entry
 }
 
 // CDNData is the shared product of the CDN pipeline.
@@ -162,6 +186,7 @@ const MobileDegreeThreshold = 350
 func BuildCDN(cfg Config) (*CDNData, error) {
 	gc := cdn.DefaultGenConfig(cfg.Seed)
 	gc.Workers = cfg.Workers
+	gc.Checkpoint = cfg.Checkpoint
 	if cfg.CDNDays > 0 {
 		gc.Days = cfg.CDNDays
 	}

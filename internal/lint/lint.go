@@ -37,6 +37,7 @@ func DefaultConfig() Config {
 			"internal/faultnet",
 			"internal/radius",
 			"internal/cgnat",
+			"internal/checkpoint",
 			"internal/experiments",
 			"internal/parallel",
 		},

@@ -87,3 +87,88 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 	out, _ := MapErr(n, workers, func(i int) (T, error) { return fn(i), nil })
 	return out
 }
+
+// MapErrOrdered is MapErr with a serialized completion callback: commit is
+// invoked exactly once per successful index, in strictly ascending index
+// order, as soon as every lower index has been computed and committed. The
+// committed indices therefore always form a contiguous prefix 0..k-1 —
+// the property crash-safe journals need so that whatever was committed
+// before a crash is a valid resume point regardless of worker count.
+//
+// A commit error stops further commits and is reported like a work error
+// at that index; computed-but-uncommitted results are discarded with it.
+// commit runs on whichever worker goroutine completed the gating index,
+// never concurrently with itself.
+func MapErrOrdered[T any](n, workers int, fn func(i int) (T, error), commit func(i int, v T) error) ([]T, error) {
+	if commit == nil {
+		return MapErr(n, workers, fn)
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	workers = min(Workers(workers), n)
+	out := make([]T, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := range out {
+			var err error
+			if out[i], err = fn(i); err != nil {
+				return nil, err
+			}
+			if err := commit(i, out[i]); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	var (
+		next       atomic.Int64
+		failed     atomic.Bool
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		ready      = make([]bool, n)
+		nextCommit int
+	)
+	// drain advances the contiguous committed prefix; called after result i
+	// lands. Serialized by mu, so commit never runs concurrently.
+	drain := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		ready[i] = true
+		for nextCommit < n && ready[nextCommit] {
+			if errs[nextCommit] != nil {
+				return // prefix ends at the first failed unit
+			}
+			if err := commit(nextCommit, out[nextCommit]); err != nil {
+				errs[nextCommit] = err
+				failed.Store(true)
+				return
+			}
+			nextCommit++
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				out[i], errs[i] = fn(i)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+				drain(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

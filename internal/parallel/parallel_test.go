@@ -102,3 +102,107 @@ func TestMapErrActuallyConcurrent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMapErrOrderedContiguousPrefix: commits must arrive in strictly
+// ascending order with no gaps, at every worker count.
+func TestMapErrOrderedContiguousPrefix(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		var committed []int
+		out, err := MapErrOrdered(60, workers,
+			func(i int) (int, error) { return i * 3, nil },
+			func(i int, v int) error {
+				if v != i*3 {
+					t.Fatalf("commit(%d) got value %d", i, v)
+				}
+				committed = append(committed, i) // serialized by contract
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 60 || len(committed) != 60 {
+			t.Fatalf("workers=%d: %d results, %d commits", workers, len(out), len(committed))
+		}
+		for i, c := range committed {
+			if c != i {
+				t.Fatalf("workers=%d: commit order %v", workers, committed)
+			}
+		}
+	}
+}
+
+// TestMapErrOrderedStopsAtFailure: a failed unit ends the committed
+// prefix; nothing at or after the lowest failure is ever committed.
+func TestMapErrOrderedStopsAtFailure(t *testing.T) {
+	sentinel := errors.New("unit failed")
+	for _, workers := range []int{1, 4, 16} {
+		for trial := 0; trial < 10; trial++ {
+			var mu sync.Mutex
+			var committed []int
+			_, err := MapErrOrdered(40, workers,
+				func(i int) (int, error) {
+					if i == 17 {
+						return 0, sentinel
+					}
+					return i, nil
+				},
+				func(i int, v int) error {
+					mu.Lock()
+					committed = append(committed, i)
+					mu.Unlock()
+					return nil
+				})
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("workers=%d: err = %v", workers, err)
+			}
+			for _, c := range committed {
+				if c >= 17 {
+					t.Fatalf("workers=%d: committed index %d past the failure", workers, c)
+				}
+			}
+			mu.Lock()
+			for j, c := range committed {
+				if c != j {
+					t.Fatalf("workers=%d: commit order %v", workers, committed)
+				}
+			}
+			mu.Unlock()
+		}
+	}
+}
+
+// TestMapErrOrderedCommitError: a commit failure is reported like a work
+// failure at that index and halts further commits.
+func TestMapErrOrderedCommitError(t *testing.T) {
+	sentinel := errors.New("journal full")
+	for _, workers := range []int{1, 8} {
+		var committed []int
+		_, err := MapErrOrdered(20, workers,
+			func(i int) (int, error) { return i, nil },
+			func(i int, v int) error {
+				if i == 5 {
+					return sentinel
+				}
+				committed = append(committed, i)
+				return nil
+			})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if len(committed) != 5 {
+			t.Fatalf("workers=%d: committed %v", workers, committed)
+		}
+	}
+}
+
+func TestMapErrOrderedNilCommitAndEmpty(t *testing.T) {
+	out, err := MapErrOrdered(3, 2, func(i int) (int, error) { return i, nil }, nil)
+	if err != nil || len(out) != 3 {
+		t.Fatalf("nil commit: out=%v err=%v", out, err)
+	}
+	out, err = MapErrOrdered(0, 2, func(i int) (int, error) { return i, nil },
+		func(int, int) error { t.Fatal("commit on empty input"); return nil })
+	if err != nil || out != nil {
+		t.Fatalf("n=0: out=%v err=%v", out, err)
+	}
+}

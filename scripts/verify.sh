@@ -2,9 +2,11 @@
 # verify.sh — the repository's full correctness gate, run locally and in CI:
 #   build, go vet, dynalint (determinism/netip/errwrap/lockcopy), the test
 #   suite under the race detector (which includes the fault-injection soak,
-#   TestPipelineUnderLoss), a coverage floor over the assignment-plane
-#   protocol packages, and a bounded fuzz smoke over every wire-codec and
-#   fault-injection Fuzz* target. FUZZTIME bounds each fuzz run (default 10s).
+#   TestPipelineUnderLoss), the crash-injection kill-and-resume smoke, a
+#   coverage floor over the assignment-plane protocol packages and the
+#   checkpoint layer, and a bounded fuzz smoke over every wire-codec,
+#   fault-injection, and journal-decoding Fuzz* target. FUZZTIME bounds
+#   each fuzz run (default 10s).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,8 +25,11 @@ go run ./cmd/dynalint ./...
 echo "==> go test -race ./... (includes the loss soak)"
 go test -race ./...
 
+echo "==> crash-injection smoke (kill-and-resume matrix)"
+go test ./cmd/dynamips -run '^(TestKillAndResume|TestResumeAfterTrailingCorruption)$' -count=1
+
 echo "==> coverage floor (>=${COVERAGE_FLOOR}% of statements)"
-for pkg in internal/dhcp4 internal/dhcp6 internal/radius internal/faultnet; do
+for pkg in internal/dhcp4 internal/dhcp6 internal/radius internal/faultnet internal/checkpoint; do
 	line=$(go test -cover "./$pkg" | tail -n 1)
 	echo "$line"
 	pct=$(echo "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
@@ -44,5 +49,6 @@ go test ./internal/dhcp6 -run '^$' -fuzz '^FuzzUnmarshal$' -fuzztime "$FUZZTIME"
 go test ./internal/radius -run '^$' -fuzz '^FuzzParse$' -fuzztime "$FUZZTIME"
 go test ./internal/faultnet -run '^$' -fuzz '^FuzzParseProfile$' -fuzztime "$FUZZTIME"
 go test ./internal/faultnet -run '^$' -fuzz '^FuzzReorder$' -fuzztime "$FUZZTIME"
+go test ./internal/checkpoint -run '^$' -fuzz '^FuzzJournalScan$' -fuzztime "$FUZZTIME"
 
 echo "==> verify OK"
