@@ -14,25 +14,32 @@ import (
 // cost is what the benchmarks isolate). BenchmarkBuildAtlasPipeline and
 // BenchmarkBuildCDNPipeline measure the generation side.
 
+// The shared pipelines are memoized under a mutex rather than sync.Once:
+// a Once would latch a transient build error forever, failing every later
+// benchmark in the binary with the stale error instead of retrying.
 var (
-	benchOnce  sync.Once
+	benchMu    sync.Mutex
 	benchAtlas *experiments.AtlasData
 	benchCDN   *experiments.CDNData
-	benchErr   error
 )
 
 func benchData(b *testing.B) (*experiments.AtlasData, *experiments.CDNData) {
 	b.Helper()
-	benchOnce.Do(func() {
-		cfg := experiments.Reduced()
-		benchAtlas, benchErr = experiments.BuildAtlas(cfg)
-		if benchErr != nil {
-			return
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if benchAtlas == nil {
+		a, err := experiments.BuildAtlas(experiments.Reduced())
+		if err != nil {
+			b.Fatalf("building atlas pipeline: %v", err)
 		}
-		benchCDN, benchErr = experiments.BuildCDN(cfg)
-	})
-	if benchErr != nil {
-		b.Fatalf("building benchmark pipelines: %v", benchErr)
+		benchAtlas = a
+	}
+	if benchCDN == nil {
+		c, err := experiments.BuildCDN(experiments.Reduced())
+		if err != nil {
+			b.Fatalf("building cdn pipeline: %v", err)
+		}
+		benchCDN = c
 	}
 	return benchAtlas, benchCDN
 }

@@ -21,6 +21,7 @@ import (
 	"dynamips/internal/experiments"
 	"dynamips/internal/faultnet"
 	"dynamips/internal/isp"
+	"dynamips/internal/obs"
 	"dynamips/internal/stats"
 )
 
@@ -127,6 +128,7 @@ func cmdGen(args []string) error {
 	fs := newFlagSet("gen " + kind)
 	seed := fs.Int64("seed", 1, "generator seed")
 	out := fs.String("o", "-", "output file (default stdout; written atomically)")
+	metrics := fs.String("metrics", "", "dump pipeline metrics (JSON) to this file")
 	switch kind {
 	case "atlas":
 		profileName := fs.String("profile", "DTAG", "ISP profile name")
@@ -136,12 +138,21 @@ func cmdGen(args []string) error {
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
-		return genAtlas(*profileName, *probes, *hours, *seed, *raw, *out)
+		or, err := startObs(*metrics, "")
+		if err != nil {
+			return err
+		}
+		err = genAtlas(*profileName, *probes, *hours, *seed, *raw, *out, or.o)
+		if ferr := or.finish(); err == nil {
+			err = ferr
+		}
+		return err
 	case "cdn":
 		days := fs.Int("days", 150, "collection window in days")
 		scale := fs.Float64("scale", 1, "population scale factor")
 		workers := fs.Int("workers", 0, "per-operator generation fan-out, 0 = all CPUs (output is identical for any value)")
 		ckpt := fs.String("checkpoint", "", "journal completed operators under this directory; resumable with 'dynamips resume'")
+		pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
@@ -151,17 +162,26 @@ func cmdGen(args []string) error {
 			return err
 		}
 		defer run.Close()
-		return runGenCDNSpec(spec, run)
+		or, err := startObs(*metrics, *pprofAddr)
+		if err != nil {
+			return err
+		}
+		err = runGenCDNSpec(spec, run, or.o)
+		if ferr := or.finish(); err == nil {
+			err = ferr
+		}
+		return err
 	default:
 		return fmt.Errorf("gen: unknown dataset kind %q", kind)
 	}
 }
 
-func genAtlas(profileName string, probes int, hours, seed int64, raw bool, out string) error {
+func genAtlas(profileName string, probes int, hours, seed int64, raw bool, out string, o *obs.Observer) error {
 	profile, ok := isp.ProfileByName(profileName)
 	if !ok {
 		return fmt.Errorf("unknown profile %q (see 'dynamips profiles')", profileName)
 	}
+	span := o.StartSpan("gen/atlas")
 	res, err := isp.Run(isp.Config{Profile: profile, Subscribers: probes * 2, Hours: hours, Seed: seed})
 	if err != nil {
 		return err
@@ -170,6 +190,9 @@ func genAtlas(profileName string, probes int, hours, seed int64, raw bool, out s
 	if err != nil {
 		return err
 	}
+	o.Advance(int64(len(fleet.Series)))
+	span.End()
+	o.Counter("gen_series", obs.L("as", profile.Name)).Add(int64(len(fleet.Series)))
 	return writeOutput(out, func(w io.Writer) error {
 		if raw {
 			var recs []atlas.Record
@@ -182,12 +205,14 @@ func genAtlas(profileName string, probes int, hours, seed int64, raw bool, out s
 	})
 }
 
-func runGenCDNSpec(spec runSpec, run *checkpoint.Run) error {
+func runGenCDNSpec(spec runSpec, run *checkpoint.Run, o *obs.Observer) error {
+	run.SetObserver(o)
 	cfg := cdn.DefaultGenConfig(spec.Seed)
 	cfg.Days = spec.Days
 	cfg.Scale = spec.Scale
 	cfg.Workers = spec.Workers
 	cfg.Checkpoint = run
+	cfg.Obs = o
 	ds, err := cdn.Generate(cfg)
 	if err != nil {
 		return err
@@ -206,6 +231,7 @@ func cmdAnalyzeCDN(args []string) error {
 	threshold := fs.Int("mobile-threshold", 350, "unique-/64 degree above which a /24 is labeled mobile")
 	pfx2as := fs.String("pfx2as", "", "pfx2as file for per-operator attribution (optional)")
 	out := fs.String("o", "-", "report output file (default stdout; written atomically)")
+	metrics := fs.String("metrics", "", "dump pipeline metrics (JSON) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -233,14 +259,29 @@ func cmdAnalyzeCDN(args []string) error {
 			return err
 		}
 	}
-	return writeOutput(*out, func(w io.Writer) error {
-		return analyzeCDNReport(w, assocs, table, *threshold)
+	or, err := startObs(*metrics, "")
+	if err != nil {
+		return err
+	}
+	err = writeOutput(*out, func(w io.Writer) error {
+		return analyzeCDNReport(w, assocs, table, *threshold, or.o)
 	})
+	if ferr := or.finish(); err == nil {
+		err = ferr
+	}
+	return err
 }
 
-func analyzeCDNReport(w io.Writer, assocs []cdn.Association, table *bgp.Table, threshold int) error {
+func analyzeCDNReport(w io.Writer, assocs []cdn.Association, table *bgp.Table, threshold int, o *obs.Observer) error {
+	span := o.StartSpan("analyze-cdn")
+	defer func() {
+		o.Advance(int64(len(assocs)))
+		span.End()
+	}()
+	o.Counter("cdn_assocs_filtered").Add(int64(len(assocs)))
 	mobile := cdn.MobileLabel(assocs, threshold)
 	eps := cdn.Episodes(assocs, cdn.DefaultEpisodeConfig())
+	o.Counter("cdn_episodes").Add(int64(len(eps)))
 	var fixedD, mobileD []float64
 	for _, ep := range eps {
 		if mobile[ep.K24] {
@@ -305,6 +346,7 @@ func cmdAnalyze(args []string) error {
 	format := fs.String("format", "series", "input format: series (RLE JSONL), records (hourly JSONL), or ripe (RIPE Atlas results)")
 	epoch := fs.Int64("epoch", 1409529600, "unix time of hour 0 for -format ripe (default: 2014-09-01, the paper's window start)")
 	out := fs.String("o", "-", "report output file (default stdout; written atomically)")
+	metrics := fs.String("metrics", "", "dump pipeline metrics (JSON) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -367,17 +409,34 @@ func cmdAnalyze(args []string) error {
 			}
 		}
 	}
-	return writeOutput(*out, func(w io.Writer) error {
-		return analyzeReport(w, series, table)
+	or, err := startObs(*metrics, "")
+	if err != nil {
+		return err
+	}
+	err = writeOutput(*out, func(w io.Writer) error {
+		return analyzeReport(w, series, table, or.o)
 	})
+	if ferr := or.finish(); err == nil {
+		err = ferr
+	}
+	return err
 }
 
-func analyzeReport(w io.Writer, series []atlas.Series, table *bgp.Table) error {
-	clean := atlas.Sanitize(series, table, atlas.DefaultSanitizeConfig())
+func analyzeReport(w io.Writer, series []atlas.Series, table *bgp.Table, o *obs.Observer) error {
+	sanSpan := o.StartSpan("analyze/sanitize")
+	sc := atlas.DefaultSanitizeConfig()
+	sc.Obs = o
+	clean := atlas.Sanitize(series, table, sc)
+	o.Advance(int64(len(series)))
+	sanSpan.End()
 	fmt.Fprintf(w, "probes: %d in, %d clean, drops: %v, splits: %d\n",
 		len(series), len(clean.Clean), clean.Drops, clean.VirtualSplits)
 
+	anaSpan := o.StartSpan("analyze/extract")
 	pas := core.Analyze(clean.Clean, core.DefaultExtractConfig())
+	o.Advance(int64(len(clean.Clean)))
+	anaSpan.End()
+	o.Counter("atlas_probes_analyzed").Add(int64(len(pas)))
 	rows := core.Table1(pas, nil)
 	fmt.Fprintf(w, "\n%-12s %6s %8s %9s %9s %17s %9s\n",
 		"AS", "ASN", "probes", "v4chg", "DSprobes", "DS v4chg (share)", "v6chg")
@@ -427,6 +486,8 @@ func cmdExperiment(args []string) error {
 	asJSON := fs.Bool("json", false, "emit the figure's data series as JSON (fig1/fig2/fig3/fig5/fig9)")
 	out := fs.String("o", "-", "output file (default stdout; written atomically)")
 	ckpt := fs.String("checkpoint", "", "journal completed pipeline units under this directory; resumable with 'dynamips resume'")
+	metrics := fs.String("metrics", "", "dump pipeline metrics (JSON) to this file; byte-identical for any -workers value")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -457,17 +518,26 @@ func cmdExperiment(args []string) error {
 		return err
 	}
 	defer run.Close()
-	return runExperimentSpec(spec, run)
+	or, err := startObs(*metrics, *pprofAddr)
+	if err != nil {
+		return err
+	}
+	err = runExperimentSpec(spec, run, or.o)
+	if ferr := or.finish(); err == nil {
+		err = ferr
+	}
+	return err
 }
 
 // runExperimentSpec executes an experiment invocation (fresh or resumed):
 // builds whichever pipelines the experiment needs under the optional
 // checkpoint run, and writes the full report atomically.
-func runExperimentSpec(spec runSpec, run *checkpoint.Run) error {
+func runExperimentSpec(spec runSpec, run *checkpoint.Run, o *obs.Observer) error {
+	run.SetObserver(o)
 	cfg := experiments.Config{
 		Seed: spec.Seed, Hours: spec.Hours, ProbeScale: spec.ProbeScale,
 		CDNScale: spec.CDNScale, CDNDays: spec.CDNDays, Workers: spec.Workers,
-		Checkpoint: run,
+		Checkpoint: run, Obs: o,
 	}
 	if spec.Faults != "" {
 		prof, err := faultnet.ParseProfile(spec.Faults)
@@ -557,6 +627,8 @@ func runExperimentSpec(spec runSpec, run *checkpoint.Run) error {
 func cmdResume(args []string) error {
 	fs := newFlagSet("resume")
 	workers := fs.Int("workers", -1, "override the recorded worker count (output is identical for any value); -1 keeps the recorded value")
+	metrics := fs.String("metrics", "", "dump pipeline metrics (JSON) to this file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -583,24 +655,38 @@ func cmdResume(args []string) error {
 		spec.Workers = *workers
 	}
 	logf("resuming %s run (seed %d) into %s", spec.Kind, spec.Seed, spec.Out)
+	or, err := startObs(*metrics, *pprofAddr)
+	if err != nil {
+		return err
+	}
 	switch spec.Kind {
 	case "experiment":
-		return runExperimentSpec(spec, run)
+		err = runExperimentSpec(spec, run, or.o)
 	case "gen-cdn":
-		return runGenCDNSpec(spec, run)
+		err = runGenCDNSpec(spec, run, or.o)
 	default:
-		return fmt.Errorf("resume: manifest records unknown command kind %q", spec.Kind)
+		err = fmt.Errorf("resume: manifest records unknown command kind %q", spec.Kind)
 	}
+	if ferr := or.finish(); err == nil {
+		err = ferr
+	}
+	return err
 }
 
 func cmdServeEcho(args []string) error {
 	fs := newFlagSet("serve-echo")
 	listen := fs.String("listen", "127.0.0.1:8080", "listen address")
 	grace := fs.Duration("grace", 5*time.Second, "graceful shutdown drain deadline")
+	metrics := fs.String("metrics", "", "dump request counters (JSON) to this file at shutdown")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address alongside the echo server")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv, err := atlas.StartEchoServer(*listen)
+	or, err := startObs(*metrics, *pprofAddr)
+	if err != nil {
+		return err
+	}
+	srv, err := atlas.StartEchoServerObs(*listen, or.o)
 	if err != nil {
 		return err
 	}
@@ -612,5 +698,9 @@ func cmdServeEcho(args []string) error {
 	fmt.Printf("received %v; draining connections (max %s)\n", s, *grace)
 	ctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
-	return srv.Shutdown(ctx)
+	err = srv.Shutdown(ctx)
+	if ferr := or.finish(); err == nil {
+		err = ferr
+	}
+	return err
 }

@@ -7,6 +7,7 @@
 //	dynamips experiment <name|all> [flags] regenerate a paper table/figure
 //	dynamips resume <dir>                  resume an interrupted checkpointed run
 //	dynamips serve-echo [-listen addr]     run the IP echo HTTP server
+//	dynamips stats <metrics.json>          render a -metrics dump as a report
 //
 // Every generator is seeded; the same flags reproduce identical output.
 // Runs started with -checkpoint DIR journal completed work units and can
@@ -41,6 +42,8 @@ func main() {
 		err = cmdResume(os.Args[2:])
 	case "serve-echo":
 		err = cmdServeEcho(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -65,6 +68,11 @@ commands:
   experiment <name|all>    regenerate a paper table/figure
   resume <dir>             resume an interrupted checkpointed run
   serve-echo               run the IP echo HTTP server
+  stats <metrics.json>     render a -metrics snapshot as a per-stage report
+
+every command takes -metrics FILE (dump pipeline counters and virtual-time
+span timings as JSON); long-running commands take -pprof ADDR (serve
+net/http/pprof on ADDR for the run's duration)
 
 run 'dynamips <command> -h' for command flags
 `)

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"dynamips/internal/obs"
+)
+
+// obsRun is one invocation's observability wiring: the observer the
+// pipeline records into (allocated when -metrics is set) and the optional
+// -pprof endpoint.
+type obsRun struct {
+	o       *obs.Observer
+	metrics string
+	pprof   *obs.PprofServer
+}
+
+// startObs builds the per-invocation observability wiring. A non-empty
+// metrics path allocates the observer the pipeline Configs carry; a
+// non-empty pprof address starts the profiling endpoint immediately.
+func startObs(metrics, pprofAddr string) (*obsRun, error) {
+	r := &obsRun{metrics: metrics}
+	if metrics != "" {
+		r.o = obs.NewObserver()
+	}
+	if pprofAddr != "" {
+		srv, err := obs.StartPprof(pprofAddr)
+		if err != nil {
+			return nil, err
+		}
+		r.pprof = srv
+		logf("pprof listening on http://%s/debug/pprof/", srv.Addr())
+	}
+	return r, nil
+}
+
+// finish stops pprof and dumps the metrics snapshot. Deferred by every
+// command, so even failed runs leave their counters behind; its error only
+// surfaces when the command itself succeeded.
+func (r *obsRun) finish() error {
+	if r == nil {
+		return nil
+	}
+	r.pprof.Close()
+	if r.o == nil || r.metrics == "" {
+		return nil
+	}
+	snap := r.o.Snapshot()
+	return writeOutput(r.metrics, snap.WriteJSON)
+}
+
+// cmdStats renders a -metrics snapshot file as the human-readable
+// per-stage report.
+func cmdStats(args []string) error {
+	fs := newFlagSet("stats")
+	out := fs.String("o", "-", "report output file (default stdout; written atomically)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stats: need one metrics JSON file (from -metrics)")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("stats: opening metrics file: %w", err)
+	}
+	defer f.Close()
+	snap, err := obs.ReadSnapshot(f)
+	if err != nil {
+		return err
+	}
+	return writeOutput(*out, func(w io.Writer) error {
+		return snap.Render(w)
+	})
+}

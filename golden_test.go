@@ -1,0 +1,189 @@
+package dynamips
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dynamips/internal/experiments"
+	"dynamips/internal/obs"
+)
+
+// update regenerates the golden corpus:
+//
+//	go test -run TestGolden -update .
+var update = flag.Bool("update", false, "rewrite testdata/golden files")
+
+// goldenConfig is the corpus's pipeline configuration: small enough for
+// CI, large enough that every sanitization rule fires and both pipelines
+// produce non-trivial reports.
+func goldenConfig(workers int, o *obs.Observer) experiments.Config {
+	return experiments.Config{
+		Seed: 20201201, Hours: 8760, ProbeScale: 0.1,
+		CDNScale: 0.05, CDNDays: 60,
+		Workers: workers, Obs: o,
+	}
+}
+
+// goldenAtlasExperiments / goldenCDNExperiments are the corpus's report
+// slices: representative, text-stable outputs of each pipeline.
+var (
+	goldenAtlasExperiments = []string{"table1", "sanitize", "fig1"}
+	goldenCDNExperiments   = []string{"globaldur", "fig2"}
+)
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name)
+}
+
+// checkGolden compares got against the named golden file byte-for-byte,
+// rewriting the file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := goldenPath(name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("creating golden dir: %v", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("writing %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s (run 'go test -run TestGolden -update .' to create): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s diverged from golden (%d vs %d bytes); rerun with -update if the change is intended\n--- got ---\n%s",
+			name, len(got), len(want), truncateForDiff(got, want))
+	}
+}
+
+// truncateForDiff renders the first divergent region, not megabytes of
+// matching prefix.
+func truncateForDiff(got, want []byte) string {
+	i := 0
+	for i < len(got) && i < len(want) && got[i] == want[i] {
+		i++
+	}
+	lo := max(i-120, 0)
+	end := func(b []byte) int { return min(i+200, len(b)) }
+	return fmt.Sprintf("first divergence at byte %d\ngot:  %q\nwant: %q", i, got[lo:end(got)], want[lo:end(want)])
+}
+
+// TestGoldenPipeline regenerates the reduced-scale corpus — atlas
+// reports, CDN reports, and the observability snapshot — and diffs every
+// artifact byte-for-byte against testdata/golden. It also proves the
+// acceptance criterion directly: the metrics snapshot from a -workers 1
+// build equals the snapshot from a parallel build, byte for byte.
+func TestGoldenPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden corpus build in -short mode")
+	}
+	o := obs.NewObserver()
+	cfg := goldenConfig(1, o)
+
+	a, err := experiments.BuildAtlas(cfg)
+	if err != nil {
+		t.Fatalf("BuildAtlas: %v", err)
+	}
+	var atlasBuf bytes.Buffer
+	for _, name := range goldenAtlasExperiments {
+		fmt.Fprintf(&atlasBuf, "==== %s ====\n", name)
+		if err := experiments.RunAtlasExperiment(name, &atlasBuf, a); err != nil {
+			t.Fatalf("atlas experiment %s: %v", name, err)
+		}
+		fmt.Fprintln(&atlasBuf)
+	}
+	checkGolden(t, "atlas_report.txt", atlasBuf.Bytes())
+
+	c, err := experiments.BuildCDN(cfg)
+	if err != nil {
+		t.Fatalf("BuildCDN: %v", err)
+	}
+	var cdnBuf bytes.Buffer
+	for _, name := range goldenCDNExperiments {
+		fmt.Fprintf(&cdnBuf, "==== %s ====\n", name)
+		if err := experiments.RunCDNExperiment(name, &cdnBuf, c); err != nil {
+			t.Fatalf("cdn experiment %s: %v", name, err)
+		}
+		fmt.Fprintln(&cdnBuf)
+	}
+	checkGolden(t, "cdn_report.txt", cdnBuf.Bytes())
+
+	var metricsBuf bytes.Buffer
+	snap := o.Snapshot()
+	if err := snap.WriteJSON(&metricsBuf); err != nil {
+		t.Fatalf("writing snapshot: %v", err)
+	}
+	checkGolden(t, "metrics.json", metricsBuf.Bytes())
+
+	// Rebuild both pipelines in parallel: the datasets, reports, and the
+	// whole metrics snapshot must be unchanged.
+	o2 := obs.NewObserver()
+	cfg2 := goldenConfig(8, o2)
+	if _, err := experiments.BuildAtlas(cfg2); err != nil {
+		t.Fatalf("parallel BuildAtlas: %v", err)
+	}
+	if _, err := experiments.BuildCDN(cfg2); err != nil {
+		t.Fatalf("parallel BuildCDN: %v", err)
+	}
+	var metrics2 bytes.Buffer
+	snap2 := o2.Snapshot()
+	if err := snap2.WriteJSON(&metrics2); err != nil {
+		t.Fatalf("writing parallel snapshot: %v", err)
+	}
+	if !snap.Equal(snap2) || !bytes.Equal(metricsBuf.Bytes(), metrics2.Bytes()) {
+		t.Errorf("metrics snapshot depends on worker count:\n%s", truncateForDiff(metrics2.Bytes(), metricsBuf.Bytes()))
+	}
+}
+
+// TestGoldenStatsRender pins the `dynamips stats` rendering of the golden
+// snapshot, so the report format only changes deliberately.
+func TestGoldenStatsRender(t *testing.T) {
+	f, err := os.Open(goldenPath("metrics.json"))
+	if err != nil {
+		if *update {
+			t.Skip("metrics.json not yet generated; run TestGoldenPipeline with -update first")
+		}
+		t.Fatalf("opening golden snapshot: %v", err)
+	}
+	defer f.Close()
+	snap, err := obs.ReadSnapshot(f)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := snap.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	checkGolden(t, "stats_report.txt", buf.Bytes())
+}
+
+// TestGoldenSnapshotRoundTrip proves the golden snapshot survives a
+// decode/encode cycle byte-for-byte — the property `dynamips stats` and
+// the bench tooling rely on.
+func TestGoldenSnapshotRoundTrip(t *testing.T) {
+	b, err := os.ReadFile(goldenPath("metrics.json"))
+	if err != nil {
+		if *update {
+			t.Skip("metrics.json not yet generated")
+		}
+		t.Fatalf("reading golden snapshot: %v", err)
+	}
+	snap, err := obs.ReadSnapshot(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	var out bytes.Buffer
+	if err := snap.WriteJSON(&out); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Equal(b, out.Bytes()) {
+		t.Errorf("snapshot round-trip not identity:\n%s", truncateForDiff(out.Bytes(), b))
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"net/netip"
 	"time"
+
+	"dynamips/internal/obs"
 )
 
 // EchoHeader is the response header carrying the client's publicly visible
@@ -17,14 +19,21 @@ const EchoHeader = "X-Client-IP"
 // EchoHandler implements the echo server's HTTP endpoint: it answers every
 // GET with the peer address that opened the TCP connection in the
 // X-Client-IP header.
-func EchoHandler() http.Handler {
+func EchoHandler() http.Handler { return EchoHandlerObs(nil) }
+
+// EchoHandlerObs is EchoHandler with request accounting: every request
+// increments echo_requests on o, and unresolvable peers increment
+// echo_errors. A nil observer disables accounting.
+func EchoHandlerObs(o *obs.Observer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		o.Counter("echo_requests").Inc()
 		host, _, err := net.SplitHostPort(r.RemoteAddr)
 		if err != nil {
 			host = r.RemoteAddr
 		}
 		addr, err := netip.ParseAddr(host)
 		if err != nil {
+			o.Counter("echo_errors").Inc()
 			http.Error(w, "cannot determine client address", http.StatusInternalServerError)
 			return
 		}
@@ -43,13 +52,18 @@ type EchoServer struct {
 // StartEchoServer listens on the given address ("127.0.0.1:0" for an
 // ephemeral test port) and serves the echo endpoint until Close.
 func StartEchoServer(listen string) (*EchoServer, error) {
+	return StartEchoServerObs(listen, nil)
+}
+
+// StartEchoServerObs is StartEchoServer with request accounting on o.
+func StartEchoServerObs(listen string, o *obs.Observer) (*EchoServer, error) {
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, fmt.Errorf("atlas: echo listen: %w", err)
 	}
 	s := &EchoServer{
 		srv: &http.Server{
-			Handler: EchoHandler(),
+			Handler: EchoHandlerObs(o),
 			// Bound every connection phase so a stalled or malicious
 			// client can't pin a goroutine: the echo exchange is a
 			// header-only GET, so tight limits are safe.

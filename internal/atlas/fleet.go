@@ -110,6 +110,10 @@ type Fleet struct {
 	Truth  map[int]Kind
 	BGP    *bgp.Table
 	Result *isp.Result
+	// EchoesDropped counts the measured hours the fault profile's echo
+	// loss removed across the fleet — the measurement-plane side of the
+	// pipeline's fault accounting.
+	EchoesDropped int64
 }
 
 // BuildFleet derives a probe fleet from an AS simulation. Each probe sits
@@ -179,8 +183,10 @@ func BuildFleet(res *isp.Result, cfg FleetConfig) (*Fleet, error) {
 			PrependTestAddr(&ser)
 		}
 		if cfg.Faults.Drop > 0 {
+			before := measuredHours(ser.V4) + measuredHours(ser.V6)
 			ser.V4 = dropEchoes(ser.V4, cfg.Faults.Drop, faultnet.NewStream(uint64(cfg.Seed), uint64(2*i)))
 			ser.V6 = dropEchoes(ser.V6, cfg.Faults.Drop, faultnet.NewStream(uint64(cfg.Seed), uint64(2*i+1)))
+			f.EchoesDropped += before - measuredHours(ser.V4) - measuredHours(ser.V6)
 		}
 		f.Truth[probe.ID] = kind
 		if kind == KindBadTag {
@@ -378,6 +384,15 @@ func switchTail(spans []Span, alt netip.Addr) []Span {
 		}
 	}
 	return out
+}
+
+// measuredHours sums the measured hours across spans.
+func measuredHours(spans []Span) int64 {
+	var n int64
+	for _, sp := range spans {
+		n += sp.Hours()
+	}
+	return n
 }
 
 // dropEchoes removes individual measured hours from spans with

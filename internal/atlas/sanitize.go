@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"dynamips/internal/bgp"
+	"dynamips/internal/obs"
 )
 
 // Drop reasons reported by Sanitize, matching Appendix A.1's filters.
@@ -25,6 +26,9 @@ type SanitizeConfig struct {
 	MinObservedHours int64
 	// BadTags lists disqualifying probe tags (DefaultBadTags if nil).
 	BadTags []string
+	// Obs receives per-rule drop counters and split/series gauges. Nil
+	// disables instrumentation.
+	Obs *obs.Observer
 }
 
 // DefaultSanitizeConfig mirrors the paper: one month minimum coverage.
@@ -104,6 +108,14 @@ func Sanitize(in []Series, table *bgp.Table, cfg SanitizeConfig) SanitizeResult 
 		}
 	}
 	sort.Slice(res.Clean, func(i, j int) bool { return res.Clean[i].Probe.ID < res.Clean[j].Probe.ID })
+	if o := cfg.Obs; o != nil {
+		for reason, n := range res.Drops {
+			o.Counter("sanitize_drops", obs.L("reason", reason)).Add(int64(n))
+		}
+		o.Counter("sanitize_virtual_splits").Add(int64(res.VirtualSplits))
+		o.Counter("sanitize_series_in").Add(int64(len(in)))
+		o.Counter("sanitize_series_clean").Add(int64(len(res.Clean)))
+	}
 	return res
 }
 

@@ -1,0 +1,94 @@
+package cdn
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randAssocs draws a random association list: any 24-bit /24 key, any
+// 64-bit /64 key (P64 fills only the high half of the address, so every
+// value renders as a valid non-v4-mapped /64), any day and hit count.
+func randAssocs(rng *rand.Rand, n int) []Association {
+	out := make([]Association, n)
+	for i := range out {
+		out[i] = Association{
+			K24:  rng.Uint32() & 0xFFFFFF,
+			K64:  rng.Uint64(),
+			Day:  uint16(rng.Intn(1 << 16)),
+			Hits: rng.Uint32(),
+		}
+	}
+	return out
+}
+
+// TestCSVRoundTripProperty checks encode→decode identity over seeded
+// random association lists, including the empty list.
+func TestCSVRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		in := randAssocs(rng, rng.Intn(50))
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, in); err != nil {
+			t.Fatalf("iter %d: WriteCSV: %v", iter, err)
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("iter %d: ReadCSV: %v", iter, err)
+		}
+		if len(in) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, in) {
+			t.Fatalf("iter %d: round trip diverged:\nin:  %v\ngot: %v", iter, in, got)
+		}
+	}
+}
+
+// TestCSVTruncatedPrefixNoPanic feeds ReadCSV every truncated prefix of a
+// valid encoding: decoding must never panic, and when it succeeds, every
+// record except possibly the last must be a prefix of the original list.
+// (The final record may legitimately differ: a line cut mid-number, like
+// hits 12345 truncated to 123, still parses — the CSV format carries no
+// per-record checksum, unlike the checkpoint journal.)
+func TestCSVTruncatedPrefixNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := randAssocs(rng, 25)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	enc := buf.Bytes()
+	for cut := 0; cut <= len(enc); cut++ {
+		got, err := ReadCSV(bytes.NewReader(enc[:cut]))
+		if err != nil {
+			continue
+		}
+		if len(got) > len(in) {
+			t.Fatalf("cut %d: decoded %d assocs from a %d-assoc input", cut, len(got), len(in))
+		}
+		for i := 0; i < len(got)-1; i++ {
+			if got[i] != in[i] {
+				t.Fatalf("cut %d: intact record %d diverged: got %v, want %v", cut, i, got[i], in[i])
+			}
+		}
+	}
+}
+
+// TestCSVCorruptedByteNoPanic flips one byte at a time through the
+// encoding: ReadCSV must return gracefully (data or error), never panic.
+func TestCSVCorruptedByteNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := randAssocs(rng, 10)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	enc := buf.Bytes()
+	for pos := 0; pos < len(enc); pos++ {
+		corrupt := append([]byte(nil), enc...)
+		corrupt[pos] ^= 0x20
+		ReadCSV(bytes.NewReader(corrupt)) //nolint:errcheck // only panics matter here
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"dynamips/internal/cgnat"
 	"dynamips/internal/checkpoint"
 	"dynamips/internal/netutil"
+	"dynamips/internal/obs"
 	"dynamips/internal/rir"
 )
 
@@ -42,6 +43,10 @@ type GenConfig struct {
 	// the journal is only valid for an identical (Seed, Days, Scale, ...)
 	// configuration.
 	Checkpoint *checkpoint.Run
+	// Obs, when non-nil, receives the generation stage's span (one
+	// virtual tick per operator) and the raw/filtered/mismatch counters.
+	// It never changes the generated dataset.
+	Obs *obs.Observer
 }
 
 // DefaultGenConfig returns the experiments' configuration.
@@ -98,6 +103,7 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 	// sequence depends only on (Seed, operator index), never on how the
 	// other operators are scheduled. Completed chunks are journaled in
 	// operator order when a checkpoint is attached.
+	genSpan := cfg.Obs.StartSpan("cdn/generate")
 	chunks, err := checkpoint.Stage(cfg.Checkpoint, "cdn", len(ops), cfg.Workers,
 		func(oi int) ([]Association, error) {
 			rng := rand.New(rand.NewSource(operatorSeed(cfg.Seed, oi)))
@@ -107,6 +113,8 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.Obs.Advance(int64(len(ops)))
+	genSpan.End()
 	var raw []Association
 	for _, c := range chunks {
 		raw = append(raw, c...)
@@ -124,6 +132,9 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 		}
 		ds.Assocs = append(ds.Assocs, a)
 	}
+	cfg.Obs.Counter("cdn_assocs_raw").Add(int64(ds.RawCount))
+	cfg.Obs.Counter("cdn_assocs_filtered").Add(int64(len(ds.Assocs)))
+	cfg.Obs.Counter("cdn_mismatches_dropped").Add(int64(ds.Mismatches))
 	return ds, nil
 }
 

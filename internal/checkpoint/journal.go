@@ -8,6 +8,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"dynamips/internal/obs"
 )
 
 // Journal file layout: an 8-byte file header followed by length-prefixed,
@@ -46,12 +48,26 @@ var ErrCrashInjected = errors.New("checkpoint: crash injected")
 
 // Journal is one stage's write-ahead log of completed work units.
 type Journal struct {
-	f        *os.File
-	path     string
-	payloads [][]byte // frames recovered at open, unit 0..len-1
-	next     uint32   // index the next Append must carry
-	unsynced int
-	logf     func(format string, args ...any)
+	f           *os.File
+	path        string
+	payloads    [][]byte // frames recovered at open, unit 0..len-1
+	next        uint32   // index the next Append must carry
+	unsynced    int
+	truncations int64 // corruption-recovery truncations during open
+	appends     *obs.Counter
+	logf        func(format string, args ...any)
+}
+
+// SetObserver attaches o to the journal: appends count live under
+// journal_appends{stage=...}, and the frames replayed (and truncations
+// taken) during recovery are folded in retroactively. A nil o is a no-op.
+func (j *Journal) SetObserver(o *obs.Observer, stage string) {
+	if o == nil {
+		return
+	}
+	j.appends = o.Counter("journal_appends", obs.L("stage", stage))
+	o.Counter("journal_replayed", obs.L("stage", stage)).Add(int64(len(j.payloads)))
+	o.Counter("journal_truncations", obs.L("stage", stage)).Add(j.truncations)
 }
 
 // OpenJournal opens (or creates) a journal, scanning any existing frames.
@@ -136,6 +152,7 @@ func (j *Journal) recover() error {
 // truncate cuts the journal at off (re-writing the file header when the
 // existing one was bad) and positions the write cursor at the new end.
 func (j *Journal) truncate(off int64, rewriteHeader bool) error {
+	j.truncations++
 	if rewriteHeader {
 		off = int64(len(fileHeader))
 		if _, err := j.f.WriteAt([]byte(fileHeader), 0); err != nil {
@@ -195,6 +212,7 @@ func (j *Journal) Append(index int, payload []byte) error {
 	if _, err := j.f.Write(frame); err != nil {
 		return fmt.Errorf("checkpoint: appending to %s: %w", j.path, err)
 	}
+	j.appends.Inc()
 	j.next++
 	j.unsynced++
 	if j.unsynced >= syncEvery {

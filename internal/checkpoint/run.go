@@ -11,6 +11,8 @@ import (
 	"regexp"
 	"runtime/debug"
 	"sync"
+
+	"dynamips/internal/obs"
 )
 
 // FormatVersion names the journal/manifest format. It participates in the
@@ -74,7 +76,21 @@ type Run struct {
 	logf     func(format string, args ...any)
 
 	mu       sync.Mutex
+	obs      *obs.Observer
 	journals map[string]*Journal
+}
+
+// SetObserver routes journal accounting (appends, replayed frames,
+// recovery truncations) for every stage journal opened afterwards into
+// o's counters. Call it right after Open/Resume, before the pipeline
+// touches any stage.
+func (r *Run) SetObserver(o *obs.Observer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.obs = o
+	r.mu.Unlock()
 }
 
 // Open opens dir as a checkpoint for the run identified by key, creating
@@ -163,6 +179,7 @@ func (r *Run) Journal(stage string) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
+	j.SetObserver(r.obs, stage)
 	r.journals[stage] = j
 	return j, nil
 }

@@ -47,12 +47,31 @@ type Lease struct {
 	Expiry int64
 }
 
+// ServerStats are a server's lifetime totals. Plain sums, so they
+// aggregate commutatively into the observability layer's counters.
+type ServerStats struct {
+	// Discovers/Requests count handled messages by type; NAKs counts
+	// Request replies refused (unknown binding or conflicting address).
+	Discovers, Requests, NAKs int64
+	// LoseStates counts whole-server state losses.
+	LoseStates int64
+}
+
+// Add accumulates o into s.
+func (s *ServerStats) Add(o ServerStats) {
+	s.Discovers += o.Discovers
+	s.Requests += o.Requests
+	s.NAKs += o.NAKs
+	s.LoseStates += o.LoseStates
+}
+
 // Server implements the DHCP state machine over a set of address pools.
 // It is not safe for concurrent use; callers serialize access (the
 // simulator is single-threaded per ISP, and the UDP front end in
 // conn.go serializes on its receive loop).
 type Server struct {
 	cfg   ServerConfig
+	stats ServerStats
 	clock Clock
 
 	byHW    map[HWAddr]*Lease
@@ -98,6 +117,9 @@ func NewServer(cfg ServerConfig, clock Clock) *Server {
 // Capacity returns the total number of addresses across pools.
 func (s *Server) Capacity() uint64 { return s.total }
 
+// Stats returns the server's accumulated totals.
+func (s *Server) Stats() ServerStats { return s.stats }
+
 // ActiveLeases returns the number of unexpired bindings.
 func (s *Server) ActiveLeases() int {
 	now := s.clock.Now()
@@ -115,6 +137,7 @@ func (s *Server) ActiveLeases() int {
 // clients renewing afterwards are NAKed and must re-discover, typically
 // receiving different addresses.
 func (s *Server) LoseState() {
+	s.stats.LoseStates++
 	s.byHW = make(map[HWAddr]*Lease)
 	s.byAddr = make(map[netip.Addr]*Lease)
 	s.offers = make(map[HWAddr]netip.Addr)
@@ -200,6 +223,7 @@ func (s *Server) Handle(req *Message) (*Message, error) {
 	s.reclaim(now)
 	switch req.Type() {
 	case Discover:
+		s.stats.Discovers++
 		a, err := s.candidate(req.CHAddr, now)
 		if err != nil {
 			return nil, err
@@ -212,6 +236,7 @@ func (s *Server) Handle(req *Message) (*Message, error) {
 		return rep, nil
 
 	case Request:
+		s.stats.Requests++
 		want, ok := req.AddrOption(OptRequestedIP)
 		if !ok {
 			want = req.CIAddr // renewal: client puts its address in ciaddr
@@ -268,6 +293,7 @@ func (s *Server) setTimes(rep *Message) {
 }
 
 func (s *Server) nak(req *Message) *Message {
+	s.stats.NAKs++
 	rep := NewMessage(NAK, req.XID, req.CHAddr)
 	rep.SetAddrOption(OptServerID, s.cfg.ServerID)
 	return rep

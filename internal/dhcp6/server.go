@@ -55,11 +55,38 @@ type Binding struct {
 	Expiry int64
 }
 
+// ServerStats are a server's lifetime totals. Plain sums: they
+// aggregate commutatively across delegation servers into the per-AS
+// counters the observability layer reports.
+type ServerStats struct {
+	// Solicits/Requests/Renews count handled messages by type (Rebind
+	// counts as Renew); Reassigns counts programmatic forced
+	// renumberings of one subscriber.
+	Solicits, Requests, Renews, Reassigns int64
+	// NoBindings counts Renew/Rebind/Request replies with
+	// StatusNoBinding — the CPE must re-solicit, drawing a fresh prefix.
+	NoBindings int64
+	// LoseStates and Renumbers count whole-server state losses.
+	LoseStates, Renumbers int64
+}
+
+// Add accumulates o into s.
+func (s *ServerStats) Add(o ServerStats) {
+	s.Solicits += o.Solicits
+	s.Requests += o.Requests
+	s.Renews += o.Renews
+	s.Reassigns += o.Reassigns
+	s.NoBindings += o.NoBindings
+	s.LoseStates += o.LoseStates
+	s.Renumbers += o.Renumbers
+}
+
 // Server delegates prefixes from its pools, implementing the
 // Solicit/Advertise/Request/Reply and Renew/Reply flows over IA_PD.
 // It is not safe for concurrent use.
 type Server struct {
 	cfg      ServerConfig
+	stats    ServerStats
 	clock    Clock
 	byClient map[string]*Binding
 	byPrefix map[netip.Prefix]*Binding
@@ -112,6 +139,9 @@ func NewServer(cfg ServerConfig, clock Clock) *Server {
 // Capacity returns the number of delegations the pools can hold.
 func (s *Server) Capacity() uint64 { return s.total }
 
+// Stats returns the server's accumulated totals.
+func (s *Server) Stats() ServerStats { return s.stats }
+
 // ActiveBindings returns the number of unexpired delegations.
 func (s *Server) ActiveBindings() int {
 	now := s.clock.Now()
@@ -127,6 +157,7 @@ func (s *Server) ActiveBindings() int {
 // LoseState drops all bindings (ISP-side outage, §2.2). Renewing CPEs get
 // NoBinding and must re-solicit, receiving fresh delegations.
 func (s *Server) LoseState() {
+	s.stats.LoseStates++
 	s.byClient = make(map[string]*Binding)
 	s.byPrefix = make(map[netip.Prefix]*Binding)
 	s.offers = make(map[string]netip.Prefix)
@@ -137,6 +168,7 @@ func (s *Server) LoseState() {
 // highest delegation handed out so far, modeling administrative
 // renumbering (§2.2): all subscribers move to new prefixes.
 func (s *Server) Renumber() {
+	s.stats.Renumbers++
 	s.LoseState()
 	s.freed = nil
 }
@@ -244,6 +276,7 @@ func (s *Server) Handle(req *Message) (*Message, error) {
 	}
 	switch req.Type {
 	case Solicit:
+		s.stats.Solicits++
 		p, err := s.candidate(client, now)
 		if err != nil {
 			return s.reply(req, Advertise, s.iaStatus(iaid, StatusNoPrefixAvail)), nil
@@ -271,6 +304,7 @@ func (s *Server) Handle(req *Message) (*Message, error) {
 		return s.reply(req, Reply, s.iaStatus(iaid, StatusNotOnLink)), nil
 
 	case Request:
+		s.stats.Requests++
 		var want netip.Prefix
 		if len(req.IAPDs) > 0 && len(req.IAPDs[0].Prefixes) > 0 {
 			want = req.IAPDs[0].Prefixes[0].Prefix
@@ -280,6 +314,7 @@ func (s *Server) Handle(req *Message) (*Message, error) {
 			offered = true
 		}
 		if !offered {
+			s.stats.NoBindings++
 			return s.reply(req, Reply, s.iaStatus(iaid, StatusNoBinding)), nil
 		}
 		if cur, bound := s.byPrefix[want]; bound && cur.Client != client && cur.Expiry > now {
@@ -290,8 +325,10 @@ func (s *Server) Handle(req *Message) (*Message, error) {
 		return s.reply(req, Reply, s.iaSuccess(b.Prefix, iaid)), nil
 
 	case Renew, Rebind:
+		s.stats.Renews++
 		b, ok := s.byClient[client]
 		if !ok || b.Expiry <= now {
+			s.stats.NoBindings++
 			return s.reply(req, Reply, s.iaStatus(iaid, StatusNoBinding)), nil
 		}
 		b.Expiry = now + int64(s.cfg.ValidSeconds)
@@ -345,6 +382,7 @@ func (s *Server) Acquire(client DUID, txn uint32) (Binding, error) {
 // can never be handed its previous prefix straight back; the old prefix is
 // then freed for other subscribers.
 func (s *Server) Reassign(client DUID, txn uint32) (Binding, error) {
+	s.stats.Reassigns++
 	now := s.clock.Now()
 	s.reclaim(now)
 	p, err := s.nextFree()

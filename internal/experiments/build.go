@@ -14,6 +14,7 @@ import (
 	"dynamips/internal/core"
 	"dynamips/internal/faultnet"
 	"dynamips/internal/isp"
+	"dynamips/internal/obs"
 )
 
 // Config sizes the synthetic datasets. The defaults approximate the
@@ -51,6 +52,14 @@ type Config struct {
 	// checkpoint's manifest on this Config (minus Workers and Checkpoint
 	// itself, which never change the output).
 	Checkpoint *checkpoint.Run
+	// Obs, when non-nil, receives the run's counters and virtual-time
+	// span timings. Virtual time advances one tick per completed work
+	// unit (fleet, sanitized series, analyzed probe, CDN operator), and
+	// the per-unit stats fold in deterministic merge order, so the
+	// snapshot is byte-identical for any Workers value. Like Workers and
+	// Checkpoint, Obs never changes the generated datasets and must stay
+	// out of the checkpoint manifest key.
+	Obs *obs.Observer
 }
 
 // Default returns the configuration the benchmarks and the CLI use.
@@ -105,6 +114,7 @@ func BuildAtlas(cfg Config) (*AtlasData, error) {
 	// announcements — the parts the merge below consumes) in profile
 	// order.
 	profiles := isp.Profiles()
+	fleetSpan := cfg.Obs.StartSpan("atlas/fleets")
 	fleets, err := checkpoint.Stage(cfg.Checkpoint, "atlas", len(profiles), cfg.Workers,
 		func(i int) (fleetUnit, error) {
 			prof := profiles[i]
@@ -131,12 +141,22 @@ func BuildAtlas(cfg Config) (*AtlasData, error) {
 			if err != nil {
 				return fleetUnit{}, fmt.Errorf("experiments: fleet for %s: %w", prof.Name, err)
 			}
-			return fleetUnit{Series: fleet.Series, Routes: fleet.BGP.Entries()}, nil
+			return fleetUnit{
+				Series:        fleet.Series,
+				Routes:        fleet.BGP.Entries(),
+				Net:           res.Net,
+				EchoesDropped: fleet.EchoesDropped,
+			}, nil
 		},
 		checkpoint.GobEncode[fleetUnit], checkpoint.GobDecode[fleetUnit])
 	if err != nil {
 		return nil, err
 	}
+	// Virtual time advances only here, after the parallel stage completes,
+	// by the number of units it processed — one tick per fleet — so the
+	// span reads the same under any worker count.
+	cfg.Obs.Advance(int64(len(profiles)))
+	fleetSpan.End()
 	var all []atlas.Series
 	for i, fleet := range fleets {
 		prof := profiles[i]
@@ -147,14 +167,24 @@ func BuildAtlas(cfg Config) (*AtlasData, error) {
 		a.Names[prof.ASN] = prof.Name
 		a.BGP.SetName(prof.ASN, prof.Name)
 		a.ASNs = append(a.ASNs, prof.ASN)
+		recordFleetMetrics(cfg.Obs, prof.Name, fleet.Net, fleet.EchoesDropped)
 	}
-	a.Sanitize = atlas.Sanitize(all, a.BGP, atlas.DefaultSanitizeConfig())
+	sanSpan := cfg.Obs.StartSpan("atlas/sanitize")
+	sc := atlas.DefaultSanitizeConfig()
+	sc.Obs = cfg.Obs
+	a.Sanitize = atlas.Sanitize(all, a.BGP, sc)
+	cfg.Obs.Advance(int64(len(all)))
+	sanSpan.End()
+	anaSpan := cfg.Obs.StartSpan("atlas/analyze")
 	ec := core.DefaultExtractConfig()
 	ec.Workers = cfg.Workers
 	ec.Checkpoint = cfg.Checkpoint
 	if a.PAS, err = core.AnalyzeErr(a.Sanitize.Clean, ec); err != nil {
 		return nil, err
 	}
+	cfg.Obs.Advance(int64(len(a.Sanitize.Clean)))
+	anaSpan.End()
+	cfg.Obs.Counter("atlas_probes_analyzed").Add(int64(len(a.PAS)))
 	a.Durations = core.CollectDurations(a.PAS)
 	return a, nil
 }
@@ -165,6 +195,12 @@ func BuildAtlas(cfg Config) (*AtlasData, error) {
 type fleetUnit struct {
 	Series []atlas.Series
 	Routes []bgp.Entry
+	// Net and EchoesDropped carry the simulation's protocol/fault
+	// accounting so resumed runs replay the same metrics the original
+	// build would have recorded. (Adding fields is journal-safe: the
+	// checkpoint key includes CodeVersion, which retires old journals.)
+	Net           isp.NetStats
+	EchoesDropped int64
 }
 
 // CDNData is the shared product of the CDN pipeline.
@@ -187,6 +223,7 @@ func BuildCDN(cfg Config) (*CDNData, error) {
 	gc := cdn.DefaultGenConfig(cfg.Seed)
 	gc.Workers = cfg.Workers
 	gc.Checkpoint = cfg.Checkpoint
+	gc.Obs = cfg.Obs
 	if cfg.CDNDays > 0 {
 		gc.Days = cfg.CDNDays
 	}
@@ -198,8 +235,12 @@ func BuildCDN(cfg Config) (*CDNData, error) {
 		return nil, fmt.Errorf("experiments: generating CDN dataset: %w", err)
 	}
 	c := &CDNData{Dataset: ds}
+	anaSpan := cfg.Obs.StartSpan("cdn/analyze")
 	c.Mobile = cdn.MobileLabel(ds.Assocs, MobileDegreeThreshold)
 	c.Episodes = cdn.Episodes(ds.Assocs, cdn.DefaultEpisodeConfig())
 	c.Groups = cdn.GroupDurations(ds, c.Episodes, c.Mobile)
+	cfg.Obs.Advance(int64(len(ds.Operators)))
+	anaSpan.End()
+	cfg.Obs.Counter("cdn_episodes").Add(int64(len(c.Episodes)))
 	return c, nil
 }

@@ -215,12 +215,39 @@ type Retransmitter interface {
 	Next() (waitMS int64, ok bool)
 }
 
+// LinkStats are a link's lifetime fault-event totals, the raw material
+// for the pipeline's fault counters. All fields are plain sums, so
+// per-link stats aggregate commutatively into per-AS and per-run totals
+// that are invariant under worker count.
+type LinkStats struct {
+	// Exchanges counts Exchange calls; Failed counts those where the
+	// client gave up without a reply.
+	Exchanges, Failed int64
+	// Sends counts client transmissions; Retransmits is Sends minus
+	// first transmissions.
+	Sends, Retransmits int64
+	// Delivered counts request copies that reached the server;
+	// Duplicates counts the dup-injected extras among them.
+	Delivered, Duplicates int64
+}
+
+// Add accumulates o into s.
+func (s *LinkStats) Add(o LinkStats) {
+	s.Exchanges += o.Exchanges
+	s.Failed += o.Failed
+	s.Sends += o.Sends
+	s.Retransmits += o.Retransmits
+	s.Delivered += o.Delivered
+	s.Duplicates += o.Duplicates
+}
+
 // Link is one client↔server path with independent per-direction fault
 // streams plus a client-side stream for retransmission jitter and
 // transaction identifiers.
 type Link struct {
 	prof             Profile
 	up, down, client *Stream
+	stats            LinkStats
 }
 
 // NewLink builds the link for (seed, id). Distinct ids yield uncorrelated
@@ -237,6 +264,9 @@ func NewLink(prof Profile, seed, id uint64) *Link {
 // Client returns the link's client-side stream, the deterministic source
 // for retransmission jitter and message identifiers.
 func (l *Link) Client() *Stream { return l.client }
+
+// Stats returns the link's accumulated fault-event totals.
+func (l *Link) Stats() LinkStats { return l.stats }
 
 // Verdict summarizes one simulated request/reply exchange.
 type Verdict struct {
@@ -266,12 +296,22 @@ func (l *Link) Exchange(nowMS int64, rt Retransmitter, deliver func(copy int)) V
 	v := Verdict{DoneMS: nowMS}
 	t := nowMS
 	best := never
+	defer func() {
+		l.stats.Exchanges++
+		l.stats.Sends += int64(v.Sends)
+		l.stats.Retransmits += int64(v.Sends - 1)
+		l.stats.Delivered += int64(v.Delivered)
+		if !v.OK {
+			l.stats.Failed++
+		}
+	}()
 	for {
 		v.Sends++
 		if !l.up.bernoulli(l.prof.Drop) {
 			copies := 1
 			if l.up.bernoulli(l.prof.Dup) {
 				copies = 2
+				l.stats.Duplicates++
 			}
 			for c := 0; c < copies; c++ {
 				upDelay := l.up.delayMS(l.prof)

@@ -73,6 +73,22 @@ type Subscriber struct {
 	v6SrvID int
 }
 
+// NetStats aggregates one AS simulation's assignment-plane totals:
+// per-family link fault events and per-protocol server counters. Every
+// field is a plain sum over per-subscriber links and per-region servers,
+// so the totals are invariant under the pipeline's worker count and
+// merge deterministically across ASes.
+type NetStats struct {
+	// Link4/Link6 sum the per-subscriber lossy-link verdicts (zero
+	// without Config.Faults, which keeps the in-process call path).
+	Link4, Link6 faultnet.LinkStats
+	// Radius sums the v4 session servers; DHCP6 sums the delegation
+	// servers.
+	Radius radius.ServerStats
+	// DHCP6 sums the delegation servers' totals.
+	DHCP6 dhcp6.ServerStats
+}
+
 // Result is a finished simulation: the ground truth the synthetic Atlas and
 // CDN datasets are derived from.
 type Result struct {
@@ -80,6 +96,8 @@ type Result struct {
 	Hours       int64
 	Subscribers []*Subscriber
 	BGP         *bgp.Table
+	// Net carries the simulation's protocol/fault accounting.
+	Net NetStats
 }
 
 type simClock struct{ sec int64 }
@@ -169,8 +187,30 @@ func Run(cfg Config) (*Result, error) {
 		Hours:       cfg.Hours,
 		Subscribers: s.subs,
 		BGP:         s.buildBGP(),
+		Net:         s.collectNetStats(),
 	}
 	return res, nil
+}
+
+// collectNetStats sums the simulation's link and server totals in their
+// construction order, so the aggregate is reproducible by definition.
+func (s *sim) collectNetStats() NetStats {
+	var n NetStats
+	for _, l := range s.links4 {
+		n.Link4.Add(l.Stats())
+	}
+	for _, l := range s.links6 {
+		n.Link6.Add(l.Stats())
+	}
+	for _, region := range s.v4Srvs {
+		for _, srv := range region {
+			n.Radius.Add(srv.Stats())
+		}
+	}
+	for _, srv := range s.v6Srvs {
+		n.DHCP6.Add(srv.Stats())
+	}
+	return n
 }
 
 func (s *sim) buildServers() error {

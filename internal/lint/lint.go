@@ -39,6 +39,7 @@ func DefaultConfig() Config {
 			"internal/cgnat",
 			"internal/checkpoint",
 			"internal/experiments",
+			"internal/obs",
 			"internal/parallel",
 		},
 	}

@@ -1,0 +1,253 @@
+// Package obs is the pipeline's stdlib-only observability layer:
+// deterministic counters, gauges, and histograms in a name+label-keyed
+// Registry, virtual-time span tracing over the same injected-Clock
+// discipline the simulators use, and runtime profiling hooks (a pprof
+// HTTP endpoint for long-running commands).
+//
+// Determinism is the design constraint everything else bends around: a
+// metrics snapshot must be byte-identical across worker counts and across
+// runs of the same seed. Three rules deliver that:
+//
+//   - Metric values are integers updated by commutative operations
+//     (atomic adds), so concurrent pipeline stages produce the same
+//     totals regardless of interleaving; no float accumulation order can
+//     leak in.
+//   - Time never comes from the wall clock. Span durations are measured
+//     on a VirtualClock that the pipeline advances by one tick per
+//     completed work unit (a simulated profile, a sanitized series, a
+//     generated operator), so a span's duration reads as "work units
+//     processed", identical for any -workers value.
+//   - Snapshots are canonically ordered: metric keys sort
+//     lexicographically, spans sort by (start, name), and the JSON
+//     encoding has one stable formatting.
+//
+// A nil *Observer (and nil *Counter/*Gauge/*Histogram/*Span) is a valid
+// no-op sink, so instrumented code never branches on "is observability
+// on".
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value metric dimension.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKey renders the canonical registry key: name{k1="v1",k2="v2"}
+// with labels sorted by key. A label-free metric's key is just its name.
+func metricKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n; a nil receiver is a no-op.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-latest integer metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set records the gauge's current value; a nil receiver is a no-op.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Value returns the last value set (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts integer observations into fixed cumulative-bound
+// buckets. Values and the running sum are integers, so concurrent
+// observation order cannot change the final state.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []int64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []int64 // len(bounds)+1
+	sum    int64
+	n      int64
+}
+
+// Observe records one value; a nil receiver is a no-op.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// HistogramSnapshot is a histogram's frozen state. Counts has one entry
+// per bound plus a final overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// PowersOfTwoBounds returns 1, 2, 4, ... 2^(n-1), the default histogram
+// bucket layout.
+func PowersOfTwoBounds(n int) []int64 {
+	bounds := make([]int64, n)
+	for i := range bounds {
+		bounds[i] = 1 << uint(i)
+	}
+	return bounds
+}
+
+// Registry holds a process's metrics, keyed by name+labels. The zero
+// value is not usable; use NewRegistry. A nil *Registry hands out nil
+// (no-op) instruments.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram. The
+// bounds argument is honored on first creation only; passing nil uses
+// PowersOfTwoBounds(20).
+func (r *Registry) Histogram(name string, bounds []int64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[key]
+	if !ok {
+		if bounds == nil {
+			bounds = PowersOfTwoBounds(20)
+		}
+		h = &Histogram{bounds: append([]int64(nil), bounds...), counts: make([]int64, len(bounds)+1)}
+		r.hists[key] = h
+	}
+	return h
+}
+
+// snapshotInto freezes the registry's state into s, omitting zero-valued
+// counters and histograms so a snapshot reflects what the pipeline did,
+// not which instruments it touched.
+func (r *Registry) snapshotInto(s *Snapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, c := range r.counters {
+		if v := c.Value(); v != 0 {
+			s.Counters[k] = v
+		}
+	}
+	for k, g := range r.gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range r.hists {
+		h.mu.Lock()
+		if h.n != 0 {
+			s.Histograms[k] = HistogramSnapshot{
+				Bounds: append([]int64(nil), h.bounds...),
+				Counts: append([]int64(nil), h.counts...),
+				Sum:    h.sum,
+				Count:  h.n,
+			}
+		}
+		h.mu.Unlock()
+	}
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMetricKeyCanonical(t *testing.T) {
+	cases := []struct {
+		name   string
+		labels []Label
+		want   string
+	}{
+		{"plain", nil, "plain"},
+		{"one", []Label{L("as", "DTAG")}, `one{as="DTAG"}`},
+		{"sorted", []Label{L("z", "1"), L("a", "2")}, `sorted{a="2",z="1"}`},
+		{"quoted", []Label{L("r", `ba"d`)}, `quoted{r="ba\"d"}`},
+	}
+	for _, c := range cases {
+		if got := metricKey(c.name, c.labels); got != c.want {
+			t.Errorf("metricKey(%q, %v) = %q, want %q", c.name, c.labels, got, c.want)
+		}
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("drops", L("reason", "short"))
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Errorf("counter = %d, want 3", c.Value())
+	}
+	if r.Counter("drops", L("reason", "short")) != c {
+		t.Error("same name+labels returned a different counter")
+	}
+	if r.Counter("drops", L("reason", "tag")) == c {
+		t.Error("different labels returned the same counter")
+	}
+
+	g := r.Gauge("series")
+	g.Set(41)
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Errorf("gauge = %d, want 42", g.Value())
+	}
+
+	h := r.Histogram("sends", []int64{1, 2, 4})
+	for _, v := range []int64{1, 1, 3, 9} {
+		h.Observe(v)
+	}
+	s := NewSnapshot()
+	r.snapshotInto(&s)
+	hs := s.Histograms["sends"]
+	wantCounts := []int64{2, 0, 1, 1}
+	if fmt.Sprint(hs.Counts) != fmt.Sprint(wantCounts) {
+		t.Errorf("histogram counts = %v, want %v", hs.Counts, wantCounts)
+	}
+	if hs.Sum != 14 || hs.Count != 4 {
+		t.Errorf("histogram sum/count = %d/%d, want 14/4", hs.Sum, hs.Count)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var o *Observer
+	o.Counter("x").Inc()
+	o.Gauge("y").Set(1)
+	o.Histogram("z", nil).Observe(1)
+	o.Advance(5)
+	sp := o.StartSpan("stage")
+	sp.End()
+	if s := o.Snapshot(); len(s.Counters) != 0 || len(s.Spans) != 0 {
+		t.Errorf("nil observer snapshot not empty: %+v", s)
+	}
+	var r *Registry
+	r.Counter("x").Add(1)
+	var c *VirtualClock
+	if c.Now() != 0 {
+		t.Error("nil clock Now != 0")
+	}
+	c.Advance(1)
+	var tr *Tracer
+	tr.Start("x").End()
+	if err := (*PprofServer)(nil).Close(); err != nil {
+		t.Errorf("nil pprof Close: %v", err)
+	}
+}
+
+// TestConcurrentDeterminism is the core contract: any interleaving of
+// commutative updates yields the same snapshot bytes.
+func TestConcurrentDeterminism(t *testing.T) {
+	run := func(workers int) []byte {
+		o := NewObserver()
+		sp := o.StartSpan("stage")
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 1000; i++ {
+					o.Counter("events", L("kind", fmt.Sprint(i%3))).Inc()
+					o.Histogram("values", nil).Observe(int64(i % 17))
+				}
+			}(w)
+		}
+		wg.Wait()
+		o.Advance(int64(workers * 1000))
+		sp.End()
+		o.Gauge("total").Set(int64(workers * 1000))
+		var buf bytes.Buffer
+		if err := o.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	// Same total work split across different worker counts must be
+	// byte-identical.
+	a, b := run(8), run(8)
+	if !bytes.Equal(a, b) {
+		t.Error("identical runs produced different snapshots")
+	}
+}
+
+func TestSnapshotRoundTripAndEqual(t *testing.T) {
+	o := NewObserver()
+	o.Counter("c", L("a", "b")).Add(7)
+	o.Gauge("g").Set(-3)
+	o.Histogram("h", []int64{10}).Observe(4)
+	sp := o.StartSpan("s1")
+	o.Advance(11)
+	sp.End()
+	s := o.Snapshot()
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(back) {
+		t.Errorf("round trip changed snapshot:\n%+v\n%+v", s, back)
+	}
+	if len(back.Spans) != 1 || back.Spans[0].Units() != 11 {
+		t.Errorf("spans = %+v, want one 11-unit span", back.Spans)
+	}
+	back.Counters[`c{a="b"}`] = 8
+	if s.Equal(back) {
+		t.Error("Equal ignored a counter difference")
+	}
+	if _, err := ReadSnapshot(strings.NewReader("{broken")); err == nil {
+		t.Error("ReadSnapshot accepted malformed JSON")
+	}
+}
+
+func TestSpansSortedCanonically(t *testing.T) {
+	o := NewObserver()
+	s1 := o.StartSpan("later")
+	o.Advance(2)
+	s2 := o.StartSpan("inner")
+	o.Advance(1)
+	s2.End()
+	s1.End()
+	snap := o.Snapshot()
+	if len(snap.Spans) != 2 || snap.Spans[0].Name != "later" || snap.Spans[1].Name != "inner" {
+		t.Errorf("spans not in (start, end, name) order: %+v", snap.Spans)
+	}
+}
+
+func TestRender(t *testing.T) {
+	o := NewObserver()
+	o.Counter("sanitize_drops", L("reason", "short-duration")).Add(3)
+	o.Counter("sanitize_drops", L("reason", "bad-tag")).Add(1)
+	o.Counter("plain").Add(5)
+	o.Gauge("pipeline_series_in").Set(100)
+	o.Histogram("sends", []int64{1, 2}).Observe(2)
+	sp := o.StartSpan("atlas/fleets")
+	o.Advance(11)
+	sp.End()
+	var buf bytes.Buffer
+	if err := o.Snapshot().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"atlas/fleets", "11 units", "sanitize_drops",
+		`reason="short-duration"`, "pipeline_series_in", "sends", "le 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStartPprof(t *testing.T) {
+	if srv, err := StartPprof(""); srv != nil || err != nil {
+		t.Fatalf("empty addr: got %v, %v", srv, err)
+	}
+	srv, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index: status %d, body %q", resp.StatusCode, body)
+	}
+	if _, err := StartPprof("256.0.0.1:bad"); err == nil {
+		t.Error("bad address accepted")
+	}
+}

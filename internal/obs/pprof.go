@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// PprofServer is a running profiling endpoint.
+type PprofServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the endpoint's bound address (useful with ":0").
+func (p *PprofServer) Addr() string { return p.ln.Addr().String() }
+
+// Close shuts the endpoint down immediately; a nil receiver is a no-op,
+// so callers can unconditionally defer Close on the "-pprof not set"
+// path.
+func (p *PprofServer) Close() error {
+	if p == nil {
+		return nil
+	}
+	return p.srv.Close()
+}
+
+// StartPprof serves the runtime profiling endpoints (/debug/pprof/...)
+// on addr in a background goroutine. It exists for the CLI's -pprof
+// flag on long-running commands: profiles observe the hot paths of a
+// real build without any code in the pipeline itself. An empty addr
+// returns (nil, nil) — profiling off.
+//
+// The handler set is registered on a private mux, not
+// http.DefaultServeMux, so importing this package never widens another
+// server's surface.
+func StartPprof(addr string) (*PprofServer, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: pprof listener on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Close surfaces as ErrServerClosed here
+	return &PprofServer{srv: srv, ln: ln}, nil
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a frozen, canonically ordered view of one run's metrics:
+// the payload of the CLI's -metrics FILE dump. Map keys marshal sorted
+// (encoding/json's map ordering), spans are pre-sorted, and values are
+// integers, so the encoding is byte-stable for a given pipeline outcome.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      []SpanSnapshot               `json:"spans,omitempty"`
+}
+
+// NewSnapshot returns an empty snapshot with allocated maps.
+func NewSnapshot() Snapshot {
+	return Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+}
+
+// WriteJSON writes the snapshot's canonical JSON encoding.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding snapshot: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("obs: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot parses a snapshot produced by WriteJSON.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	s := NewSnapshot()
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: decoding snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// splitKey undoes metricKey: name plus the rendered label list (possibly
+// empty).
+func splitKey(key string) (name, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], strings.TrimSuffix(key[i+1:], "}")
+	}
+	return key, ""
+}
+
+// Render writes the snapshot as the human-readable per-stage report
+// `dynamips stats` prints: the span timeline first (virtual-time stage
+// durations), then counters and gauges grouped by metric name, then
+// histogram summaries.
+func (s Snapshot) Render(w io.Writer) error {
+	if len(s.Spans) > 0 {
+		fmt.Fprintln(w, "stages (virtual time; 1 tick = 1 work unit):")
+		nameW := 0
+		for _, sp := range s.Spans {
+			if len(sp.Name) > nameW {
+				nameW = len(sp.Name)
+			}
+		}
+		for _, sp := range s.Spans {
+			fmt.Fprintf(w, "  %-*s  [%6d, %6d]  %6d units\n", nameW, sp.Name, sp.Start, sp.End, sp.Units())
+		}
+		fmt.Fprintln(w)
+	}
+	renderGroup := func(title string, m map[string]int64) {
+		if len(m) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "%s:\n", title)
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		lastName := ""
+		for _, k := range keys {
+			name, labels := splitKey(k)
+			if name != lastName {
+				if labels == "" {
+					fmt.Fprintf(w, "  %-40s %12d\n", name, m[k])
+				} else {
+					fmt.Fprintf(w, "  %s\n", name)
+				}
+				lastName = name
+			}
+			if labels != "" {
+				fmt.Fprintf(w, "    %-38s %12d\n", labels, m[k])
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	renderGroup("counters", s.Counters)
+	renderGroup("gauges", s.Gauges)
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(w, "histograms:")
+		keys := make([]string, 0, len(s.Histograms))
+		for k := range s.Histograms {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h := s.Histograms[k]
+			mean := int64(0)
+			if h.Count > 0 {
+				mean = h.Sum / h.Count
+			}
+			fmt.Fprintf(w, "  %-40s n=%d sum=%d mean=%d\n", k, h.Count, h.Sum, mean)
+			for i, c := range h.Counts {
+				if c == 0 {
+					continue
+				}
+				if i < len(h.Bounds) {
+					fmt.Fprintf(w, "    le %-12d %12d\n", h.Bounds[i], c)
+				} else {
+					fmt.Fprintf(w, "    le %-12s %12d\n", "+inf", c)
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Equal reports whether two snapshots are identical — the check the
+// worker-count-invariance tests make, comparing a -workers 1 run's
+// snapshot against a -workers N run's.
+func (s Snapshot) Equal(t Snapshot) bool {
+	a, err1 := json.Marshal(s)
+	b, err2 := json.Marshal(t)
+	return err1 == nil && err2 == nil && string(a) == string(b)
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Clock is the virtual time source spans are measured on — the same
+// injected-clock shape the simulators use (dhcp4.Clock, dhcp6.Clock):
+// Now returns the current virtual time, whose unit the owner defines.
+// The pipeline's convention is one tick per completed work unit.
+type Clock interface {
+	Now() int64
+}
+
+// VirtualClock is a manually advanced Clock. The pipeline owns one per
+// run and advances it deterministically (never from the wall clock), so
+// everything derived from it is byte-identical across worker counts.
+type VirtualClock struct {
+	mu sync.Mutex
+	t  int64
+}
+
+// Now returns the current virtual time; a nil clock reads as 0.
+func (c *VirtualClock) Now() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves virtual time forward by n ticks; a nil clock is a no-op.
+func (c *VirtualClock) Advance(n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.t += n
+	c.mu.Unlock()
+}
+
+// SpanSnapshot is one finished span: a named interval in virtual time.
+type SpanSnapshot struct {
+	Name  string `json:"name"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+}
+
+// Units returns the span's duration in virtual ticks (work units).
+func (s SpanSnapshot) Units() int64 { return s.End - s.Start }
+
+// Tracer records spans against a Clock. A nil *Tracer hands out nil
+// (no-op) spans.
+type Tracer struct {
+	mu    sync.Mutex
+	clock Clock
+	spans []SpanSnapshot
+}
+
+// NewTracer builds a tracer over the given clock.
+func NewTracer(clock Clock) *Tracer {
+	return &Tracer{clock: clock}
+}
+
+// Span is an open span; End closes it.
+type Span struct {
+	t     *Tracer
+	name  string
+	start int64
+}
+
+// Start opens a span at the clock's current virtual time.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: t.clock.Now()}
+}
+
+// End closes the span at the clock's current virtual time and records
+// it; a nil receiver is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := s.t.clock.Now()
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, SpanSnapshot{Name: s.name, Start: s.start, End: end})
+	s.t.mu.Unlock()
+}
+
+// snapshotInto appends the tracer's finished spans to s in canonical
+// (start, end, name) order.
+func (t *Tracer) snapshotInto(s *Snapshot) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	spans := append([]SpanSnapshot(nil), t.spans...)
+	t.mu.Unlock()
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		if spans[i].End != spans[j].End {
+			return spans[i].End < spans[j].End
+		}
+		return spans[i].Name < spans[j].Name
+	})
+	s.Spans = append(s.Spans, spans...)
+}
+
+// Observer bundles one run's metrics registry, virtual clock, and
+// tracer — the single handle threaded through the pipeline's Config
+// structs. A nil *Observer is a valid no-op sink everywhere.
+type Observer struct {
+	Metrics *Registry
+	Clock   *VirtualClock
+	Trace   *Tracer
+}
+
+// NewObserver wires a fresh registry, clock, and tracer.
+func NewObserver() *Observer {
+	clock := &VirtualClock{}
+	return &Observer{Metrics: NewRegistry(), Clock: clock, Trace: NewTracer(clock)}
+}
+
+// Counter returns the named counter (nil-safe).
+func (o *Observer) Counter(name string, labels ...Label) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name, labels...)
+}
+
+// Gauge returns the named gauge (nil-safe).
+func (o *Observer) Gauge(name string, labels ...Label) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name, labels...)
+}
+
+// Histogram returns the named histogram (nil-safe).
+func (o *Observer) Histogram(name string, bounds []int64, labels ...Label) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name, bounds, labels...)
+}
+
+// StartSpan opens a span on the observer's tracer (nil-safe).
+func (o *Observer) StartSpan(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Trace.Start(name)
+}
+
+// Advance moves the observer's virtual clock forward by n work units
+// (nil-safe).
+func (o *Observer) Advance(n int64) {
+	if o == nil {
+		return
+	}
+	o.Clock.Advance(n)
+}
+
+// Snapshot freezes the observer's full state. A nil observer yields the
+// empty snapshot.
+func (o *Observer) Snapshot() Snapshot {
+	s := NewSnapshot()
+	if o == nil {
+		return s
+	}
+	o.Metrics.snapshotInto(&s)
+	o.Trace.snapshotInto(&s)
+	return s
+}

@@ -66,11 +66,31 @@ type replayEntry struct {
 	at    int64
 }
 
+// ServerStats are a server's lifetime request totals. Plain sums: they
+// aggregate commutatively across servers into the per-AS fault counters
+// the observability layer reports.
+type ServerStats struct {
+	// AccessRequests counts first-seen Access-Requests handled;
+	// ReplayHits counts retransmissions answered from the RFC 5080
+	// duplicate cache instead of allocating again.
+	AccessRequests, ReplayHits int64
+	// Rejects counts Access-Reject replies (bad user or exhausted pool).
+	Rejects int64
+}
+
+// Add accumulates o into s.
+func (s *ServerStats) Add(o ServerStats) {
+	s.AccessRequests += o.AccessRequests
+	s.ReplayHits += o.ReplayHits
+	s.Rejects += o.Rejects
+}
+
 // Server allocates per-session addresses RADIUS-style: every new session
 // draws the next free address; nothing is remembered once a session stops.
 // It is not safe for concurrent use.
 type Server struct {
 	cfg      ServerConfig
+	stats    ServerStats
 	sessions map[string]*Session
 
 	replay  map[replayKey]*replayEntry
@@ -128,6 +148,9 @@ func NewServer(cfg ServerConfig) *Server {
 
 // ActiveSessions returns the number of live sessions.
 func (s *Server) ActiveSessions() int { return len(s.sessions) }
+
+// Stats returns the server's accumulated request totals.
+func (s *Server) Stats() ServerStats { return s.stats }
 
 // Secret returns the shared secret replies are authenticated with.
 func (s *Server) Secret() []byte { return s.cfg.Secret }
@@ -304,9 +327,14 @@ func (s *Server) Handle(req *Packet, now int64) (*Packet, error) {
 	case AccessRequest:
 		key := replayKey{id: req.Identifier, auth: req.Authenticator}
 		if e, ok := s.replay[key]; ok && now-e.at < replayWindowSec {
+			s.stats.ReplayHits++
 			return e.reply, nil
 		}
+		s.stats.AccessRequests++
 		rep := s.handleAccess(req, now)
+		if rep.Code == AccessReject {
+			s.stats.Rejects++
+		}
 		e := &replayEntry{key: key, reply: rep, at: now}
 		s.replay[key] = e
 		s.replayQ = append(s.replayQ, e)

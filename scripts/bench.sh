@@ -1,0 +1,25 @@
+#!/bin/sh
+# bench.sh — run the benchmark suite at reduced scale and record ns/op
+# figures to the next free BENCH_<n>.json in the repo root. BENCHTIME
+# picks the go -benchtime value (default 10x: enough iterations to damp
+# scheduler noise while keeping the whole suite under a minute).
+#
+# To refresh the CI regression baseline instead, pass a target path:
+#
+#   scripts/bench.sh testdata/bench_baseline.json
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${BENCHTIME:-10x}"
+
+out="${1:-}"
+if [ -z "$out" ]; then
+	n=1
+	while [ -e "BENCH_${n}.json" ]; do
+		n=$((n + 1))
+	done
+	out="BENCH_${n}.json"
+fi
+
+go test -run '^$' -bench . -benchtime "$BENCHTIME" -json . \
+	| go run ./scripts/benchcheck -write "$out" -note "benchtime=$BENCHTIME"

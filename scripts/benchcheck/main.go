@@ -1,0 +1,213 @@
+// Command benchcheck parses `go test -json -bench` output on stdin and
+// either records the ns/op figures as a JSON baseline (-write) or compares
+// them against a checked-in baseline (-baseline), failing when any
+// benchmark slowed down by more than the threshold factor.
+//
+// Record a baseline (scripts/bench.sh wraps this):
+//
+//	go test -run '^$' -bench . -benchtime 10x -json . \
+//	    | go run ./scripts/benchcheck -write BENCH_1.json
+//
+// Gate against the checked-in baseline (CI wraps this):
+//
+//	go test -run '^$' -bench . -benchtime 10x -json . \
+//	    | go run ./scripts/benchcheck -baseline testdata/bench_baseline.json
+//
+// Only benchmarks present in both the baseline and the run are compared,
+// so a reduced CI smoke (-bench over a subset) gates cleanly against a
+// full baseline. The comparison is absolute ns/op, so thresholds must
+// absorb machine-to-machine variance: the default factor of 2 flags real
+// regressions (accidental rescaling, a quadratic merge) while tolerating
+// scheduler noise at small -benchtime.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the on-disk format: benchmark name (GOMAXPROCS suffix
+// stripped) to nanoseconds per operation.
+type Baseline struct {
+	Note    string             `json:"note,omitempty"`
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// testEvent is the subset of the test2json event stream benchcheck reads.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+// benchLine matches a benchmark result line inside a test2json Output
+// event, e.g. "BenchmarkTable1-8   100   123456 ns/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	write := flag.String("write", "", "write parsed ns/op figures to this JSON file")
+	baseline := flag.String("baseline", "", "compare parsed figures against this JSON baseline")
+	threshold := flag.Float64("threshold", 2.0, "fail when ns/op exceeds baseline by more than this factor")
+	note := flag.String("note", "", "note to embed when writing a baseline")
+	flag.Parse()
+
+	if (*write == "") == (*baseline == "") {
+		fmt.Fprintln(os.Stderr, "benchcheck: exactly one of -write or -baseline is required")
+		os.Exit(2)
+	}
+
+	got, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark results on stdin (did the bench run fail?)")
+		os.Exit(1)
+	}
+
+	if *write != "" {
+		if err := writeBaseline(*write, Baseline{Note: *note, NsPerOp: got}); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchcheck: wrote %d benchmarks to %s\n", len(got), *write)
+		return
+	}
+
+	base, err := readBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+	if compare(os.Stdout, base.NsPerOp, got, *threshold) {
+		os.Exit(1)
+	}
+}
+
+// parseBench reads a test2json stream and returns ns/op by benchmark
+// name. A single result line arrives split across Output events (the
+// testing package flushes the padded name and the timing separately), so
+// fragments are reassembled per test and matched only at line boundaries.
+// Repeated runs of the same benchmark keep the fastest figure — the
+// least noise-inflated observation.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	partial := map[string]string{} // package/test -> unterminated line fragment
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON lines (build noise)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		key := ev.Package + "/" + ev.Test
+		text := partial[key] + ev.Output
+		for {
+			nl := strings.IndexByte(text, '\n')
+			if nl < 0 {
+				break
+			}
+			line, rest := text[:nl], text[nl+1:]
+			text = rest
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing ns/op in %q: %w", line, err)
+			}
+			if prev, ok := out[m[1]]; !ok || ns < prev {
+				out[m[1]] = ns
+			}
+		}
+		partial[key] = text
+	}
+	return out, sc.Err()
+}
+
+func writeBaseline(path string, b Baseline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(b.NsPerOp) == 0 {
+		return b, fmt.Errorf("%s holds no benchmarks", path)
+	}
+	return b, nil
+}
+
+// compare prints a table of ratios and reports whether any compared
+// benchmark regressed past the threshold. Benchmarks present on only one
+// side are reported but never fail the run: a reduced smoke legitimately
+// runs a subset, and new benchmarks have no baseline yet.
+func compare(w io.Writer, base, got map[string]float64, threshold float64) (failed bool) {
+	names := make([]string, 0, len(got))
+	for name := range got {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	compared := 0
+	for _, name := range names {
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(w, "  new      %-32s %12.0f ns/op (no baseline; refresh with scripts/bench.sh)\n", name, got[name])
+			continue
+		}
+		compared++
+		ratio := got[name] / b
+		verdict := "ok"
+		if ratio > threshold {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Fprintf(w, "  %-8s %-32s %12.0f ns/op  baseline %12.0f  ratio %.2fx\n", verdict, name, got[name], b, ratio)
+	}
+	for name := range base {
+		if _, ok := got[name]; !ok {
+			fmt.Fprintf(w, "  skipped  %-32s (in baseline, not in this run)\n", name)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(w, "benchcheck: no benchmark overlaps the baseline")
+		return true
+	}
+	if failed {
+		fmt.Fprintf(w, "benchcheck: FAIL — regression past %.2fx threshold\n", threshold)
+	} else {
+		fmt.Fprintf(w, "benchcheck: OK — %d benchmarks within %.2fx of baseline\n", compared, threshold)
+	}
+	return failed
+}

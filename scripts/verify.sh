@@ -2,16 +2,20 @@
 # verify.sh — the repository's full correctness gate, run locally and in CI:
 #   build, go vet, dynalint (determinism/netip/errwrap/lockcopy), the test
 #   suite under the race detector (which includes the fault-injection soak,
-#   TestPipelineUnderLoss), the crash-injection kill-and-resume smoke, a
-#   coverage floor over the assignment-plane protocol packages and the
-#   checkpoint layer, and a bounded fuzz smoke over every wire-codec,
+#   TestPipelineUnderLoss), the golden regression corpus, the crash-injection
+#   kill-and-resume smoke, a metrics/stats CLI smoke, a coverage floor over
+#   the assignment-plane protocol packages, the checkpoint layer, and the
+#   observability layer, a bench regression smoke against the checked-in
+#   baseline, and a bounded fuzz smoke over every wire-codec,
 #   fault-injection, and journal-decoding Fuzz* target. FUZZTIME bounds
-#   each fuzz run (default 10s).
+#   each fuzz run (default 10s); BENCH_THRESHOLD bounds the allowed ns/op
+#   slowdown factor (default 2.0).
 set -eu
 
 cd "$(dirname "$0")/.."
 FUZZTIME="${FUZZTIME:-10s}"
 COVERAGE_FLOOR="${COVERAGE_FLOOR:-80}"
+BENCH_THRESHOLD="${BENCH_THRESHOLD:-2.0}"
 
 echo "==> go build ./..."
 go build ./...
@@ -25,11 +29,22 @@ go run ./cmd/dynalint ./...
 echo "==> go test -race ./... (includes the loss soak)"
 go test -race ./...
 
+echo "==> golden regression corpus"
+go test . -run '^TestGolden' -count=1
+
 echo "==> crash-injection smoke (kill-and-resume matrix)"
 go test ./cmd/dynamips -run '^(TestKillAndResume|TestResumeAfterTrailingCorruption)$' -count=1
 
+echo "==> metrics/stats CLI smoke"
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+go build -o "$smokedir/dynamips" ./cmd/dynamips
+"$smokedir/dynamips" experiment -hours 8760 -probe-scale 0.1 -workers 4 \
+	-metrics "$smokedir/metrics.json" sanitize >/dev/null
+"$smokedir/dynamips" stats "$smokedir/metrics.json" >/dev/null
+
 echo "==> coverage floor (>=${COVERAGE_FLOOR}% of statements)"
-for pkg in internal/dhcp4 internal/dhcp6 internal/radius internal/faultnet internal/checkpoint; do
+for pkg in internal/dhcp4 internal/dhcp6 internal/radius internal/faultnet internal/checkpoint internal/obs; do
 	line=$(go test -cover "./$pkg" | tail -n 1)
 	echo "$line"
 	pct=$(echo "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
@@ -42,6 +57,11 @@ for pkg in internal/dhcp4 internal/dhcp6 internal/radius internal/faultnet inter
 		exit 1
 	fi
 done
+
+echo "==> bench regression smoke (<=${BENCH_THRESHOLD}x of baseline)"
+go test -run '^$' -bench '^(BenchmarkTable1|BenchmarkFig1|BenchmarkGlobalDurations|BenchmarkBuildAtlasPipeline|BenchmarkBuildCDNPipeline)$' \
+	-benchtime 5x -json . \
+	| go run ./scripts/benchcheck -baseline testdata/bench_baseline.json -threshold "$BENCH_THRESHOLD"
 
 echo "==> fuzz smoke (-fuzztime ${FUZZTIME} each)"
 go test ./internal/dhcp4 -run '^$' -fuzz '^FuzzUnmarshal$' -fuzztime "$FUZZTIME"
