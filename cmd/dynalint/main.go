@@ -1,12 +1,15 @@
 // Command dynalint runs the repository's static-analysis suite: stdlib-only
-// analyzers enforcing determinism (injected clocks, seeded RNGs), netip
-// hygiene, error wrapping, and lock discipline across every package of the
-// module. See README.md "Static analysis & determinism conventions".
+// analyzers enforcing determinism (injected clocks, seeded RNGs, map-order
+// independence), netip hygiene, error wrapping, lock discipline (no copies,
+// correctly scoped acquire/release), goroutine discipline, and zero-alloc
+// hot paths across every package of the module. See README.md "Static
+// analysis & determinism conventions".
 //
 // Usage:
 //
 //	go run ./cmd/dynalint ./...
 //	go run ./cmd/dynalint -rules determinism,netip ./internal/dhcp4
+//	go run ./cmd/dynalint -json -baseline .dynalint-baseline.json ./...
 //
 // Exit codes: 0 clean, 1 findings reported, 2 usage or load error.
 package main
@@ -33,6 +36,8 @@ func run(args []string) int {
 	list := fs.Bool("list", false, "list analyzers and exit")
 	rootFlag := fs.String("root", "", "load this directory as the module root instead of the enclosing go.mod (e.g. a lint fixture tree)")
 	simPkgs := fs.String("simpkgs", "", "comma-separated import-path suffixes to treat as simulation packages (default: the repo's analysis core)")
+	baselinePath := fs.String("baseline", "", "JSON baseline file; findings matching an entry (path+rule+message, line-insensitive) are suppressed")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this file as a baseline and exit clean")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: dynalint [flags] [./... | dirs]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
@@ -90,6 +95,27 @@ func run(args []string) int {
 		return 2
 	}
 
+	if *writeBaseline != "" {
+		if err := writeBaselineFile(*writeBaseline, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "dynalint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "dynalint: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+	if *baselinePath != "" {
+		base, err := lint.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynalint:", err)
+			return 2
+		}
+		var stale []lint.Diagnostic
+		diags, stale = lint.ApplyBaseline(diags, base)
+		for _, s := range stale {
+			fmt.Fprintf(os.Stderr, "dynalint: stale baseline entry (debt paid — remove it): %s\n", s)
+		}
+	}
+
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -112,6 +138,18 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// writeBaselineFile records the current findings as a JSON baseline.
+func writeBaselineFile(path string, diags []lint.Diagnostic) error {
+	if diags == nil {
+		diags = []lint.Diagnostic{}
+	}
+	data, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // moduleRoot walks up from the working directory to the enclosing go.mod.

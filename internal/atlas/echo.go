@@ -76,6 +76,7 @@ func StartEchoServerObs(listen string, o *obs.Observer) (*EchoServer, error) {
 		ln:   ln,
 		addr: ln.Addr().String(),
 	}
+	//lint:ignore goroutines background echo listener joined by EchoServer.Close; serves header-only GETs off the sim path
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil
 }

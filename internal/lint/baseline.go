@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline support for incremental adoption: when a new analyzer lands with
+// pre-existing findings, the findings are recorded once (dynalint
+// -write-baseline) and subsequent runs report only NEW findings. Entries
+// match on (Path, Rule, Message) — line numbers drift with every edit, so
+// they are deliberately ignored. Each baseline entry absorbs at most one
+// finding: two identical findings need two entries.
+
+// ReadBaseline loads a baseline file (a JSON array of Diagnostics, as
+// written by dynalint -json or -write-baseline).
+func ReadBaseline(path string) ([]Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base []Diagnostic
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return base, nil
+}
+
+// ApplyBaseline splits diags into the findings not covered by the baseline
+// (kept — these should fail the run) and the baseline entries that matched
+// nothing (stale — the debt was paid; shrink the baseline).
+func ApplyBaseline(diags, baseline []Diagnostic) (kept, stale []Diagnostic) {
+	avail := make(map[string]int, len(baseline))
+	for _, b := range baseline {
+		avail[baselineKey(b)]++
+	}
+	for _, d := range diags {
+		k := baselineKey(d)
+		if avail[k] > 0 {
+			avail[k]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, b := range baseline {
+		k := baselineKey(b)
+		if avail[k] > 0 {
+			avail[k]--
+			stale = append(stale, b)
+		}
+	}
+	return kept, stale
+}
+
+func baselineKey(d Diagnostic) string {
+	return d.Path + "\x00" + d.Rule + "\x00" + d.Message
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// valueFlow is a small intra-procedural value-flow index over one function
+// body, shared by the dataflow analyzers (maporder, hotalloc). It records,
+// for every local object, the right-hand sides assigned to it, and answers
+// "can this expression carry a value derived from one of these seeds?" by
+// chasing assignments transitively.
+//
+// The walker is deliberately flow-insensitive (it ignores statement order
+// and conditions): it over-approximates reachability, which is the right
+// bias for determinism lints — a value that *may* derive from map iteration
+// is already enough to make the output order suspect.
+type valueFlow struct {
+	info *types.Info
+	defs map[types.Object][]ast.Expr
+}
+
+// newValueFlow indexes every assignment, short variable declaration, var
+// spec, and range binding inside body.
+func newValueFlow(info *types.Info, body ast.Node) *valueFlow {
+	vf := &valueFlow{info: info, defs: make(map[types.Object][]ast.Expr)}
+	if body == nil {
+		return vf
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					vf.record(n.Lhs[i], n.Rhs[i])
+				}
+			} else if len(n.Rhs) == 1 {
+				// Multi-value call / comma-ok: every LHS derives from the
+				// single RHS.
+				for _, lhs := range n.Lhs {
+					vf.record(lhs, n.Rhs[0])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i, name := range n.Names {
+					vf.record(name, n.Values[i])
+				}
+			} else if len(n.Values) == 1 {
+				for _, name := range n.Names {
+					vf.record(name, n.Values[0])
+				}
+			}
+		case *ast.RangeStmt:
+			// k, v := range x: both loop variables derive from x.
+			if n.Key != nil {
+				vf.record(n.Key, n.X)
+			}
+			if n.Value != nil {
+				vf.record(n.Value, n.X)
+			}
+		}
+		return true
+	})
+	return vf
+}
+
+func (vf *valueFlow) record(lhs, rhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := identObj(vf.info, id)
+	if obj == nil {
+		return
+	}
+	vf.defs[obj] = append(vf.defs[obj], rhs)
+}
+
+// derivesFrom reports whether e can carry a value derived from any object in
+// seeds, chasing the recorded assignments transitively.
+func (vf *valueFlow) derivesFrom(e ast.Expr, seeds map[types.Object]bool) bool {
+	if e == nil || len(seeds) == 0 {
+		return false
+	}
+	return vf.derives(e, seeds, make(map[types.Object]bool))
+}
+
+func (vf *valueFlow) derives(e ast.Expr, seeds, visiting map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := identObj(vf.info, id)
+		if obj == nil {
+			return true
+		}
+		if seeds[obj] {
+			found = true
+			return false
+		}
+		if visiting[obj] {
+			return true
+		}
+		visiting[obj] = true
+		for _, rhs := range vf.defs[obj] {
+			if vf.derives(rhs, seeds, visiting) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// identObj resolves an identifier to its object, whether the ident defines
+// it (":=", range clauses) or uses it.
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// rangeVarObjs returns the objects bound by a range statement's key and
+// value clauses (nil entries are skipped, as are "_" placeholders).
+func rangeVarObjs(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
+	seeds := make(map[types.Object]bool, 2)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if e == nil {
+			continue
+		}
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name != "_" {
+			if obj := identObj(info, id); obj != nil {
+				seeds[obj] = true
+			}
+		}
+	}
+	return seeds
+}
+
+// funcBodies yields every function body in f with its declaring node: all
+// FuncDecls plus package-level FuncLits (var initializers). Nested FuncLits
+// are visited as part of their enclosing body, not separately, so per-body
+// analyses see closures in context.
+func funcBodies(f *ast.File, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			fn(fd, fd.Body)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutinesAnalyzer enforces the concurrency discipline the simulation
+// packages depend on for byte-identical replay:
+//
+//  1. `go` statements in simulation packages may appear only inside the
+//     configured spawn packages (internal/parallel, the index-ordered worker
+//     pool) — ad-hoc goroutines are how nondeterminism sneaks past the
+//     worker-count invariance tests. A deliberate background goroutine (an
+//     HTTP listener joined by Close) carries a //lint:ignore goroutines
+//     directive with its justification.
+//
+//  2. Every spawned goroutine must be joinable or cancellable: its body
+//     calls (*sync.WaitGroup).Done (usually deferred), or it threads a
+//     context.Context it can be cancelled through. A goroutine with neither
+//     outlives its spawner invisibly — the leak class a long-running
+//     serve-bng daemon cannot afford.
+var GoroutinesAnalyzer = &Analyzer{
+	Name: "goroutines",
+	Doc: "restrict `go` statements in sim packages to internal/parallel and " +
+		"require every goroutine to be WaitGroup-joined or context-cancellable",
+	Run: runGoroutines,
+}
+
+func runGoroutines(p *Pass) {
+	if !p.Cfg.IsSimPackage(p.Pkg.ImportPath) {
+		return
+	}
+	inSpawnPkg := p.Cfg.isSpawnPackage(p.Pkg.ImportPath)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !inSpawnPkg {
+				p.Reportf("goroutines", gs.Pos(),
+					"go statement in simulation package %s outside the spawn packages; fan out through internal/parallel or justify with //lint:ignore goroutines <reason>",
+					p.Pkg.Types.Name())
+			}
+			if !goroutineJoined(p.Pkg.Info, gs) {
+				p.Reportf("goroutines", gs.Pos(),
+					"goroutine is neither WaitGroup-joined nor context-cancellable; it can outlive its spawner — join it via sync.WaitGroup/errgroup or thread a context.Context")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineJoined reports whether the spawned goroutine is observable by its
+// spawner: its function-literal body calls a sync.WaitGroup Done/Add pair's
+// Done side, or the call (literal body or direct call expression) mentions a
+// context.Context value it can be cancelled through.
+func goroutineJoined(info *types.Info, gs *ast.GoStmt) bool {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		joined := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if joined {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fn := calleeFunc(info, call); fn != nil && fn.Name() == "Done" {
+					if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "sync" {
+						joined = true
+						return false
+					}
+				}
+			}
+			if id, ok := n.(*ast.Ident); ok && isContextIdent(info, id) {
+				joined = true
+				return false
+			}
+			return true
+		})
+		return joined
+	}
+	// Direct call form (`go srv.Serve(ln)`): cancellable only if a context
+	// flows into the call.
+	joined := false
+	ast.Inspect(gs.Call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && isContextIdent(info, id) {
+			joined = true
+			return false
+		}
+		return !joined
+	})
+	return joined
+}
+
+func isContextIdent(info *types.Info, id *ast.Ident) bool {
+	obj := identObj(info, id)
+	if obj == nil {
+		return false
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	return namedFrom(obj.Type(), "context", "Context")
+}

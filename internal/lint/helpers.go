@@ -7,7 +7,7 @@ import (
 
 // inspectStack walks f like ast.Inspect but hands fn the stack of ancestor
 // nodes (outermost first, not including n itself).
-func inspectStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+func inspectStack(f ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
 	var stack []ast.Node
 	ast.Inspect(f, func(n ast.Node) bool {
 		if n == nil {

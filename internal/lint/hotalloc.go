@@ -1,0 +1,332 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotallocAnalyzer flags per-record allocations in hot-path functions: the
+// zero-alloc groundwork for streaming 10⁸–10⁹ CDN tuples. A function is hot
+// when its package is listed in Config.HotPackages (all of internal/rtrie by
+// default) or its doc comment carries a //lint:hotpath marker (the
+// internal/netutil keying functions).
+//
+// Inside a hot function it reports:
+//
+//   - string<->[]byte/[]rune conversions of parameter-derived data — one
+//     allocation per record (the compiler-optimized m[string(b)] map-read
+//     form is exempt);
+//   - any fmt.* call — formatting allocates its result and boxes every
+//     argument;
+//   - closures capturing local variables — each call allocates the closure
+//     (and often moves the captives to the heap);
+//   - interface boxing: concrete non-pointer-shaped values passed to
+//     interface parameters, assigned to interface variables, or returned as
+//     interface results.
+//
+// Allocations that only happen on a dying path (arguments to panic) are
+// exempt: they are not per-record costs.
+var HotallocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid per-record allocations (string conversions, fmt.*, capturing " +
+		"closures, interface boxing) in //lint:hotpath functions and hot packages",
+	Run: runHotalloc,
+}
+
+// hotpathMarker is the doc-comment directive that opts a single function
+// into hotalloc analysis.
+const hotpathMarker = "//lint:hotpath"
+
+func runHotalloc(p *Pass) {
+	pkgHot := p.Cfg.isHotPackage(p.Pkg.ImportPath)
+	for _, f := range p.Pkg.Files {
+		funcBodies(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			if !pkgHot && !hasHotpathMarker(decl.Doc) {
+				return
+			}
+			checkHotFunc(p, decl, body)
+		})
+	}
+}
+
+func hasHotpathMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(p *Pass, decl *ast.FuncDecl, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	vf := newValueFlow(info, body)
+	params := paramObjs(info, decl)
+
+	inspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if insidePanic(stack) {
+			return true // dying path, not a per-record cost
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(p, vf, params, n, stack)
+		case *ast.FuncLit:
+			if name, ok := capturesLocal(info, decl, n); ok {
+				p.Reportf("hotalloc", n.Pos(),
+					"closure captures %s; each call of the hot path allocates the closure — hoist it or pass state explicitly", name)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if t := exprType(info, n.Lhs[i]); isInterfaceType(t) && boxes(info, rhs) {
+					p.Reportf("hotalloc", rhs.Pos(),
+						"assignment boxes a concrete value into interface %s; boxing allocates per record", t.String())
+				}
+			}
+		case *ast.ReturnStmt:
+			obj := info.Defs[decl.Name]
+			if obj == nil {
+				break
+			}
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok || sig.Results().Len() != len(n.Results) {
+				break
+			}
+			for i, res := range n.Results {
+				if t := sig.Results().At(i).Type(); isInterfaceType(t) && boxes(info, res) {
+					p.Reportf("hotalloc", res.Pos(),
+						"return boxes a concrete value into interface %s; boxing allocates per record", t.String())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags allocating string conversions, fmt.* calls, and
+// interface-boxing arguments.
+func checkHotCall(p *Pass, vf *valueFlow, params map[types.Object]bool, call *ast.CallExpr, stack []ast.Node) {
+	info := p.Pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		checkHotConversion(p, vf, params, call, tv.Type, stack)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		return // boxing into a panic argument is a dying path
+	}
+	if fn := calleeFunc(info, call); fn != nil {
+		if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+			p.Reportf("hotalloc", call.Pos(),
+				"fmt.%s on a hot path allocates its result and boxes every argument; build output with strconv/append or move formatting off the per-record path", fn.Name())
+			return // don't also report each boxed argument
+		}
+	}
+	sig, ok := exprType(info, call.Fun).(*types.Signature)
+	if !ok {
+		return // builtin or type error
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i, call)
+		if isInterfaceType(pt) && boxes(info, arg) {
+			p.Reportf("hotalloc", arg.Pos(),
+				"argument boxes a concrete value into interface %s; boxing allocates per record", pt.String())
+		}
+	}
+}
+
+// checkHotConversion flags string <-> []byte/[]rune conversions of
+// parameter-derived data, except the compiler-optimized map read
+// m[string(b)].
+func checkHotConversion(p *Pass, vf *valueFlow, params map[types.Object]bool, call *ast.CallExpr, dst types.Type, stack []ast.Node) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := exprType(p.Pkg.Info, call.Args[0])
+	if src == nil || !allocatingStringConv(dst, src) {
+		return
+	}
+	// Only parameter-derived data is a per-record cost; converting a
+	// package-level constant or table happens on data independent of the
+	// record being processed.
+	if !vf.derivesFrom(call.Args[0], params) {
+		return
+	}
+	if isMapReadIndex(p.Pkg.Info, call, stack) {
+		return
+	}
+	p.Reportf("hotalloc", call.Pos(),
+		"%s conversion of per-record data allocates; keep one representation on the hot path", types.ExprString(call.Fun))
+}
+
+// allocatingStringConv reports whether converting src to dst copies the
+// underlying bytes: string <-> []byte and string <-> []rune.
+func allocatingStringConv(dst, src types.Type) bool {
+	return (isStringType(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// isMapReadIndex reports whether call is the index expression of a map READ
+// (m[string(b)]), which the compiler performs without allocating. A write
+// (m[string(b)] = v) still allocates the key.
+func isMapReadIndex(info *types.Info, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	idx, ok := stack[len(stack)-1].(*ast.IndexExpr)
+	if !ok || idx.Index != call {
+		return false
+	}
+	t := exprType(info, idx.X)
+	if t == nil {
+		return false
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	if len(stack) >= 2 {
+		if as, ok := stack[len(stack)-2].(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if ast.Unparen(lhs) == idx {
+					return false // map write: the key is materialized
+				}
+			}
+		}
+	}
+	return true
+}
+
+// capturesLocal reports whether lit references a variable local to the
+// enclosing function (parameter, receiver, or body local) — the captures
+// that force a heap-allocated closure.
+func capturesLocal(info *types.Info, decl *ast.FuncDecl, lit *ast.FuncLit) (string, bool) {
+	name, found := "", false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := identObj(info, id)
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		if pos >= decl.Pos() && pos < decl.End() && (pos < lit.Pos() || pos > lit.End()) {
+			name, found = v.Name(), true
+			return false
+		}
+		return true
+	})
+	return name, found
+}
+
+// paramObjs collects the objects of decl's receiver and parameters: the
+// per-record inputs of a hot function.
+func paramObjs(info *types.Info, decl *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	collect(decl.Recv)
+	if decl.Type != nil {
+		collect(decl.Type.Params)
+	}
+	return out
+}
+
+// paramTypeAt returns the static parameter type matched to argument i,
+// unrolling variadic tails. A f(xs...) spread call passes the slice itself —
+// no boxing — so it returns nil for that form.
+func paramTypeAt(sig *types.Signature, i int, call *ast.CallExpr) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if call.Ellipsis.IsValid() {
+			return nil
+		}
+		s, ok := sig.Params().At(n - 1).Type().(*types.Slice)
+		if !ok {
+			return nil
+		}
+		return s.Elem()
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+func isInterfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// boxes reports whether storing e into an interface allocates: true for
+// concrete values that are not pointer-shaped (pointers, channels, maps,
+// funcs, unsafe.Pointer ride in the interface word) and not compile-time
+// constants (the compiler materializes those statically).
+func boxes(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil || tv.IsNil() || tv.Value != nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if tv.Type.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+// insidePanic reports whether the current node sits inside an argument of
+// the panic builtin.
+func insidePanic(stack []ast.Node) bool {
+	for _, n := range stack {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -15,16 +15,26 @@ import (
 // Config selects which packages each repo-specific rule applies to.
 type Config struct {
 	// SimPackages lists import-path suffixes of the simulation/analysis
-	// packages where determinism rules (no wall clock, no global RNG) and
-	// the exported-API netip rules are enforced. An entry matches a
-	// package whose import path equals it or ends with "/"+entry.
+	// packages where determinism rules (no wall clock, no global RNG), the
+	// goroutine-discipline rules, and the exported-API netip rules are
+	// enforced. An entry matches a package whose import path equals it or
+	// ends with "/"+entry.
 	SimPackages []string
+	// SpawnPackages lists the packages allowed to contain `go` statements
+	// when they are simulation packages: the shared worker-pool layer.
+	SpawnPackages []string
+	// HotPackages lists packages whose every function is held to the
+	// hotalloc zero-allocation rules; individual functions elsewhere opt
+	// in with a //lint:hotpath doc-comment marker.
+	HotPackages []string
 	// Rules restricts which analyzers run; empty means all.
 	Rules []string
 }
 
 // DefaultConfig is the repository configuration: the packages that form the
-// deterministic simulation and analysis core.
+// deterministic simulation and analysis core, including every package whose
+// output feeds canonical snapshots (stats, obs, checkpoint, and the keying/
+// classification helpers).
 func DefaultConfig() Config {
 	return Config{
 		SimPackages: []string{
@@ -41,6 +51,21 @@ func DefaultConfig() Config {
 			"internal/experiments",
 			"internal/obs",
 			"internal/parallel",
+			"internal/stats",
+			"internal/anonymize",
+			"internal/bgp",
+			"internal/slaac",
+			"internal/hitlist",
+			"internal/reputation",
+			"internal/rir",
+			"internal/netutil",
+			"internal/rtrie",
+		},
+		SpawnPackages: []string{
+			"internal/parallel",
+		},
+		HotPackages: []string{
+			"internal/rtrie",
 		},
 	}
 }
@@ -48,7 +73,19 @@ func DefaultConfig() Config {
 // IsSimPackage reports whether the import path is one of the configured
 // simulation/analysis packages.
 func (c Config) IsSimPackage(importPath string) bool {
-	for _, s := range c.SimPackages {
+	return matchPackage(c.SimPackages, importPath)
+}
+
+func (c Config) isSpawnPackage(importPath string) bool {
+	return matchPackage(c.SpawnPackages, importPath)
+}
+
+func (c Config) isHotPackage(importPath string) bool {
+	return matchPackage(c.HotPackages, importPath)
+}
+
+func matchPackage(suffixes []string, importPath string) bool {
+	for _, s := range suffixes {
 		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
 			return true
 		}
@@ -118,13 +155,18 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// Analyzers returns the full dynalint suite in stable order.
+// Analyzers returns the full dynalint suite in stable order: the four
+// syntactic v1 rules followed by the dataflow-aware v2 rules.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
 		NetipAnalyzer,
 		ErrwrapAnalyzer,
 		LockcopyAnalyzer,
+		MaporderAnalyzer,
+		GoroutinesAnalyzer,
+		HotallocAnalyzer,
+		LockscopeAnalyzer,
 	}
 }
 
@@ -165,6 +207,18 @@ func Run(mod *Module, cfg Config, analyzers []*Analyzer) []Diagnostic {
 		}
 	}
 	diags = sup.filter(diags)
+	// A suppression that suppresses nothing is itself a finding: stale
+	// directives are how an allowlist rots as rules tighten. Only judged
+	// when the directive's rule actually ran this invocation.
+	selectedNames := make(map[string]bool, len(selected))
+	for _, a := range selected {
+		selectedNames[a.Name] = true
+	}
+	knownNames := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		knownNames[a.Name] = true
+	}
+	diags = append(diags, sup.unused(selectedNames, knownNames, len(selected) == len(analyzers))...)
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Path != diags[j].Path {
 			return diags[i].Path < diags[j].Path
@@ -186,14 +240,24 @@ func Run(mod *Module, cfg Config, analyzers []*Analyzer) []Diagnostic {
 //
 // suppresses diagnostics of <rule> on the directive's own line and on the
 // line directly below it (so it works both as a trailing comment and as a
-// standalone comment above the offending statement).
+// standalone comment above the offending statement). Each directive tracks
+// whether it suppressed anything: an unused directive is reported.
+type directive struct {
+	path string
+	line int
+	col  int
+	rule string
+	used bool
+}
+
 type suppressions struct {
-	byFile    map[string]map[int]map[string]bool // path -> line -> rule set
+	byFile    map[string]map[int][]*directive // path -> covered line -> directives
+	list      []*directive                    // in file/position order
 	malformed []Diagnostic
 }
 
 func newSuppressions(mod *Module) *suppressions {
-	s := &suppressions{byFile: make(map[string]map[int]map[string]bool)}
+	s := &suppressions{byFile: make(map[string]map[int][]*directive)}
 	for _, pkg := range mod.Pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -224,27 +288,66 @@ func (s *suppressions) add(mod *Module, c *ast.Comment) {
 		})
 		return
 	}
-	rule := fields[0]
+	d := &directive{path: path, line: pos.Line, col: pos.Column, rule: fields[0]}
+	s.list = append(s.list, d)
 	lines := s.byFile[path]
 	if lines == nil {
-		lines = make(map[int]map[string]bool)
+		lines = make(map[int][]*directive)
 		s.byFile[path] = lines
 	}
 	for _, ln := range []int{pos.Line, pos.Line + 1} {
-		if lines[ln] == nil {
-			lines[ln] = make(map[string]bool)
-		}
-		lines[ln][rule] = true
+		lines[ln] = append(lines[ln], d)
 	}
 }
 
 func (s *suppressions) filter(diags []Diagnostic) []Diagnostic {
 	out := diags[:0]
 	for _, d := range diags {
-		if rules, ok := s.byFile[d.Path][d.Line]; ok && (rules[d.Rule] || rules["all"]) && d.Rule != "directive" {
+		suppressed := false
+		if d.Rule != "directive" {
+			for _, dir := range s.byFile[d.Path][d.Line] {
+				if dir.rule == d.Rule || dir.rule == "all" {
+					dir.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// unused reports every directive that suppressed nothing. selected names
+// the analyzers that ran: a directive for a rule that did not run is not
+// judged (it may be live under the full suite), blanket "all" directives
+// are judged only on full-suite runs, and a rule name outside the known
+// suite is always a finding — a typo'd directive silently un-suppresses.
+func (s *suppressions) unused(selected, known map[string]bool, fullSuite bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.list {
+		if d.used {
 			continue
 		}
-		out = append(out, d)
+		switch {
+		case d.rule == "all":
+			if !fullSuite {
+				continue
+			}
+		case !known[d.rule]:
+			out = append(out, Diagnostic{
+				Path: d.path, Line: d.line, Col: d.col, Rule: "directive",
+				Message: fmt.Sprintf("//lint:ignore %s names no analyzer; fix the rule name (have all, %s)", d.rule, strings.Join(AnalyzerNames(), ", ")),
+			})
+			continue
+		case !selected[d.rule]:
+			continue
+		}
+		out = append(out, Diagnostic{
+			Path: d.path, Line: d.line, Col: d.col, Rule: "directive",
+			Message: fmt.Sprintf("//lint:ignore %s suppresses nothing; remove the stale directive or fix the rule name", d.rule),
+		})
 	}
 	return out
 }

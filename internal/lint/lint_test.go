@@ -25,6 +25,12 @@ func TestFixtures(t *testing.T) {
 		{"lockcopy", simCfg},
 		{"ignore", simCfg},
 		{"nonsim", Config{}},
+		{"maporder", simCfg},
+		{"goroutines", simCfg},
+		{"spawnpkg", Config{SimPackages: []string{"fixture"}, SpawnPackages: []string{"fixture"}}},
+		{"hotalloc", simCfg},
+		{"lockscope", simCfg},
+		{"unusedignore", simCfg},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -91,15 +97,45 @@ func TestRuleSelection(t *testing.T) {
 
 func TestIsSimPackage(t *testing.T) {
 	cfg := DefaultConfig()
-	for _, p := range []string{"dynamips/internal/dhcp4", "dynamips/internal/atlas"} {
+	for _, p := range []string{"dynamips/internal/dhcp4", "dynamips/internal/atlas",
+		"dynamips/internal/netutil", "dynamips/internal/stats", "dynamips/internal/obs"} {
 		if !cfg.IsSimPackage(p) {
 			t.Errorf("IsSimPackage(%q) = false", p)
 		}
 	}
-	for _, p := range []string{"dynamips/internal/netutil", "dynamips/internal/lint", "dynamips"} {
+	for _, p := range []string{"dynamips/internal/lint", "dynamips"} {
 		if cfg.IsSimPackage(p) {
 			t.Errorf("IsSimPackage(%q) = true", p)
 		}
+	}
+}
+
+func TestApplyBaseline(t *testing.T) {
+	d := func(path, rule, msg string, line int) Diagnostic {
+		return Diagnostic{Path: path, Line: line, Rule: rule, Message: msg}
+	}
+	diags := []Diagnostic{
+		d("a.go", "maporder", "m1", 10),
+		d("a.go", "maporder", "m1", 20), // duplicate message, second occurrence
+		d("b.go", "hotalloc", "m2", 5),
+	}
+	base := []Diagnostic{
+		d("a.go", "maporder", "m1", 99), // line drift must not matter
+		d("c.go", "lockscope", "gone", 1),
+	}
+	kept, stale := ApplyBaseline(diags, base)
+	if len(kept) != 2 {
+		t.Fatalf("kept = %v, want the unmatched duplicate and b.go finding", kept)
+	}
+	if kept[0].Line != 20 || kept[1].Path != "b.go" {
+		t.Errorf("kept = %v", kept)
+	}
+	if len(stale) != 1 || stale[0].Path != "c.go" {
+		t.Errorf("stale = %v, want the paid-off c.go entry", stale)
+	}
+	kept, stale = ApplyBaseline(nil, nil)
+	if len(kept) != 0 || len(stale) != 0 {
+		t.Errorf("empty baseline over no findings: kept %v stale %v", kept, stale)
 	}
 }
 

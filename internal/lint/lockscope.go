@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockscopeAnalyzer upgrades lock discipline from "don't copy locks"
+// (lockcopy) to "scope them correctly":
+//
+//  1. `defer mu.Unlock()` inside a for/range loop runs at *function* exit,
+//     not iteration end — the second iteration deadlocks (or the critical
+//     section silently widens to the whole call). Unlock explicitly or
+//     extract the loop body into a function.
+//
+//  2. A lock acquired on some path must be released on every path out of
+//     the function: a `return` reached while a mutex is held (with no
+//     deferred unlock registered) leaks the lock to the caller's next
+//     acquisition — the hardest-to-reproduce deadlock class.
+//
+// The release check is a conservative linear walk over the statement tree:
+// branches are analyzed independently and merged optimistically (a lock
+// released in every fall-through branch counts as released), so the rule
+// only fires on paths that definitely hold the lock.
+var LockscopeAnalyzer = &Analyzer{
+	Name: "lockscope",
+	Doc: "forbid defer mu.Unlock() in loops and lock acquisitions not " +
+		"released on all return paths",
+	Run: runLockscope,
+}
+
+func runLockscope(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		funcBodies(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			checkLockScope(p, body)
+		})
+		// Function literals get the same treatment, independently of the
+		// function they appear in (their defers have their own scope).
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+				checkLockScope(p, lit.Body)
+			}
+			return true
+		})
+	}
+}
+
+// lockFlow carries the interpreter state: which lock keys are held and
+// which have a deferred release registered.
+type lockFlow struct {
+	pass     *Pass
+	info     *types.Info
+	deferred map[string]bool
+}
+
+func checkLockScope(p *Pass, body *ast.BlockStmt) {
+	lf := &lockFlow{pass: p, info: p.Pkg.Info, deferred: make(map[string]bool)}
+	held, terminated := lf.block(body.List, make(map[string]token.Pos), false)
+	if terminated {
+		return
+	}
+	// Falling off the end of the function is an implicit return.
+	lf.reportHeld(held, body.End())
+}
+
+func (lf *lockFlow) reportHeld(held map[string]token.Pos, at token.Pos) {
+	for _, key := range sortedKeys(held) {
+		if lf.deferred[key] {
+			continue
+		}
+		line := lf.pass.Fset.Position(held[key]).Line
+		lf.pass.Reportf("lockscope", at,
+			"return path leaves %s locked (acquired at line %d); unlock on every path or defer the unlock", key, line)
+	}
+}
+
+func sortedKeys(m map[string]token.Pos) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// block interprets a statement list. held maps lock keys to their
+// acquisition position; inLoop tracks whether a deferred unlock would be
+// mis-scoped. It returns the fall-through state and whether the list always
+// terminates (return/panic) before falling through.
+func (lf *lockFlow) block(stmts []ast.Stmt, held map[string]token.Pos, inLoop bool) (map[string]token.Pos, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		held, terminated = lf.stmt(s, held, inLoop)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (lf *lockFlow) stmt(s ast.Stmt, held map[string]token.Pos, inLoop bool) (map[string]token.Pos, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, kind := lockCallKey(lf.info, call); key != "" {
+				if kind == lockAcquire {
+					held[key] = call.Pos()
+				} else {
+					delete(held, key)
+				}
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return held, true
+			}
+		}
+	case *ast.DeferStmt:
+		if key, kind := lockCallKey(lf.info, s.Call); key != "" && kind == lockRelease {
+			if inLoop {
+				lf.pass.Reportf("lockscope", s.Pos(),
+					"defer %s inside a loop runs at function exit, not iteration end; unlock explicitly or extract the loop body", types.ExprString(s.Call.Fun)+"()")
+			} else {
+				lf.deferred[key] = true
+			}
+		}
+	case *ast.ReturnStmt:
+		lf.reportHeld(held, s.Pos())
+		return held, true
+	case *ast.BlockStmt:
+		return lf.block(s.List, held, inLoop)
+	case *ast.LabeledStmt:
+		return lf.stmt(s.Stmt, held, inLoop)
+	case *ast.IfStmt:
+		thenHeld, thenTerm := lf.block(s.Body.List, copyHeld(held), inLoop)
+		elseHeld, elseTerm := copyHeld(held), false
+		if s.Else != nil {
+			elseHeld, elseTerm = lf.stmt(s.Else, elseHeld, inLoop)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseHeld, false
+		case elseTerm:
+			return thenHeld, false
+		default:
+			return intersectHeld(thenHeld, elseHeld), false
+		}
+	case *ast.ForStmt:
+		lf.loopBody(s.Body, held)
+	case *ast.RangeStmt:
+		lf.loopBody(s.Body, held)
+	case *ast.SwitchStmt:
+		lf.clauses(s.Body, held, inLoop)
+	case *ast.TypeSwitchStmt:
+		lf.clauses(s.Body, held, inLoop)
+	case *ast.SelectStmt:
+		lf.clauses(s.Body, held, inLoop)
+	}
+	return held, false
+}
+
+// loopBody analyzes a loop body in isolation: locks acquired inside an
+// iteration must be released by its end (iteration 2 would deadlock), and
+// returns inside the body see the surrounding held set.
+func (lf *lockFlow) loopBody(body *ast.BlockStmt, held map[string]token.Pos) {
+	out, terminated := lf.block(body.List, copyHeld(held), true)
+	if terminated {
+		return
+	}
+	for _, key := range sortedKeys(out) {
+		if _, wasHeld := held[key]; !wasHeld && !lf.deferred[key] {
+			lf.pass.Reportf("lockscope", out[key],
+				"%s acquired in a loop body is not released by the end of the iteration; the next iteration deadlocks", key)
+		}
+	}
+}
+
+func (lf *lockFlow) clauses(body *ast.BlockStmt, held map[string]token.Pos, inLoop bool) {
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			lf.block(c.Body, copyHeld(held), inLoop)
+		case *ast.CommClause:
+			lf.block(c.Body, copyHeld(held), inLoop)
+		}
+	}
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// intersectHeld keeps only locks held on both fall-through branches: the
+// optimistic merge that avoids false positives on "unlock early and return"
+// patterns.
+func intersectHeld(a, b map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(a))
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+type lockKind int
+
+const (
+	lockAcquire lockKind = iota + 1
+	lockRelease
+)
+
+// lockCallKey identifies mu.Lock/RLock/Unlock/RUnlock calls on sync types
+// and returns a stable textual key for the receiver ("s.mu", "crash.mu").
+func lockCallKey(info *types.Info, call *ast.CallExpr) (string, lockKind) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0
+	}
+	var kind lockKind
+	switch fn.Name() {
+	case "Lock", "RLock":
+		kind = lockAcquire
+	case "Unlock", "RUnlock":
+		kind = lockRelease
+	default:
+		return "", 0
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	return types.ExprString(sel.X), kind
+}

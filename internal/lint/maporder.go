@@ -1,0 +1,289 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MaporderAnalyzer tracks values flowing out of `for k, v := range m` over a
+// map and flags the order-sensitive sinks the byte-identity tests can only
+// catch probabilistically:
+//
+//   - appends (in iteration order) to a slice declared outside the loop that
+//     is never sorted later in the same function — the classic "collect then
+//     emit" nondeterminism;
+//   - direct emission (fmt.Print*/Fprint*, Write*, Reportf-style methods)
+//     of iteration-derived values from inside the loop;
+//   - selection of a running max/min guarded by a value comparison that
+//     never consults the map key — ties resolve by iteration order;
+//   - floating-point accumulation (+=, -=, *=, /=) of iteration-derived
+//     values — FP addition is not associative, so the sum's low bits depend
+//     on iteration order.
+//
+// Writes keyed by the iteration key itself (m2[k] = v), integer counters,
+// and ++/-- are commutative and pass. A slice is "sorted later" when, after
+// the loop, it appears in the arguments of any call whose callee name
+// contains "sort" (sort.Slice, sort.Strings, slices.SortFunc, local
+// sortInts helpers, ...).
+var MaporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc: "forbid map-iteration values flowing into appends, writes, emission, " +
+		"or order-sensitive selection without an intervening sort",
+	Run: runMaporder,
+}
+
+func runMaporder(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		funcBodies(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			vf := newValueFlow(p.Pkg.Info, body)
+			sorts := collectSortCalls(p.Pkg.Info, body)
+			ast.Inspect(body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := exprType(p.Pkg.Info, rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(p, vf, sorts, rs)
+				return true
+			})
+		})
+	}
+}
+
+// sortCall is one call that (by name) sorts something, with the position it
+// occurs at — only sorts after the loop absolve an append inside it.
+type sortCall struct {
+	pos  token.Pos
+	objs map[types.Object]bool // objects mentioned in the call's arguments
+}
+
+func collectSortCalls(info *types.Info, body ast.Node) []sortCall {
+	var out []sortCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if !strings.Contains(strings.ToLower(name), "sort") {
+			return true
+		}
+		sc := sortCall{pos: call.Pos(), objs: make(map[types.Object]bool)}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := identObj(info, id); obj != nil {
+						sc.objs[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		out = append(out, sc)
+		return true
+	})
+	return out
+}
+
+// calleeName returns the qualified syntactic name of a call's function:
+// "append", "sort.Slice", "sortInts" for a local helper.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return types.ExprString(fun)
+	}
+	return ""
+}
+
+func checkMapRange(p *Pass, vf *valueFlow, sorts []sortCall, rs *ast.RangeStmt) {
+	info := p.Pkg.Info
+	seeds := rangeVarObjs(info, rs)
+	if len(seeds) == 0 {
+		return // `for range m {}` uses neither key nor value
+	}
+	var keyObj types.Object
+	if rs.Key != nil {
+		if id, ok := ast.Unparen(rs.Key).(*ast.Ident); ok && id.Name != "_" {
+			keyObj = identObj(info, id)
+		}
+	}
+	inLoop := func(pos token.Pos) bool {
+		return pos >= rs.Pos() && pos <= rs.End()
+	}
+	sortedAfter := func(obj types.Object) bool {
+		for _, sc := range sorts {
+			if sc.pos > rs.End() && sc.objs[obj] {
+				return true
+			}
+		}
+		return false
+	}
+
+	inspectStack(rs.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, vf, n, stack, seeds, keyObj, inLoop, sortedAfter)
+		case *ast.CallExpr:
+			if name, ok := emissionCall(info, n); ok {
+				for _, arg := range n.Args {
+					if vf.derivesFrom(arg, seeds) {
+						p.Reportf("maporder", n.Pos(),
+							"%s emits map-iteration values in nondeterministic order; iterate sorted keys instead", name)
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(p *Pass, vf *valueFlow, n *ast.AssignStmt, stack []ast.Node,
+	seeds map[types.Object]bool, keyObj types.Object,
+	inLoop func(token.Pos) bool, sortedAfter func(types.Object) bool) {
+	info := p.Pkg.Info
+	for i, rhs := range n.Rhs {
+		if i >= len(n.Lhs) {
+			break
+		}
+		lhs := n.Lhs[i]
+
+		// Sink 1: out = append(out, <iteration-derived>) with out declared
+		// outside the loop and never sorted afterwards.
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && calleeName(call) == "append" && len(call.Args) > 1 {
+			obj := baseObj(info, lhs)
+			if obj == nil || inLoop(obj.Pos()) {
+				continue
+			}
+			tainted := false
+			for _, arg := range call.Args[1:] {
+				if vf.derivesFrom(arg, seeds) {
+					tainted = true
+					break
+				}
+			}
+			if tainted && !sortedAfter(obj) {
+				p.Reportf("maporder", n.Pos(),
+					"append to %s in map-iteration order with no later sort; sort it (or iterate sorted keys) before it reaches output", obj.Name())
+			}
+			continue
+		}
+
+		switch n.Tok {
+		case token.ASSIGN:
+			// Sink 3: running max/min selection that ignores the key.
+			obj := baseObj(info, lhs)
+			if obj == nil || inLoop(obj.Pos()) || !vf.derivesFrom(rhs, seeds) {
+				continue
+			}
+			if isIndexWrite(lhs) {
+				continue // m2[k] = v keyed by the iteration value is commutative
+			}
+			if cond := enclosingComparison(stack, inLoop); cond != nil {
+				keyBreaksTie := keyObj != nil &&
+					vf.derivesFrom(cond, map[types.Object]bool{keyObj: true})
+				if !keyBreaksTie {
+					p.Reportf("maporder", n.Pos(),
+						"map-order-dependent selection: comparison guarding this assignment never consults the map key, so ties resolve by iteration order; add a key tie-break or iterate sorted keys")
+				}
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			// Sink 4: FP accumulation. Integer accumulation is exact and
+			// commutative; floats are not associative.
+			obj := baseObj(info, lhs)
+			if obj == nil || inLoop(obj.Pos()) || !vf.derivesFrom(rhs, seeds) {
+				continue
+			}
+			if t := exprType(info, lhs); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+					p.Reportf("maporder", n.Pos(),
+						"floating-point accumulation in map-iteration order; FP addition is not associative — accumulate over sorted keys")
+				}
+			}
+		}
+	}
+}
+
+// baseObj resolves the left-most identifier of an assignable expression
+// (x, x.f, x[i]) to its object.
+func baseObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return identObj(info, v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isIndexWrite(e ast.Expr) bool {
+	_, ok := ast.Unparen(e).(*ast.IndexExpr)
+	return ok
+}
+
+// enclosingComparison returns the condition of the innermost enclosing if
+// statement (within the loop) that contains an ordering comparison, or nil.
+func enclosingComparison(stack []ast.Node, inLoop func(token.Pos) bool) ast.Expr {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok || !inLoop(ifs.Pos()) {
+			continue
+		}
+		hasCmp := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			if be, ok := n.(*ast.BinaryExpr); ok {
+				switch be.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ:
+					hasCmp = true
+				}
+			}
+			return !hasCmp
+		})
+		if hasCmp {
+			return ifs.Cond
+		}
+	}
+	return nil
+}
+
+// emissionCall reports whether call writes data out in call order: the fmt
+// print family, io-style Write* methods, and Reportf/Logf-style sinks.
+func emissionCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	name := fn.Name()
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Append") {
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Print", "Printf", "Println", "Reportf", "Logf":
+		return name, true
+	}
+	return "", false
+}

@@ -1,0 +1,45 @@
+// Package fixture exercises the goroutines discipline analyzer in a
+// simulation package that is NOT a spawn package: every go statement is
+// misplaced, and unjoined goroutines are flagged a second time.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// Leak spawns a bare goroutine: wrong place AND unjoinable.
+func Leak() {
+	go work()
+}
+
+// Joined is WaitGroup-joined, so only the location rule fires.
+func Joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Cancellable threads a context, so only the location rule fires.
+func Cancellable(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// DirectCancellable passes the context into a direct call.
+func DirectCancellable(ctx context.Context) {
+	go serve(ctx)
+}
+
+func serve(ctx context.Context) { <-ctx.Done() }
+
+// Suppressed is a justified background goroutine.
+func Suppressed() {
+	//lint:ignore goroutines background listener joined by Close in tests
+	go work()
+}

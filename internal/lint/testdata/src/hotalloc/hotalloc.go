@@ -1,0 +1,91 @@
+// Package fixture exercises the hotalloc analyzer: per-record allocations
+// in functions opted in with //lint:hotpath. Unmarked functions are free to
+// allocate.
+package fixture
+
+import "fmt"
+
+// Key converts per-record bytes to a string: one allocation per record.
+//
+//lint:hotpath per-record key builder
+func Key(b []byte) string {
+	return string(b)
+}
+
+// Lookup uses the compiler-optimized m[string(b)] map-read form: clean.
+//
+//lint:hotpath per-record lookup
+func Lookup(m map[string]int, b []byte) int {
+	return m[string(b)]
+}
+
+// Store writes through a converted key: the write materializes the string.
+//
+//lint:hotpath per-record store
+func Store(m map[string]int, b []byte, v int) {
+	m[string(b)] = v
+}
+
+// Format calls fmt on the hot path: allocates its result and boxes args.
+//
+//lint:hotpath per-record formatting
+func Format(v int) string {
+	return fmt.Sprintf("%d", v)
+}
+
+// Accumulate builds a closure capturing a local: each call allocates it.
+//
+//lint:hotpath per-record reduction
+func Accumulate(xs []int) int {
+	total := 0
+	add := func(x int) { total += x }
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+// Box passes, assigns, and returns concrete values as interfaces.
+//
+//lint:hotpath per-record sink
+func Box(v int) any {
+	consume(v)
+	var x any
+	x = v
+	_ = x
+	return v
+}
+
+func consume(x any) {}
+
+// PointerShaped passes pointer-shaped and constant values: no allocation,
+// clean.
+//
+//lint:hotpath per-record sink
+func PointerShaped(v int) {
+	consume(nil)
+	consume(42)
+	consume(&v)
+}
+
+// Guard allocates only on the dying path: panic arguments are exempt.
+//
+//lint:hotpath per-record guard
+func Guard(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("negative record %d", v))
+	}
+}
+
+// Cold is unmarked: the same allocations pass without comment.
+func Cold(b []byte) string {
+	return fmt.Sprintf("%s", string(b))
+}
+
+// Suppressed documents a deliberate one-time allocation.
+//
+//lint:hotpath demonstrates suppression
+func Suppressed(v int) string {
+	//lint:ignore hotalloc error path only; never hit per record
+	return fmt.Sprint(v)
+}

@@ -1,0 +1,91 @@
+// Package fixture exercises the lockscope analyzer: mis-scoped deferred
+// unlocks and lock acquisitions that leak past a return.
+package fixture
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// DeferInLoop defers the unlock inside the loop: it runs at function exit,
+// so iteration two deadlocks.
+func (s *S) DeferInLoop(xs []int) {
+	for range xs {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.n++
+	}
+}
+
+// LeakOnReturn returns on the early path with the mutex still held.
+func (s *S) LeakOnReturn(cond bool) {
+	s.mu.Lock()
+	if cond {
+		return
+	}
+	s.mu.Unlock()
+}
+
+// FallsOffEnd never unlocks at all: falling off the end is a return too.
+func (s *S) FallsOffEnd() {
+	s.mu.Lock()
+	s.n++
+}
+
+// LockEachIteration acquires inside the loop body without releasing by the
+// end of the iteration.
+func (s *S) LockEachIteration(xs []int) {
+	for range xs {
+		s.mu.Lock()
+		s.n++
+	}
+}
+
+// DeferOK is the canonical clean shape.
+func (s *S) DeferOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// BothPaths unlocks explicitly on every path: clean.
+func (s *S) BothPaths(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+// PerIteration scopes the lock to one iteration: clean.
+func (s *S) PerIteration(xs []int) {
+	for range xs {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+type R struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// ReadLeak leaks an RLock past the return.
+func (r *R) ReadLeak() int {
+	r.mu.RLock()
+	return r.n
+}
+
+// Suppressed hands the lock to the caller deliberately.
+func (s *S) Suppressed(cond bool) {
+	s.mu.Lock()
+	if cond {
+		//lint:ignore lockscope lock handed to caller; released by Done()
+		return
+	}
+	s.mu.Unlock()
+}

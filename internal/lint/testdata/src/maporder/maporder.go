@@ -1,0 +1,111 @@
+// Package fixture exercises the maporder dataflow analyzer: map-iteration
+// values flowing into order-sensitive sinks.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CollectUnsorted appends map values in iteration order and never sorts:
+// the classic collect-then-emit nondeterminism.
+func CollectUnsorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// CollectSorted is the fix: the append is absolved by the later sort.
+func CollectSorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CollectKeysSortFunc shows a local sort helper also absolves.
+func CollectKeysSortFunc(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return keys
+}
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+// EmitInLoop prints iteration values directly: output order is
+// nondeterministic even though nothing is collected.
+func EmitInLoop(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// TieByIterationOrder selects a running max guarded only by the value
+// comparison: ties resolve by iteration order.
+func TieByIterationOrder(m map[int]float64) int {
+	best, bestW := -1, -1.0
+	for k, w := range m {
+		if w > bestW {
+			bestW = w
+			best = k
+		}
+	}
+	return best
+}
+
+// TieByKey is the fix: the comparison consults the key, so ties are
+// deterministic.
+func TieByKey(m map[int]float64) int {
+	best, bestW := -1, -1.0
+	for k, w := range m {
+		if w > bestW || (w == bestW && k < best) {
+			bestW = w
+			best = k
+		}
+	}
+	return best
+}
+
+// FloatAccumulate sums floats in iteration order: FP addition is not
+// associative, so the low bits depend on the order.
+func FloatAccumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, w := range m {
+		sum += w
+	}
+	return sum
+}
+
+// IntAccumulate is exact and commutative: clean.
+func IntAccumulate(m map[string]int) int {
+	var n int
+	for _, c := range m {
+		n += c
+	}
+	return n
+}
+
+// KeyedWrite copies into another map keyed by the iteration key: the write
+// order is invisible, so this is commutative and clean.
+func KeyedWrite(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Suppressed documents a deliberately order-insensitive emission.
+func Suppressed(m map[string]int) {
+	for k := range m {
+		//lint:ignore maporder progress logging; order is cosmetic here
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,24 @@
+// Package fixture exercises the goroutines analyzer inside a configured
+// spawn package: go statements are allowed here, but the join rule still
+// applies.
+package fixture
+
+import "sync"
+
+func work() {}
+
+// Pool is the sanctioned worker-pool shape: spawned here, WaitGroup-joined.
+func Pool(wg *sync.WaitGroup, n int) {
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+}
+
+// Unjoined is in the right package but still leaks: the join rule fires.
+func Unjoined() {
+	go work()
+}

@@ -1,0 +1,29 @@
+// Package fixture exercises stale-suppression detection: a //lint:ignore
+// that suppresses nothing is itself a finding.
+package fixture
+
+import "time"
+
+// Used carries a live suppression: no finding for the directive.
+func Used() int64 {
+	//lint:ignore determinism fixture needs a real timestamp here
+	return time.Now().Unix()
+}
+
+// Stale suppresses a rule that finds nothing on the covered lines.
+func Stale() int {
+	//lint:ignore determinism nothing below touches the wall clock
+	return 1
+}
+
+// WrongName typo'd the rule: it names no analyzer at all.
+func WrongName() int64 {
+	//lint:ignore determinsim misspelled rule never matches
+	return time.Now().Unix()
+}
+
+// StaleBlanket is an "all" directive covering a clean line.
+func StaleBlanket() int {
+	//lint:ignore all blanket suppression with nothing to suppress
+	return 2
+}

@@ -22,6 +22,8 @@ var ErrPrefixRange = errors.New("netutil: index out of prefix range")
 
 // U128 returns the 128-bit value of an IPv6 address as two 64-bit halves.
 // IPv4 addresses are mapped into the low 32 bits of lo with hi == 0.
+//
+//lint:hotpath called per record on the CDN/Atlas aggregation paths
 func U128(a netip.Addr) (hi, lo uint64) {
 	a = a.Unmap()
 	if a.Is4() {
@@ -37,6 +39,8 @@ func U128(a netip.Addr) (hi, lo uint64) {
 }
 
 // AddrFrom128 builds an IPv6 address from two 64-bit halves.
+//
+//lint:hotpath called per record on the CDN/Atlas aggregation paths
 func AddrFrom128(hi, lo uint64) netip.Addr {
 	var b [16]byte
 	for i := 7; i >= 0; i-- {
@@ -50,6 +54,8 @@ func AddrFrom128(hi, lo uint64) netip.Addr {
 
 // U32 returns the 32-bit value of an IPv4 address.
 // It panics if a is not an IPv4 (or 4-in-6 mapped) address.
+//
+//lint:hotpath called per record on the CDN/Atlas aggregation paths
 func U32(a netip.Addr) uint32 {
 	a = a.Unmap()
 	if !a.Is4() {
@@ -60,12 +66,16 @@ func U32(a netip.Addr) uint32 {
 }
 
 // AddrFromU32 builds an IPv4 address from its 32-bit value.
+//
+//lint:hotpath called per record on the CDN/Atlas aggregation paths
 func AddrFromU32(v uint32) netip.Addr {
 	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
 }
 
 // PrefixAt returns the prefix of the given length that contains a,
 // with host bits zeroed (a masked prefix).
+//
+//lint:hotpath called per record on the CDN/Atlas aggregation paths
 func PrefixAt(a netip.Addr, length int) netip.Prefix {
 	p, err := a.Unmap().Prefix(length)
 	if err != nil {
@@ -76,14 +86,20 @@ func PrefixAt(a netip.Addr, length int) netip.Prefix {
 
 // Prefix64 returns the /64 prefix containing the IPv6 address a.
 // This is the granularity at which the paper tracks IPv6 assignments.
+//
+//lint:hotpath called per record on the CDN/Atlas aggregation paths
 func Prefix64(a netip.Addr) netip.Prefix { return PrefixAt(a, 64) }
 
 // Prefix24 returns the /24 prefix containing the IPv4 address a.
 // This is the CDN dataset's IPv4 aggregation granularity.
+//
+//lint:hotpath called per record on the CDN/Atlas aggregation paths
 func Prefix24(a netip.Addr) netip.Prefix { return PrefixAt(a, 24) }
 
 // Key64 returns the upper 64 bits (the network component) of an IPv6
 // address, usable as a compact map key for its /64.
+//
+//lint:hotpath called per record on the CDN/Atlas aggregation paths
 func Key64(a netip.Addr) uint64 {
 	hi, _ := U128(a)
 	return hi
@@ -91,11 +107,15 @@ func Key64(a netip.Addr) uint64 {
 
 // Key24 returns the upper 24 bits of an IPv4 address shifted down,
 // usable as a compact map key for its /24.
+//
+//lint:hotpath called per record on the CDN/Atlas aggregation paths
 func Key24(a netip.Addr) uint32 { return U32(a) >> 8 }
 
 // CommonPrefixLen returns the number of leading bits that a and b share.
 // Both addresses must be the same family; the result is in [0, 32] for
 // IPv4 and [0, 128] for IPv6. Mixed families return 0.
+//
+//lint:hotpath called per record on the CDN/Atlas aggregation paths
 func CommonPrefixLen(a, b netip.Addr) int {
 	a, b = a.Unmap(), b.Unmap()
 	if a.Is4() != b.Is4() {
@@ -122,6 +142,8 @@ func CommonPrefixLen(a, b netip.Addr) int {
 // CommonPrefixLen64 returns the common prefix length between two IPv6 /64
 // prefixes, capped at 64. This is the paper's "CPL" metric (§5.2) between
 // successive delegated-prefix observations.
+//
+//lint:hotpath called per record on the CDN/Atlas aggregation paths
 func CommonPrefixLen64(a, b netip.Prefix) int {
 	n := CommonPrefixLen(a.Addr(), b.Addr())
 	if n > 64 {
@@ -138,6 +160,8 @@ func CommonPrefixLen64(a, b netip.Prefix) int {
 //
 // The paper's RIPE Atlas subscriber-boundary technique (§5.3) intersects
 // this over all /64s a probe observed: inferred length = 64 - zeros.
+//
+//lint:hotpath called per record on the CDN/Atlas aggregation paths
 func ZeroBitsBefore64(p netip.Prefix) int {
 	hi, _ := U128(p.Addr())
 	if hi == 0 {
@@ -168,6 +192,8 @@ func ZeroBitsBefore64Of(prefixes []netip.Prefix) int {
 // boundary, rounded DOWN to a whole number of nibbles (multiples of 4 bits).
 // The CDN trailing-zero technique (§5.3, Fig. 7) classifies each /64 by
 // this run: 4 zero bits → /60 delegation, 8 → /56, 12 → /52, 16+ → /48.
+//
+//lint:hotpath called per record on the CDN/Atlas aggregation paths
 func NibbleZeroRun(p netip.Prefix) int {
 	z := ZeroBitsBefore64(p)
 	return z &^ 3 // round down to nibble boundary

@@ -51,6 +51,7 @@ func StartPprof(addr string) (*PprofServer, error) {
 		return nil, fmt.Errorf("obs: pprof listener on %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	//lint:ignore goroutines background pprof listener joined by PprofServer.Close, never touches sim state
 	go srv.Serve(ln) //nolint:errcheck // Close surfaces as ErrServerClosed here
 	return &PprofServer{srv: srv, ln: ln}, nil
 }

@@ -175,38 +175,40 @@ func (t *Trie[V]) Delete(p netip.Prefix) bool {
 // Walk visits every stored (prefix, value) pair in lexicographic key order,
 // IPv4 first. Returning false from fn stops the walk.
 func (t *Trie[V]) Walk(fn func(p netip.Prefix, v V) bool) {
-	var walk func(n *node[V], hi, lo uint64, depth int, v4 bool) bool
-	walk = func(n *node[V], hi, lo uint64, depth int, v4 bool) bool {
-		if n == nil {
-			return true
-		}
-		if n.has {
-			var p netip.Prefix
-			if v4 {
-				p = netip.PrefixFrom(netutil.AddrFromU32(uint32(hi>>32)), depth)
-			} else {
-				p = netip.PrefixFrom(netutil.AddrFrom128(hi, lo), depth)
-			}
-			if !fn(p, n.val) {
-				return false
-			}
-		}
-		if depth >= 128 || (v4 && depth >= 32) {
-			return true
-		}
-		if !walk(n.child[0], hi, lo, depth+1, v4) {
-			return false
-		}
-		var nhi, nlo = hi, lo
-		if depth < 64 {
-			nhi = hi | 1<<(63-depth)
-		} else {
-			nlo = lo | 1<<(127-depth)
-		}
-		return walk(n.child[1], nhi, nlo, depth+1, v4)
-	}
-	if !walk(&t.v4, 0, 0, 0, true) {
+	if !walkNode(&t.v4, 0, 0, 0, true, fn) {
 		return
 	}
-	walk(&t.v6, 0, 0, 0, false)
+	walkNode(&t.v6, 0, 0, 0, false, fn)
+}
+
+// walkNode is the recursive body of Walk as a package-level function: a
+// method-local closure would be re-allocated on every Walk call.
+func walkNode[V any](n *node[V], hi, lo uint64, depth int, v4 bool, fn func(p netip.Prefix, v V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.has {
+		var p netip.Prefix
+		if v4 {
+			p = netip.PrefixFrom(netutil.AddrFromU32(uint32(hi>>32)), depth)
+		} else {
+			p = netip.PrefixFrom(netutil.AddrFrom128(hi, lo), depth)
+		}
+		if !fn(p, n.val) {
+			return false
+		}
+	}
+	if depth >= 128 || (v4 && depth >= 32) {
+		return true
+	}
+	if !walkNode(n.child[0], hi, lo, depth+1, v4, fn) {
+		return false
+	}
+	var nhi, nlo = hi, lo
+	if depth < 64 {
+		nhi = hi | 1<<(63-depth)
+	} else {
+		nlo = lo | 1<<(127-depth)
+	}
+	return walkNode(n.child[1], nhi, nlo, depth+1, v4, fn)
 }

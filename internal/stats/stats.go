@@ -276,11 +276,14 @@ func (h *LogHistogram) Density() []Point {
 }
 
 // PeakX returns the bin center holding the most mass (NaN when empty).
+// Ties break toward the lowest bin so the answer is independent of map
+// iteration order.
 func (h *LogHistogram) PeakX() float64 {
-	best, bestW := math.NaN(), -1.0
+	best, bestBin, bestW := math.NaN(), 0, -1.0
 	for bin, w := range h.Counts {
-		if w > bestW {
+		if w > bestW || (w == bestW && bin < bestBin) {
 			bestW = w
+			bestBin = bin
 			best = math.Pow(10, (float64(bin)+0.5)/float64(h.BinsPerDecade))
 		}
 	}

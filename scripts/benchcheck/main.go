@@ -195,10 +195,15 @@ func compare(w io.Writer, base, got map[string]float64, threshold float64) (fail
 		}
 		fmt.Fprintf(w, "  %-8s %-32s %12.0f ns/op  baseline %12.0f  ratio %.2fx\n", verdict, name, got[name], b, ratio)
 	}
+	baseOnly := make([]string, 0, len(base))
 	for name := range base {
 		if _, ok := got[name]; !ok {
-			fmt.Fprintf(w, "  skipped  %-32s (in baseline, not in this run)\n", name)
+			baseOnly = append(baseOnly, name)
 		}
+	}
+	sort.Strings(baseOnly)
+	for _, name := range baseOnly {
+		fmt.Fprintf(w, "  skipped  %-32s (in baseline, not in this run)\n", name)
 	}
 	if compared == 0 {
 		fmt.Fprintln(w, "benchcheck: no benchmark overlaps the baseline")

@@ -1,6 +1,8 @@
 #!/bin/sh
 # verify.sh — the repository's full correctness gate, run locally and in CI:
-#   build, go vet, dynalint (determinism/netip/errwrap/lockcopy), the test
+#   build, go vet, dynalint (all eight analyzers, JSON findings diffed
+#   against the checked-in empty baseline; DYNALINT_FINDINGS names the
+#   artifact file), the test
 #   suite under the race detector (which includes the fault-injection soak,
 #   TestPipelineUnderLoss), the golden regression corpus, the crash-injection
 #   kill-and-resume smoke, a metrics/stats CLI smoke, a coverage floor over
@@ -23,8 +25,16 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> dynalint ./..."
-go run ./cmd/dynalint ./...
+echo "==> dynalint ./... (JSON findings, gated against .dynalint-baseline.json)"
+lintjson="${DYNALINT_FINDINGS:-$(mktemp)}"
+rc=0
+go run ./cmd/dynalint -json -baseline .dynalint-baseline.json ./... >"$lintjson" || rc=$?
+if [ "$rc" -ne 0 ]; then
+	echo "FAIL: dynalint findings not covered by the baseline:" >&2
+	cat "$lintjson" >&2
+	exit 1
+fi
+echo "    findings artifact: $lintjson"
 
 echo "==> go test -race ./... (includes the loss soak)"
 go test -race ./...
