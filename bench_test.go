@@ -1,10 +1,17 @@
 package dynamips
 
 import (
+	"bufio"
 	"io"
+	"os"
+	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
+	"dynamips/internal/cdn"
+	"dynamips/internal/cdn/stream"
 	"dynamips/internal/experiments"
 )
 
@@ -105,3 +112,84 @@ func BenchmarkBuildCDNPipeline(b *testing.B) {
 func BenchmarkEvolution(b *testing.B) { benchAtlasExperiment(b, "evolution") }
 func BenchmarkZmapBias(b *testing.B)  { benchAtlasExperiment(b, "zmapbias") }
 func BenchmarkTracking(b *testing.B)  { benchAtlasExperiment(b, "tracking") }
+
+// BenchmarkStreamCDNPipeline measures the sharded streaming CDN path
+// end-to-end at reduced scale: generate ~315k associations through
+// per-operator spill files into a CSV, then run the partition/shard/merge
+// analysis over it. Alongside ns/op it reports peak-mem-bytes — the
+// largest Go heap growth over a post-GC baseline while the pipeline
+// runs, sampled from a background goroutine (a delta, so heap the other
+// benchmarks' memoized pipelines retain doesn't contaminate it) — which
+// benchcheck gates against an absolute ceiling
+// (testdata/bench_baseline.json "ceilings"): the streaming path's
+// bounded-memory contract, enforced in CI.
+func BenchmarkStreamCDNPipeline(b *testing.B) {
+	dir := b.TempDir()
+	csvPath := filepath.Join(dir, "assocs.csv")
+	cfg := cdn.DefaultGenConfig(20201201)
+	cfg.Scale = 0.1
+	cfg.Days = 150
+
+	runtime.GC()
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	base := ms0.HeapAlloc
+
+	var peak uint64
+	sampled := func(fn func() error) error {
+		quit := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			tick := time.NewTicker(time.Millisecond)
+			defer tick.Stop()
+			var ms runtime.MemStats
+			for {
+				select {
+				case <-quit:
+					return
+				case <-tick.C:
+					runtime.ReadMemStats(&ms)
+					if grow := ms.HeapAlloc - base; ms.HeapAlloc > base && grow > peak {
+						peak = grow
+					}
+				}
+			}
+		}()
+		err := fn()
+		close(quit)
+		<-done
+		return err
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := sampled(func() error {
+			f, err := os.Create(csvPath)
+			if err != nil {
+				return err
+			}
+			bw := bufio.NewWriterSize(f, 1<<16)
+			if err := stream.Generate(stream.GenConfig{Gen: cfg, SpillDir: filepath.Join(dir, "gen-spill")}, bw); err != nil {
+				f.Close()
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			_, err = stream.Analyze(stream.AnalyzeConfig{
+				In: csvPath, Threshold: 350,
+				SpillDir: filepath.Join(dir, "az-spill"),
+			})
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(peak), "peak-mem-bytes")
+}

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"net/netip"
 	"os"
 	"os/signal"
 	"sort"
@@ -16,13 +15,13 @@ import (
 	"dynamips/internal/atlas"
 	"dynamips/internal/bgp"
 	"dynamips/internal/cdn"
+	"dynamips/internal/cdn/stream"
 	"dynamips/internal/checkpoint"
 	"dynamips/internal/core"
 	"dynamips/internal/experiments"
 	"dynamips/internal/faultnet"
 	"dynamips/internal/isp"
 	"dynamips/internal/obs"
-	"dynamips/internal/stats"
 )
 
 // logf is the CLI's warning channel: checkpoint recovery notes, stale
@@ -51,7 +50,7 @@ func writeOutput(path string, write func(io.Writer) error) error {
 // resume) a checkpointed invocation. It doubles as the manifest key's
 // config input after normalization (see specKey).
 type runSpec struct {
-	Kind       string  `json:"kind"` // "experiment" or "gen-cdn"
+	Kind       string  `json:"kind"` // "experiment", "gen-cdn", or "analyze-cdn"
 	Name       string  `json:"name,omitempty"`
 	Out        string  `json:"out"`
 	JSON       bool    `json:"json,omitempty"`
@@ -64,15 +63,24 @@ type runSpec struct {
 	Scale      float64 `json:"scale,omitempty"`
 	Faults     string  `json:"faults,omitempty"`
 	Workers    int     `json:"workers,omitempty"`
+	In         string  `json:"in,omitempty"`
+	Threshold  int     `json:"threshold,omitempty"`
+	Pfx2as     string  `json:"pfx2as,omitempty"`
+	Stream     bool    `json:"stream,omitempty"`
+	Shards     int     `json:"shards,omitempty"`
+	SpillDir   string  `json:"spill_dir,omitempty"`
 }
 
-// specKey derives the manifest key for a spec. Workers is zeroed before
-// hashing: the determinism contract guarantees the worker count never
-// changes any output, so a resume may legally change it. Everything else
-// participates — a different seed, scale, fault profile, experiment, or
+// specKey derives the manifest key for a spec. Workers and SpillDir are
+// zeroed before hashing: the determinism contract guarantees the worker
+// count never changes any output, and the spill directory only decides
+// where scratch files live (a resume that moves it recomputes the units
+// whose files no longer validate). Everything else participates — a
+// different seed, scale, fault profile, experiment, shard width, or
 // destination is a different run and must invalidate stale journals.
 func specKey(spec runSpec) (checkpoint.Key, error) {
 	spec.Workers = 0
+	spec.SpillDir = ""
 	h, err := checkpoint.HashConfig(spec)
 	if err != nil {
 		return checkpoint.Key{}, err
@@ -152,11 +160,14 @@ func cmdGen(args []string) error {
 		scale := fs.Float64("scale", 1, "population scale factor")
 		workers := fs.Int("workers", 0, "per-operator generation fan-out, 0 = all CPUs (output is identical for any value)")
 		ckpt := fs.String("checkpoint", "", "journal completed operators under this directory; resumable with 'dynamips resume'")
+		streamMode := fs.Bool("stream", false, "stream each operator through a binary spill file instead of materializing the dataset (bounded memory; output is byte-identical)")
+		spillDir := fs.String("spill-dir", "", "directory for -stream spill files (default: the checkpoint directory's spill/, or a temp dir)")
 		pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
-		spec := runSpec{Kind: "gen-cdn", Out: *out, Seed: *seed, Days: *days, Scale: *scale, Workers: *workers}
+		spec := runSpec{Kind: "gen-cdn", Out: *out, Seed: *seed, Days: *days, Scale: *scale,
+			Workers: *workers, Stream: *streamMode, SpillDir: *spillDir}
 		run, err := openCheckpoint(*ckpt, spec)
 		if err != nil {
 			return err
@@ -213,6 +224,11 @@ func runGenCDNSpec(spec runSpec, run *checkpoint.Run, o *obs.Observer) error {
 	cfg.Workers = spec.Workers
 	cfg.Checkpoint = run
 	cfg.Obs = o
+	if spec.Stream {
+		return writeOutput(spec.Out, func(w io.Writer) error {
+			return stream.Generate(stream.GenConfig{Gen: cfg, SpillDir: spec.SpillDir}, w)
+		})
+	}
 	ds, err := cdn.Generate(cfg)
 	if err != nil {
 		return err
@@ -225,31 +241,57 @@ func runGenCDNSpec(spec runSpec, run *checkpoint.Run, o *obs.Observer) error {
 // cmdAnalyzeCDN loads an association CSV and reruns the CDN analyses on
 // it: durations, degrees, trailing zeros. Without the generator's BGP
 // table, operators are unavailable, so the output covers the label-based
-// splits only.
+// splits only. With -stream the input is hash-partitioned by /24 into
+// shard spill files and analyzed shard-by-shard in bounded memory; the
+// rendered report is byte-identical to the in-memory path.
 func cmdAnalyzeCDN(args []string) error {
 	fs := newFlagSet("analyze-cdn")
 	threshold := fs.Int("mobile-threshold", 350, "unique-/64 degree above which a /24 is labeled mobile")
 	pfx2as := fs.String("pfx2as", "", "pfx2as file for per-operator attribution (optional)")
 	out := fs.String("o", "-", "report output file (default stdout; written atomically)")
 	metrics := fs.String("metrics", "", "dump pipeline metrics (JSON) to this file")
+	streamMode := fs.Bool("stream", false, "shard the input through spill files instead of loading it into memory (bounded memory; report is byte-identical)")
+	shards := fs.Int("shards", stream.DefaultShards, "partition width for -stream (peak memory scales as input/shards)")
+	spillDir := fs.String("spill-dir", "", "directory for -stream spill files (default: the checkpoint directory's spill/, or a temp dir)")
+	ckpt := fs.String("checkpoint", "", "journal completed shards under this directory; resumable with 'dynamips resume' (requires -stream)")
+	workers := fs.Int("workers", 0, "per-shard analyze fan-out for -stream, 0 = all CPUs (report is identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("analyze-cdn: need one association CSV file")
 	}
-	f, err := os.Open(fs.Arg(0))
-	if err != nil {
-		return fmt.Errorf("opening associations: %w", err)
+	if *ckpt != "" && !*streamMode {
+		return fmt.Errorf("analyze-cdn: -checkpoint requires -stream (the in-memory path has no journal units)")
 	}
-	defer f.Close()
-	assocs, err := cdn.ReadCSV(bufio.NewReader(f))
+	spec := runSpec{Kind: "analyze-cdn", In: fs.Arg(0), Out: *out,
+		Threshold: *threshold, Pfx2as: *pfx2as, Workers: *workers,
+		Stream: *streamMode, Shards: *shards, SpillDir: *spillDir}
+	run, err := openCheckpoint(*ckpt, spec)
 	if err != nil {
 		return err
 	}
+	defer run.Close()
+	or, err := startObs(*metrics, "")
+	if err != nil {
+		return err
+	}
+	err = runAnalyzeCDNSpec(spec, run, or.o)
+	if ferr := or.finish(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// runAnalyzeCDNSpec executes an analyze-cdn invocation (fresh or
+// resumed): streaming runs shard the input under the optional checkpoint
+// run, in-memory runs materialize it, and both render the same report
+// atomically.
+func runAnalyzeCDNSpec(spec runSpec, run *checkpoint.Run, o *obs.Observer) error {
+	run.SetObserver(o)
 	var table *bgp.Table
-	if *pfx2as != "" {
-		pf, err := os.Open(*pfx2as)
+	if spec.Pfx2as != "" {
+		pf, err := os.Open(spec.Pfx2as)
 		if err != nil {
 			return fmt.Errorf("opening pfx2as: %w", err)
 		}
@@ -259,85 +301,29 @@ func cmdAnalyzeCDN(args []string) error {
 			return err
 		}
 	}
-	or, err := startObs(*metrics, "")
+	if spec.Stream {
+		rep, err := stream.Analyze(stream.AnalyzeConfig{
+			In: spec.In, Shards: spec.Shards, Workers: spec.Workers,
+			Threshold: spec.Threshold, Table: table, SpillDir: spec.SpillDir,
+			Checkpoint: run, Obs: o,
+		})
+		if err != nil {
+			return err
+		}
+		return writeOutput(spec.Out, rep.Render)
+	}
+	f, err := os.Open(spec.In)
+	if err != nil {
+		return fmt.Errorf("opening associations: %w", err)
+	}
+	defer f.Close()
+	assocs, err := cdn.ReadCSV(bufio.NewReader(f))
 	if err != nil {
 		return err
 	}
-	err = writeOutput(*out, func(w io.Writer) error {
-		return analyzeCDNReport(w, assocs, table, *threshold, or.o)
+	return writeOutput(spec.Out, func(w io.Writer) error {
+		return cdn.BuildReport(assocs, table, spec.Threshold, o).Render(w)
 	})
-	if ferr := or.finish(); err == nil {
-		err = ferr
-	}
-	return err
-}
-
-func analyzeCDNReport(w io.Writer, assocs []cdn.Association, table *bgp.Table, threshold int, o *obs.Observer) error {
-	span := o.StartSpan("analyze-cdn")
-	defer func() {
-		o.Advance(int64(len(assocs)))
-		span.End()
-	}()
-	o.Counter("cdn_assocs_filtered").Add(int64(len(assocs)))
-	mobile := cdn.MobileLabel(assocs, threshold)
-	eps := cdn.Episodes(assocs, cdn.DefaultEpisodeConfig())
-	o.Counter("cdn_episodes").Add(int64(len(eps)))
-	var fixedD, mobileD []float64
-	for _, ep := range eps {
-		if mobile[ep.K24] {
-			mobileD = append(mobileD, float64(ep.Days()))
-		} else {
-			fixedD = append(fixedD, float64(ep.Days()))
-		}
-	}
-	fmt.Fprintf(w, "associations: %d, episodes: %d\n", len(assocs), len(eps))
-	if len(fixedD) > 0 {
-		fmt.Fprintf(w, "fixed  durations: %s\n", stats.NewECDF(fixedD).Box())
-	}
-	if len(mobileD) > 0 {
-		fmt.Fprintf(w, "mobile durations: %s\n", stats.NewECDF(mobileD).Box())
-	}
-	dd := cdn.Degrees(assocs, mobile)
-	fmt.Fprintf(w, "degrees: mobile peak %.0f, fixed peak %.0f\n",
-		dd.MobileUnique.PeakX(), dd.FixedUnique.PeakX())
-
-	if table != nil {
-		perOp := map[uint32][]float64{}
-		for _, ep := range eps {
-			a := cdn.Association{K64: ep.K64}
-			if asn, _, ok := table.Origin(a.P64().Addr()); ok {
-				perOp[asn] = append(perOp[asn], float64(ep.Days()))
-			}
-		}
-		asns := make([]uint32, 0, len(perOp))
-		for asn := range perOp {
-			asns = append(asns, asn)
-		}
-		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
-		fmt.Fprintln(w, "per-operator association durations:")
-		for _, asn := range asns {
-			fmt.Fprintf(w, "  %-12s %s\n", table.Name(asn), stats.NewECDF(perOp[asn]).Box())
-		}
-	}
-
-	// Trailing zeros over unique fixed /64s (registry split needs the
-	// RIR table, which is built in).
-	seen := map[uint64]bool{}
-	var prefixes []netip.Prefix
-	for _, a := range assocs {
-		if mobile[a.K24] || seen[a.K64] {
-			continue
-		}
-		seen[a.K64] = true
-		prefixes = append(prefixes, a.P64())
-	}
-	b := core.ClassifyTrailingZeros(prefixes)
-	fmt.Fprintf(w, "trailing zeros (fixed /64s): %.1f%% inferable;", 100*b.InferableFrac())
-	for _, l := range []int{48, 52, 56, 60} {
-		fmt.Fprintf(w, " /%d=%.2f", l, b.Frac(l))
-	}
-	fmt.Fprintln(w)
-	return nil
 }
 
 func cmdAnalyze(args []string) error {
@@ -664,6 +650,8 @@ func cmdResume(args []string) error {
 		err = runExperimentSpec(spec, run, or.o)
 	case "gen-cdn":
 		err = runGenCDNSpec(spec, run, or.o)
+	case "analyze-cdn":
+		err = runAnalyzeCDNSpec(spec, run, or.o)
 	default:
 		err = fmt.Errorf("resume: manifest records unknown command kind %q", spec.Kind)
 	}

@@ -230,3 +230,42 @@ func TestCheckpointStaleKeyStartsFresh(t *testing.T) {
 		t.Fatal("stale checkpoint contaminated a re-keyed run")
 	}
 }
+
+// TestAnalyzeCDNStreamCheckpointResume exercises the third checkpointed
+// entry point: analyze-cdn -stream with -checkpoint, killed mid-shard and
+// resumed to the in-memory path's exact report.
+func TestAnalyzeCDNStreamCheckpointResume(t *testing.T) {
+	defer checkpoint.SetCrashPlan(0, false)
+	base := t.TempDir()
+	csv := filepath.Join(base, "assoc.csv")
+	if err := cmdGen([]string{"cdn", "-scale", "0.02", "-days", "30", "-o", csv}); err != nil {
+		t.Fatalf("gen cdn: %v", err)
+	}
+	ref := filepath.Join(base, "ref.txt")
+	if err := cmdAnalyzeCDN([]string{"-o", ref, csv}); err != nil {
+		t.Fatalf("reference analyze-cdn: %v", err)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(base, "ckpt")
+	out := filepath.Join(base, "out.txt")
+	checkpoint.SetCrashPlan(3, true)
+	runErr := cmdAnalyzeCDN([]string{"-stream", "-shards", "8", "-checkpoint", dir, "-o", out, csv})
+	checkpoint.SetCrashPlan(0, false)
+	if !errors.Is(runErr, checkpoint.ErrCrashInjected) {
+		t.Fatalf("err = %v, want ErrCrashInjected", runErr)
+	}
+	if err := cmdResume([]string{dir}); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed analyze-cdn report differs from the in-memory path")
+	}
+}

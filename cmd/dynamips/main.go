@@ -12,7 +12,11 @@
 // Every generator is seeded; the same flags reproduce identical output.
 // Runs started with -checkpoint DIR journal completed work units and can
 // be resumed after a crash with 'dynamips resume DIR'; the resumed output
-// is byte-identical to an uninterrupted run.
+// is byte-identical to an uninterrupted run. 'gen cdn' and 'analyze-cdn'
+// take -stream to run the sharded streaming pipeline in bounded memory
+// (with -shards and -spill-dir controlling the partition width and
+// scratch location); streaming output is byte-identical to the
+// in-memory path.
 package main
 
 import (
@@ -72,7 +76,9 @@ commands:
 
 every command takes -metrics FILE (dump pipeline counters and virtual-time
 span timings as JSON); long-running commands take -pprof ADDR (serve
-net/http/pprof on ADDR for the run's duration)
+net/http/pprof on ADDR for the run's duration); gen cdn and analyze-cdn
+take -stream (sharded streaming pipeline, bounded memory, byte-identical
+output) with -shards N and -spill-dir DIR
 
 run 'dynamips <command> -h' for command flags
 `)

@@ -129,3 +129,53 @@ func TestAnalyzeCDNWithPfx2as(t *testing.T) {
 		t.Fatalf("analyze-cdn with pfx2as: %v", err)
 	}
 }
+
+// TestGenCDNStreamMatchesInMemory: the -stream flag must not change a
+// byte of either the generated CSV or the analyze-cdn report.
+func TestGenCDNStreamMatchesInMemory(t *testing.T) {
+	base := t.TempDir()
+	plain := filepath.Join(base, "plain.csv")
+	streamed := filepath.Join(base, "stream.csv")
+	common := []string{"cdn", "-scale", "0.02", "-days", "30"}
+	if err := cmdGen(append(common, "-o", plain)); err != nil {
+		t.Fatalf("gen cdn: %v", err)
+	}
+	if err := cmdGen(append(common, "-stream", "-spill-dir", filepath.Join(base, "spill"), "-o", streamed)); err != nil {
+		t.Fatalf("gen cdn -stream: %v", err)
+	}
+	want, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("gen cdn -stream output differs from the in-memory path")
+	}
+
+	repPlain := filepath.Join(base, "rep-plain.txt")
+	repStream := filepath.Join(base, "rep-stream.txt")
+	if err := cmdAnalyzeCDN([]string{"-o", repPlain, plain}); err != nil {
+		t.Fatalf("analyze-cdn: %v", err)
+	}
+	if err := cmdAnalyzeCDN([]string{"-stream", "-shards", "8", "-o", repStream, plain}); err != nil {
+		t.Fatalf("analyze-cdn -stream: %v", err)
+	}
+	wantRep, err := os.ReadFile(repPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRep, err := os.ReadFile(repStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotRep) != string(wantRep) {
+		t.Fatalf("analyze-cdn -stream report differs:\n got: %s\nwant: %s", gotRep, wantRep)
+	}
+
+	if err := cmdAnalyzeCDN([]string{"-checkpoint", filepath.Join(base, "ckpt"), plain}); err == nil {
+		t.Error("analyze-cdn -checkpoint without -stream accepted")
+	}
+}

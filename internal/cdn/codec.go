@@ -2,74 +2,338 @@ package cdn
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"net/netip"
 	"strconv"
-	"strings"
 
 	"dynamips/internal/netutil"
 )
 
+// csvHeader is the interchange format's comment header.
+const csvHeader = "# v4_prefix24,v6_prefix64,day,hits"
+
 // WriteCSV writes associations as "v4_prefix24,v6_prefix64,day,hits"
 // lines with a header comment, the interchange format of
-// `dynamips gen cdn`.
+// `dynamips gen cdn`. Rows are formatted with AppendCSVRow into a reused
+// buffer, so the writer allocates nothing per record.
 func WriteCSV(w io.Writer, assocs []Association) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "# v4_prefix24,v6_prefix64,day,hits"); err != nil {
+	if _, err := bw.WriteString(csvHeader + "\n"); err != nil {
 		return fmt.Errorf("cdn: writing header: %w", err)
 	}
+	buf := make([]byte, 0, 64)
 	for _, a := range assocs {
-		if _, err := fmt.Fprintf(bw, "%s,%s,%d,%d\n", a.P24(), a.P64(), a.Day, a.Hits); err != nil {
+		buf = AppendCSVRow(buf[:0], a)
+		if _, err := bw.Write(buf); err != nil {
 			return fmt.Errorf("cdn: writing association: %w", err)
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadCSV parses the association CSV format. Blank lines and lines
-// starting with '#' are skipped. Prefixes longer than the aggregation
-// granularity are rejected.
-func ReadCSV(r io.Reader) ([]Association, error) {
-	var out []Association
+// WriteCSVHeader writes just the header comment; the streaming pipeline
+// uses it before concatenating per-shard row buffers.
+func WriteCSVHeader(w io.Writer) error {
+	if _, err := io.WriteString(w, csvHeader+"\n"); err != nil {
+		return fmt.Errorf("cdn: writing header: %w", err)
+	}
+	return nil
+}
+
+// AppendCSVRow appends one association's CSV line (newline included) to
+// dst and returns the extended slice. The output is byte-identical to
+// formatting via netip's Prefix.String: the /24 prints as dotted decimal
+// and the /64 — whose low 64 bits are zero by construction — always
+// compresses its trailing zero run per RFC 5952, since that run spans at
+// least four hextets while any internal run spans at most three.
+//
+//lint:hotpath
+func AppendCSVRow(dst []byte, a Association) []byte {
+	dst = appendP24(dst, a.K24)
+	dst = append(dst, ',')
+	dst = appendP64(dst, a.K64)
+	dst = append(dst, ',')
+	dst = strconv.AppendUint(dst, uint64(a.Day), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendUint(dst, uint64(a.Hits), 10)
+	return append(dst, '\n')
+}
+
+// appendP24 appends "a.b.c.0/24" for the /24 key (the network address
+// K24<<8, which always ends in a zero octet).
+//
+//lint:hotpath
+func appendP24(dst []byte, k24 uint32) []byte {
+	v := k24 << 8
+	dst = strconv.AppendUint(dst, uint64(v>>24), 10)
+	dst = append(dst, '.')
+	dst = strconv.AppendUint(dst, uint64(v>>16&0xff), 10)
+	dst = append(dst, '.')
+	dst = strconv.AppendUint(dst, uint64(v>>8&0xff), 10)
+	return append(dst, ".0/24"...)
+}
+
+// appendP64 appends the RFC 5952 canonical "h0:h1:h2:h3::/64" form for
+// the /64 key: hextets up to the last non-zero one, then the compressed
+// trailing run ("::/64" alone when the key is zero).
+//
+//lint:hotpath
+func appendP64(dst []byte, k64 uint64) []byte {
+	last := -1
+	for i := 0; i < 4; i++ {
+		if k64>>(48-16*i)&0xffff != 0 {
+			last = i
+		}
+	}
+	for i := 0; i <= last; i++ {
+		if i > 0 {
+			dst = append(dst, ':')
+		}
+		dst = strconv.AppendUint(dst, k64>>(48-16*i)&0xffff, 16)
+	}
+	return append(dst, "::/64"...)
+}
+
+// ScanCSV streams the association CSV format to fn one record at a time,
+// never materializing the dataset — the entry point sized for paper-scale
+// inputs. Blank lines and lines starting with '#' are skipped. Prefixes
+// longer than the aggregation granularity are rejected. A non-nil error
+// from fn aborts the scan.
+//
+// Rows in the canonical emitted form parse by direct byte indexing; any
+// other accepted spelling (unmasked prefixes, uppercase or zero-padded
+// hextets, uncompressed /64s) falls back to netip, keeping ReadCSV's
+// accept/reject semantics exactly.
+func ScanCSV(r io.Reader, fn func(Association) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 8*1024*1024)
 	line := 0
 	for sc.Scan() {
 		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 || text[0] == '#' {
 			continue
 		}
-		fields := strings.Split(text, ",")
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("cdn: line %d: want 4 fields, got %d", line, len(fields))
-		}
-		p24, err := netip.ParsePrefix(fields[0])
-		if err != nil || p24.Bits() != 24 || !p24.Addr().Is4() {
-			return nil, fmt.Errorf("cdn: line %d: bad IPv4 /24 %q", line, fields[0])
-		}
-		p64, err := netip.ParsePrefix(fields[1])
-		if err != nil || p64.Bits() != 64 || !p64.Addr().Is6() || p64.Addr().Unmap().Is4() {
-			return nil, fmt.Errorf("cdn: line %d: bad IPv6 /64 %q", line, fields[1])
-		}
-		day, err := strconv.ParseUint(fields[2], 10, 16)
+		a, err := parseCSVRow(text, line)
 		if err != nil {
-			return nil, fmt.Errorf("cdn: line %d: bad day: %w", line, err)
+			return err
 		}
-		hits, err := strconv.ParseUint(fields[3], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("cdn: line %d: bad hits: %w", line, err)
+		if err := fn(a); err != nil {
+			return err
 		}
-		out = append(out, Association{
-			K24:  netutil.U32(p24.Masked().Addr()) >> 8,
-			K64:  netutil.Key64(p64.Masked().Addr()),
-			Day:  uint16(day),
-			Hits: uint32(hits),
-		})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("cdn: reading associations: %w", err)
+		return fmt.Errorf("cdn: reading associations: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses the association CSV format into memory. Blank lines and
+// lines starting with '#' are skipped. Prefixes longer than the
+// aggregation granularity are rejected.
+func ReadCSV(r io.Reader) ([]Association, error) {
+	var out []Association
+	err := ScanCSV(r, func(a Association) error {
+		out = append(out, a)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// parseCSVRow parses one non-comment CSV line. Fast paths cover the
+// canonical emitted spellings; everything else goes through the same
+// netip/strconv checks the original parser used, so the accepted language
+// (and its error text) is unchanged.
+func parseCSVRow(text []byte, line int) (Association, error) {
+	var f [4][]byte
+	rest := text
+	for i := 0; i < 3; i++ {
+		j := bytes.IndexByte(rest, ',')
+		if j < 0 {
+			return Association{}, fmt.Errorf("cdn: line %d: want 4 fields, got %d", line, i+1)
+		}
+		f[i] = rest[:j]
+		rest = rest[j+1:]
+	}
+	if bytes.IndexByte(rest, ',') >= 0 {
+		return Association{}, fmt.Errorf("cdn: line %d: want 4 fields, got %d", line, 4+bytes.Count(rest, []byte{','}))
+	}
+	f[3] = rest
+
+	k24, ok := parseP24Fast(f[0])
+	if !ok {
+		p24, err := netip.ParsePrefix(string(f[0]))
+		if err != nil || p24.Bits() != 24 || !p24.Addr().Is4() {
+			return Association{}, fmt.Errorf("cdn: line %d: bad IPv4 /24 %q", line, f[0])
+		}
+		k24 = netutil.U32(p24.Masked().Addr()) >> 8
+	}
+	k64, ok := parseP64Fast(f[1])
+	if !ok {
+		p64, err := netip.ParsePrefix(string(f[1]))
+		if err != nil || p64.Bits() != 64 || !p64.Addr().Is6() || p64.Addr().Unmap().Is4() {
+			return Association{}, fmt.Errorf("cdn: line %d: bad IPv6 /64 %q", line, f[1])
+		}
+		k64 = netutil.Key64(p64.Masked().Addr())
+	}
+	day, ok := parseUintFast(f[2], 1<<16-1)
+	if !ok {
+		v, err := strconv.ParseUint(string(f[2]), 10, 16)
+		if err != nil {
+			return Association{}, fmt.Errorf("cdn: line %d: bad day: %w", line, err)
+		}
+		day = v
+	}
+	hits, ok := parseUintFast(f[3], 1<<32-1)
+	if !ok {
+		v, err := strconv.ParseUint(string(f[3]), 10, 32)
+		if err != nil {
+			return Association{}, fmt.Errorf("cdn: line %d: bad hits: %w", line, err)
+		}
+		hits = v
+	}
+	return Association{K24: k24, K64: k64, Day: uint16(day), Hits: uint32(hits)}, nil
+}
+
+// parseP24Fast parses "a.b.c.d/24" with canonical decimal octets (no
+// leading zeros, values <= 255), returning the /24 key. Anything else —
+// including spellings netip would still accept — reports !ok for the
+// fallback path; what it does accept yields the same masked key netip
+// would.
+//
+//lint:hotpath
+func parseP24Fast(s []byte) (uint32, bool) {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		if i > 0 {
+			if len(s) == 0 || s[0] != '.' {
+				return 0, false
+			}
+			s = s[1:]
+		}
+		o, rest, ok := parseOctet(s)
+		if !ok {
+			return 0, false
+		}
+		v = v<<8 | o
+		s = rest
+	}
+	if len(s) != 3 || s[0] != '/' || s[1] != '2' || s[2] != '4' {
+		return 0, false
+	}
+	return v >> 8, true
+}
+
+// parseOctet parses one canonical decimal octet prefix of s.
+//
+//lint:hotpath
+func parseOctet(s []byte) (uint32, []byte, bool) {
+	n := 0
+	var v uint32
+	for n < len(s) && s[n] >= '0' && s[n] <= '9' {
+		v = v*10 + uint32(s[n]-'0')
+		n++
+		if n > 3 {
+			return 0, nil, false
+		}
+	}
+	if n == 0 || v > 255 {
+		return 0, nil, false
+	}
+	if n > 1 && s[0] == '0' { // leading zeros: netip rejects them too
+		return 0, nil, false
+	}
+	return v, s[n:], true
+}
+
+// parseP64Fast parses "h0:h1:h2:h3::/64" forms — up to four leading
+// hextets, a trailing "::" compression, and the /64 length — covering
+// every spelling AppendCSVRow emits. The hextets may carry leading zeros
+// or uppercase digits (netip accepts both); dotted or uncompressed forms
+// fall back.
+//
+//lint:hotpath
+func parseP64Fast(s []byte) (uint64, bool) {
+	var k64 uint64
+	for i := 0; i < 4; i++ {
+		if len(s) >= 2 && s[0] == ':' && s[1] == ':' {
+			break
+		}
+		if i > 0 {
+			if len(s) == 0 || s[0] != ':' {
+				return 0, false
+			}
+			s = s[1:]
+		}
+		h, rest, ok := parseHextet(s)
+		if !ok {
+			return 0, false
+		}
+		k64 |= h << (48 - 16*i)
+		s = rest
+	}
+	if len(s) != 5 || s[0] != ':' || s[1] != ':' || s[2] != '/' || s[3] != '6' || s[4] != '4' {
+		return 0, false
+	}
+	return k64, true
+}
+
+// parseHextet parses one 1-4 digit hex hextet prefix of s.
+//
+//lint:hotpath
+func parseHextet(s []byte) (uint64, []byte, bool) {
+	n := 0
+	var v uint64
+	for n < len(s) {
+		c := s[n]
+		switch {
+		case c >= '0' && c <= '9':
+			v = v<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v<<4 | uint64(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			v = v<<4 | uint64(c-'A'+10)
+		default:
+			if n == 0 {
+				return 0, nil, false
+			}
+			return v, s[n:], true
+		}
+		n++
+		if n > 4 {
+			return 0, nil, false
+		}
+	}
+	if n == 0 {
+		return 0, nil, false
+	}
+	return v, s[n:], true
+}
+
+// parseUintFast parses a plain decimal field (the complete base-10
+// unsigned grammar strconv accepts), reporting !ok on any other byte or
+// on overflow past max so the caller can route through strconv for the
+// error.
+//
+//lint:hotpath
+func parseUintFast(s []byte, max uint64) (uint64, bool) {
+	if len(s) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + uint64(c-'0')
+		if v > max {
+			return 0, false
+		}
+	}
+	return v, true
 }

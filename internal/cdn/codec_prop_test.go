@@ -2,6 +2,7 @@ package cdn
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -42,6 +43,32 @@ func TestCSVRoundTripProperty(t *testing.T) {
 		}
 		if !reflect.DeepEqual(got, in) {
 			t.Fatalf("iter %d: round trip diverged:\nin:  %v\ngot: %v", iter, in, got)
+		}
+	}
+}
+
+// TestAppendCSVRowMatchesNetip pins the append-based formatter to the
+// reference netip rendering over random keys: every /24 must print as
+// Prefix.String's dotted decimal and every /64 as its RFC 5952 canonical
+// compression, or downstream byte-identity guarantees break.
+func TestAppendCSVRowMatchesNetip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := randAssocs(rng, 5000)
+	// Force the interesting /64 shapes: zero key, single hextet, zero
+	// hextets in the middle, and high bit patterns.
+	cases = append(cases,
+		Association{K64: 0},
+		Association{K64: 1},
+		Association{K64: 0x0001_0000_0000_0000},
+		Association{K64: 0x2001_0000_0000_0005},
+		Association{K64: 0x2001_0db8_0000_0000, K24: 0xFFFFFF},
+		Association{K64: 0xffff_ffff_ffff_ffff, Day: 65535, Hits: 1<<32 - 1},
+	)
+	for _, a := range cases {
+		want := fmt.Sprintf("%s,%s,%d,%d\n", a.P24(), a.P64(), a.Day, a.Hits)
+		got := string(AppendCSVRow(nil, a))
+		if got != want {
+			t.Fatalf("AppendCSVRow(%+v) = %q, want %q", a, got, want)
 		}
 	}
 }

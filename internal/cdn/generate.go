@@ -2,6 +2,7 @@ package cdn
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"net/netip"
 
@@ -54,6 +55,117 @@ func DefaultGenConfig(seed int64) GenConfig {
 	return GenConfig{Days: 150, Scale: 1, Seed: seed, ActivityProb: 0.75, MismatchFrac: 0.01}
 }
 
+// Normalized returns the config with the legacy soft defaults applied: a
+// non-positive Scale becomes 1 and an out-of-range ActivityProb becomes
+// 0.75. Both paths (Generate and the streaming pipeline) normalize before
+// validating, so they agree on the effective configuration.
+func (cfg GenConfig) Normalized() GenConfig {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.ActivityProb <= 0 || cfg.ActivityProb > 1 {
+		cfg.ActivityProb = 0.75
+	}
+	return cfg
+}
+
+// OperatorSet returns the effective operator list: the override when set,
+// the built-in ground-truth set otherwise.
+func (cfg GenConfig) OperatorSet() []Operator {
+	if cfg.Operators != nil {
+		return cfg.Operators
+	}
+	return Operators()
+}
+
+// Validate checks the (normalized) configuration up front, so a
+// misconfigured run fails fast with a config error instead of erroring
+// mid-generate deep inside pick24 or the CGNAT pool loop. Generate and
+// the streaming pipeline both call it before any work starts.
+func (cfg GenConfig) Validate() error {
+	if cfg.Days <= 0 {
+		return fmt.Errorf("cdn: non-positive window")
+	}
+	if cfg.Days > 1<<16 {
+		return fmt.Errorf("cdn: %d-day window overflows the tuple's uint16 day", cfg.Days)
+	}
+	if math.IsNaN(cfg.Scale) || math.IsInf(cfg.Scale, 0) || cfg.Scale <= 0 {
+		return fmt.Errorf("cdn: scale %v is not a positive finite factor", cfg.Scale)
+	}
+	if math.IsNaN(cfg.MismatchFrac) || cfg.MismatchFrac < 0 || cfg.MismatchFrac > 1 {
+		return fmt.Errorf("cdn: mismatch fraction %v outside [0, 1]", cfg.MismatchFrac)
+	}
+	for i, op := range cfg.OperatorSet() {
+		if err := validateOperator(op); err != nil {
+			return fmt.Errorf("cdn: operator %d (%s): %w", i, op.Name, err)
+		}
+	}
+	return nil
+}
+
+// validateOperator rejects operator models that would make generation
+// fail or hang mid-run: unusable address pools, division by zero in the
+// /24 demand, or negative durations that would walk the day cursor
+// backwards.
+func validateOperator(op Operator) error {
+	switch {
+	case !op.BGP4.IsValid() || !op.BGP4.Addr().Unmap().Is4():
+		return fmt.Errorf("BGP4 %v is not an IPv4 prefix", op.BGP4)
+	case op.BGP4.Bits() > 24:
+		return fmt.Errorf("BGP4 %v is longer than the /24 aggregation granularity", op.BGP4)
+	case !op.BGP6.IsValid() || !op.BGP6.Addr().Is6() || op.BGP6.Addr().Unmap().Is4():
+		return fmt.Errorf("BGP6 %v is not an IPv6 prefix", op.BGP6)
+	case op.BGP6.Bits() > 64:
+		return fmt.Errorf("BGP6 %v is longer than the /64 aggregation granularity", op.BGP6)
+	case op.UsersPer24 <= 0:
+		return fmt.Errorf("UsersPer24 %d must be positive", op.UsersPer24)
+	case op.Subscribers < 0:
+		return fmt.Errorf("negative subscriber count %d", op.Subscribers)
+	case math.IsNaN(op.AssocMeanDays) || op.AssocMeanDays < 0:
+		return fmt.Errorf("negative association mean %v", op.AssocMeanDays)
+	case op.DelegatedLen < 0 || op.DelegatedLen > 64:
+		return fmt.Errorf("delegated length /%d outside [0, 64]", op.DelegatedLen)
+	}
+	return nil
+}
+
+// Env is the generation environment shared by the in-memory and streaming
+// paths: the operator set with its routing/registry tables and the mobile
+// ground truth. The ASN-mismatch pre-filter (Keep) lives here so both
+// paths drop exactly the same associations.
+type Env struct {
+	Ops         []Operator
+	BGP         *bgp.Table
+	RIR         *rir.Table
+	TruthMobile map[uint32]bool
+}
+
+// NewEnv builds the environment for an operator set.
+func NewEnv(ops []Operator) *Env {
+	e := &Env{
+		Ops:         ops,
+		BGP:         &bgp.Table{},
+		RIR:         rir.Default(),
+		TruthMobile: make(map[uint32]bool),
+	}
+	for _, op := range ops {
+		e.BGP.Announce(op.BGP4, op.ASN)
+		e.BGP.Announce(op.BGP6, op.ASN)
+		e.BGP.SetName(op.ASN, op.Name)
+		e.TruthMobile[op.ASN] = op.Mobile
+	}
+	return e
+}
+
+// Keep reports whether the association survives the paper's
+// pre-processing: associations whose IPv4 and IPv6 ASNs disagree are
+// discarded (§4.1).
+func (e *Env) Keep(a Association) bool {
+	asn4, _, ok4 := e.BGP.Origin(a.P24().Addr())
+	asn6, _, ok6 := e.BGP.Origin(a.P64().Addr())
+	return ok4 && ok6 && asn4 == asn6
+}
+
 // Dataset is a generated and filtered association collection.
 type Dataset struct {
 	Assocs []Association
@@ -73,31 +185,18 @@ type Dataset struct {
 // episodes sampled daily, aggregated to (/24, /64, day) tuples, then run
 // through the ASN-mismatch filter exactly as the paper's pipeline does.
 func Generate(cfg GenConfig) (*Dataset, error) {
-	if cfg.Days <= 0 {
-		return nil, fmt.Errorf("cdn: non-positive window")
+	cfg = cfg.Normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Scale <= 0 {
-		cfg.Scale = 1
-	}
-	if cfg.ActivityProb <= 0 || cfg.ActivityProb > 1 {
-		cfg.ActivityProb = 0.75
-	}
-	ops := cfg.Operators
-	if ops == nil {
-		ops = Operators()
-	}
+	ops := cfg.OperatorSet()
+	env := NewEnv(ops)
 	ds := &Dataset{
 		Days:        cfg.Days,
 		Operators:   ops,
-		BGP:         &bgp.Table{},
-		RIR:         rir.Default(),
-		TruthMobile: make(map[uint32]bool),
-	}
-	for _, op := range ops {
-		ds.BGP.Announce(op.BGP4, op.ASN)
-		ds.BGP.Announce(op.BGP6, op.ASN)
-		ds.BGP.SetName(op.ASN, op.Name)
-		ds.TruthMobile[op.ASN] = op.Mobile
+		BGP:         env.BGP,
+		RIR:         env.RIR,
+		TruthMobile: env.TruthMobile,
 	}
 	// One seed-derived RNG stream per operator: each operator's draw
 	// sequence depends only on (Seed, operator index), never on how the
@@ -124,9 +223,7 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 	// IPv6 ASNs disagree (§4.1).
 	ds.Assocs = raw[:0]
 	for _, a := range raw {
-		asn4, _, ok4 := ds.BGP.Origin(a.P24().Addr())
-		asn6, _, ok6 := ds.BGP.Origin(a.P64().Addr())
-		if !ok4 || !ok6 || asn4 != asn6 {
+		if !env.Keep(a) {
 			ds.Mismatches++
 			continue
 		}
@@ -138,11 +235,30 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 	return ds, nil
 }
 
-// sub24Count returns the operator's /24 pool size.
+// sub24Count returns the operator's /24 pool size: the scaled subscriber
+// demand, clamped to what the BGP4 aggregate can actually carve
+// (sub24Cap). Saturating instead of overflowing means a high -scale run
+// degrades to a fully multiplexed pool rather than failing mid-generate
+// in pick24 or the CGNAT pool loop.
 func sub24Count(op Operator, scale float64) uint32 {
-	subs := int(float64(op.Subscribers) * scale)
-	n := uint32(subs/op.UsersPer24) + 1
-	return n
+	cap24 := sub24Cap(op)
+	subsF := float64(op.Subscribers) * scale
+	if subsF >= 1<<62 {
+		// The demand dwarfs any carvable pool (and would overflow the
+		// int conversion below).
+		return cap24
+	}
+	n := uint64(int(subsF)/op.UsersPer24) + 1
+	if n >= uint64(cap24) {
+		return cap24
+	}
+	return uint32(n)
+}
+
+// sub24Cap returns the number of /24s carvable from the operator's IPv4
+// aggregate: 2^(24−Bits). Validate guarantees Bits ≤ 24.
+func sub24Cap(op Operator) uint32 {
+	return 1 << uint(24-op.BGP4.Bits())
 }
 
 // pick24 returns the /24 key for a subscriber's current attachment: a
@@ -184,7 +300,33 @@ func operatorSeed(seed int64, oi int) int64 {
 	return seed ^ int64((uint64(oi)+1)*gamma)
 }
 
+// generateOperator materializes one operator's raw chunk — the in-memory
+// unit Generate journals per operator.
 func generateOperator(op Operator, all []Operator, oi int, cfg GenConfig, rng *rand.Rand) ([]Association, error) {
+	var out []Association
+	err := emitOperator(op, all, oi, cfg, rng, func(a Association) error {
+		out = append(out, a)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EmitOperator streams operator oi's raw associations to emit in
+// generation order, drawing from the operator's seed-derived RNG stream.
+// It is the streaming pipeline's entry point: the draw sequence (and so
+// the emitted tuples) is identical to what Generate journals for the same
+// normalized configuration, without ever materializing the chunk. The
+// caller must pass a Normalized and Validated config.
+func EmitOperator(oi int, cfg GenConfig, emit func(Association) error) error {
+	ops := cfg.OperatorSet()
+	rng := rand.New(rand.NewSource(operatorSeed(cfg.Seed, oi)))
+	return emitOperator(ops[oi], ops, oi, cfg, rng, emit)
+}
+
+func emitOperator(op Operator, all []Operator, oi int, cfg GenConfig, rng *rand.Rand, emit func(Association) error) error {
 	subs := int(float64(op.Subscribers) * cfg.Scale)
 	if subs <= 0 {
 		subs = 1
@@ -204,13 +346,12 @@ func generateOperator(op Operator, all []Operator, oi int, cfg GenConfig, rng *r
 		for i := uint32(0); i < n24; i++ {
 			p, err := netutil.SubPrefix(op.BGP4, 24, uint64(i))
 			if err != nil {
-				return nil, fmt.Errorf("cdn: cgnat pool for %s: %w", op.Name, err)
+				return fmt.Errorf("cdn: cgnat pool for %s: %w", op.Name, err)
 			}
 			public = append(public, p)
 		}
 		gw = cgnat.NewGateway(cgnat.DefaultConfig(public...))
 	}
-	var out []Association
 	for sub := 0; sub < subs; sub++ {
 		day := 0
 		var k64 uint64
@@ -230,14 +371,14 @@ func generateOperator(op Operator, all []Operator, oi int, cfg GenConfig, rng *r
 			if gw != nil && firstEpisode {
 				b, err := gw.Bind(fmt.Sprintf("%s-%d", op.Name, sub))
 				if err != nil {
-					return nil, fmt.Errorf("cdn: cgnat bind for %s: %w", op.Name, err)
+					return fmt.Errorf("cdn: cgnat bind for %s: %w", op.Name, err)
 				}
 				k24 = netutil.U32(b.Public) >> 8
 			} else {
 				var err error
 				k24, err = pick24(op, n24, rng)
 				if err != nil {
-					return nil, err
+					return err
 				}
 			}
 			firstEpisode = false
@@ -257,14 +398,16 @@ func generateOperator(op Operator, all []Operator, oi int, cfg GenConfig, rng *r
 					other := all[(oi+1+rng.Intn(len(all)-1))%len(all)]
 					ok24, err := pick24(other, sub24Count(other, cfg.Scale), rng)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					a.K24 = ok24
 				}
-				out = append(out, a)
+				if err := emit(a); err != nil {
+					return err
+				}
 			}
 			day = end
 		}
 	}
-	return out, nil
+	return nil
 }

@@ -1,0 +1,58 @@
+package cdn
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"dynamips/internal/checkpoint"
+	"dynamips/internal/obs"
+)
+
+// TestGenerateMetricsResumeInvariant: a checkpointed Generate that is
+// killed and resumed must report exactly the metrics, spans, and virtual
+// time of an uninterrupted run — resuming replays results, it does not
+// re-shape the accounting.
+func TestGenerateMetricsResumeInvariant(t *testing.T) {
+	defer checkpoint.SetCrashPlan(0, false)
+	cfg := DefaultGenConfig(23)
+	cfg.Scale = 0.02
+	cfg.Days = 20
+	key := checkpoint.Key{Seed: 23, ConfigHash: "metrics-test", Code: checkpoint.CodeVersion()}
+
+	run := func(dir string, killAt int) (obs.Snapshot, error) {
+		r, err := checkpoint.Open(dir, key, json.RawMessage(`{}`), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		o := obs.NewObserver()
+		r.SetObserver(o)
+		c := cfg
+		c.Checkpoint = r
+		c.Obs = o
+		if killAt > 0 {
+			checkpoint.SetCrashPlan(killAt, false)
+			defer checkpoint.SetCrashPlan(0, false)
+		}
+		_, err = Generate(c)
+		return o.Snapshot(), err
+	}
+
+	fresh, err := run(t.TempDir(), 0)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+
+	dir := t.TempDir()
+	if _, err := run(dir, 4); !errors.Is(err, checkpoint.ErrCrashInjected) {
+		t.Fatalf("killed run: err = %v, want ErrCrashInjected", err)
+	}
+	resumed, err := run(dir, 0)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !fresh.Equal(resumed) {
+		t.Fatalf("resumed metrics differ from uninterrupted run:\nfresh:   %+v\nresumed: %+v", fresh, resumed)
+	}
+}

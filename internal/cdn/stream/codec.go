@@ -1,0 +1,176 @@
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+
+	"dynamips/internal/cdn"
+)
+
+// The chunk file format:
+//
+//	file  := magic chunk*
+//	magic := "DYNCDN1\n" (8 bytes)
+//	chunk := count u32 | crc u32 | count × record   (big-endian)
+//
+// record is the fixed-width Association encoding — K24 u32, K64 u64,
+// Day u16, Hits u32: 18 bytes, under a quarter of the average CSV row.
+// crc is the CRC-32C of the chunk's records; a reader detects torn or
+// bit-rotted spill files at chunk granularity instead of silently
+// aggregating garbage. EOF is clean only at a chunk boundary.
+const (
+	magic      = "DYNCDN1\n"
+	recordSize = 18
+	// chunkRecords bounds writer buffering (~72 KiB per open spill).
+	chunkRecords = 4096
+	chunkHeader  = 8
+	// maxChunkRecords caps what a reader will allocate for one chunk, so
+	// a corrupt count can't balloon memory.
+	maxChunkRecords = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var (
+	// ErrBadMagic reports a chunk file that does not start with the
+	// format magic.
+	ErrBadMagic = errors.New("stream: bad chunk file magic")
+	// ErrCorrupt reports a torn or checksum-failing chunk.
+	ErrCorrupt = errors.New("stream: corrupt chunk")
+)
+
+// Writer encodes associations into the chunk format. Records accumulate
+// in a fixed buffer and flush as CRC-framed chunks; nothing allocates
+// per record.
+type Writer struct {
+	w   io.Writer
+	buf []byte // chunkHeader bytes reserved, then packed records
+	n   int    // records buffered
+}
+
+// NewWriter writes the file magic and returns a chunk writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return nil, wrap("stream: writing magic", err)
+	}
+	return &Writer{w: w, buf: make([]byte, chunkHeader, chunkHeader+chunkRecords*recordSize)}, nil
+}
+
+// Append buffers one association, flushing a full chunk when reached.
+func (w *Writer) Append(a cdn.Association) error {
+	w.buf = appendRecord(w.buf, a)
+	w.n++
+	if w.n >= chunkRecords {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+// Flush writes any buffered partial chunk. Call it before closing the
+// underlying writer; the Writer stays usable afterwards.
+func (w *Writer) Flush() error { return w.flushChunk() }
+
+func (w *Writer) flushChunk() error {
+	if w.n == 0 {
+		return nil
+	}
+	payload := w.buf[chunkHeader:]
+	binary.BigEndian.PutUint32(w.buf[0:4], uint32(w.n))
+	binary.BigEndian.PutUint32(w.buf[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := w.w.Write(w.buf); err != nil {
+		return wrap("stream: writing chunk", err)
+	}
+	w.buf = w.buf[:chunkHeader]
+	w.n = 0
+	return nil
+}
+
+func appendRecord(dst []byte, a cdn.Association) []byte {
+	return append(dst,
+		byte(a.K24>>24), byte(a.K24>>16), byte(a.K24>>8), byte(a.K24),
+		byte(a.K64>>56), byte(a.K64>>48), byte(a.K64>>40), byte(a.K64>>32),
+		byte(a.K64>>24), byte(a.K64>>16), byte(a.K64>>8), byte(a.K64),
+		byte(a.Day>>8), byte(a.Day),
+		byte(a.Hits>>24), byte(a.Hits>>16), byte(a.Hits>>8), byte(a.Hits),
+	)
+}
+
+// Reader decodes a chunk file record by record, verifying each chunk's
+// CRC before yielding from it.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+	pos int
+}
+
+// NewReader checks the file magic and returns a chunk reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	var m [len(magic)]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrBadMagic
+		}
+		return nil, wrap("stream: reading magic", err)
+	}
+	for i := 0; i < len(magic); i++ {
+		if m[i] != magic[i] {
+			return nil, ErrBadMagic
+		}
+	}
+	return &Reader{r: r}, nil
+}
+
+// Next returns the next association; ok is false at a clean end of file.
+func (r *Reader) Next() (a cdn.Association, ok bool, err error) {
+	if r.pos >= len(r.buf) {
+		if err := r.fill(); err != nil {
+			if err == io.EOF {
+				return cdn.Association{}, false, nil
+			}
+			return cdn.Association{}, false, err
+		}
+	}
+	b := r.buf[r.pos : r.pos+recordSize]
+	r.pos += recordSize
+	return cdn.Association{
+		K24:  binary.BigEndian.Uint32(b[0:4]),
+		K64:  binary.BigEndian.Uint64(b[4:12]),
+		Day:  binary.BigEndian.Uint16(b[12:14]),
+		Hits: binary.BigEndian.Uint32(b[14:18]),
+	}, true, nil
+}
+
+func (r *Reader) fill() error {
+	var hdr [chunkHeader]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return ErrCorrupt
+		}
+		return wrap("stream: reading chunk header", err)
+	}
+	count := binary.BigEndian.Uint32(hdr[0:4])
+	if count == 0 || count > maxChunkRecords {
+		return ErrCorrupt
+	}
+	need := int(count) * recordSize
+	if cap(r.buf) < need {
+		r.buf = make([]byte, need)
+	}
+	r.buf = r.buf[:need]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return ErrCorrupt
+		}
+		return wrap("stream: reading chunk", err)
+	}
+	if crc32.Checksum(r.buf, castagnoli) != binary.BigEndian.Uint32(hdr[4:8]) {
+		return ErrCorrupt
+	}
+	r.pos = 0
+	return nil
+}

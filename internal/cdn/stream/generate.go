@@ -1,0 +1,169 @@
+package stream
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"dynamips/internal/cdn"
+	"dynamips/internal/checkpoint"
+)
+
+// GenConfig configures the streaming generate path.
+type GenConfig struct {
+	// Gen is the shared generation model; its Checkpoint, Obs, and
+	// Workers fields drive this path exactly as they drive cdn.Generate.
+	Gen cdn.GenConfig
+	// SpillDir overrides where per-operator spill files live (see
+	// ensureSpillDir for the default resolution).
+	SpillDir string
+}
+
+// genMeta is the journaled result of one operator unit: its spill file
+// plus the counts the pipeline's counters need. Size lets a resume
+// re-validate the file before trusting it.
+type genMeta struct {
+	File       string
+	Raw        int64
+	Kept       int64
+	Mismatches int64
+	Size       int64
+}
+
+// Generate streams the synthetic dataset to w as CSV without ever
+// holding more than one codec chunk per worker in memory: each operator
+// unit streams its associations through the ASN-mismatch filter into a
+// binary spill file (journaled, so interrupted runs resume), then the
+// spills are concatenated in operator order through the append-based CSV
+// encoder. For the same normalized config the output is byte-identical
+// to cdn.WriteCSV over cdn.Generate's dataset, at any worker count.
+func Generate(cfg GenConfig, w io.Writer) error {
+	gen := cfg.Gen.Normalized()
+	if err := gen.Validate(); err != nil {
+		return err
+	}
+	dir, temp, err := ensureSpillDir(cfg.SpillDir, gen.Checkpoint)
+	if err != nil {
+		return err
+	}
+	if temp {
+		defer os.RemoveAll(dir)
+	}
+	g := &generator{cfg: gen, env: cdn.NewEnv(gen.OperatorSet()), dir: dir}
+	n := len(g.env.Ops)
+	span := gen.Obs.StartSpan("cdn/generate")
+	metas, err := checkpoint.Stage(gen.Checkpoint, "cdn-stream-gen", n, gen.Workers,
+		g.unit, checkpoint.GobEncode[genMeta], g.decMeta)
+	if err != nil {
+		return err
+	}
+	gen.Obs.Advance(int64(n))
+	span.End()
+	var raw, kept, mism int64
+	unitHist := gen.Obs.Histogram("cdn_stream_unit_records", unitBounds)
+	for i := range metas {
+		raw += metas[i].Raw
+		kept += metas[i].Kept
+		mism += metas[i].Mismatches
+		unitHist.Observe(metas[i].Kept)
+	}
+	gen.Obs.Counter("cdn_assocs_raw").Add(raw)
+	gen.Obs.Counter("cdn_assocs_filtered").Add(kept)
+	gen.Obs.Counter("cdn_mismatches_dropped").Add(mism)
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := cdn.WriteCSVHeader(bw); err != nil {
+		return err
+	}
+	for i := range metas {
+		if err := g.appendSpillCSV(bw, metas[i].File); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// generator carries the run state so the stage hooks are method values
+// (hot-path rule: no capturing closures).
+type generator struct {
+	cfg cdn.GenConfig
+	env *cdn.Env
+	dir string
+}
+
+// unit generates one operator's filtered associations into its spill
+// file and returns the journaled meta.
+func (g *generator) unit(oi int) (genMeta, error) {
+	name := "gen-" + strconv.Itoa(oi) + ".bin"
+	sf, err := createSpill(filepath.Join(g.dir, name))
+	if err != nil {
+		return genMeta{}, err
+	}
+	e := &genEmitter{w: sf.cw, env: g.env}
+	if err := cdn.EmitOperator(oi, g.cfg, e.emit); err != nil {
+		sf.abort()
+		return genMeta{}, err
+	}
+	size, err := sf.finish()
+	if err != nil {
+		return genMeta{}, err
+	}
+	return genMeta{File: name, Raw: e.raw, Kept: e.kept, Mismatches: e.mism, Size: size}, nil
+}
+
+func (g *generator) decMeta(b []byte) (genMeta, error) {
+	m, err := checkpoint.GobDecode[genMeta](b)
+	if err != nil {
+		return genMeta{}, err
+	}
+	if err := validateSpill(filepath.Join(g.dir, m.File), m.Size); err != nil {
+		return genMeta{}, err
+	}
+	return m, nil
+}
+
+// appendSpillCSV re-encodes one spill file as CSV rows into bw.
+func (g *generator) appendSpillCSV(bw *bufio.Writer, name string) error {
+	f, r, err := openSpill(filepath.Join(g.dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	row := make([]byte, 0, 64)
+	for {
+		a, ok, err := r.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		row = cdn.AppendCSVRow(row[:0], a)
+		if _, err := bw.Write(row); err != nil {
+			return wrap("stream: writing csv row", err)
+		}
+	}
+}
+
+// genEmitter applies the ASN-mismatch pre-filter in generation order —
+// the filter is per-record, so filtering inside each operator stream is
+// equivalent to the oracle's post-concatenation pass.
+type genEmitter struct {
+	w    *Writer
+	env  *cdn.Env
+	raw  int64
+	kept int64
+	mism int64
+}
+
+func (e *genEmitter) emit(a cdn.Association) error {
+	e.raw++
+	if !e.env.Keep(a) {
+		e.mism++
+		return nil
+	}
+	e.kept++
+	return e.w.Append(a)
+}

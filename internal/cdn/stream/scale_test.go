@@ -1,0 +1,155 @@
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"dynamips/internal/cdn"
+)
+
+// millionGenConfig sizes the model to roughly 10⁶ associations — the
+// scale the acceptance contract pins byte-identity at (DefaultGenConfig
+// yields ~3.1M associations at scale 1 over 150 days).
+func millionGenConfig(seed int64) cdn.GenConfig {
+	cfg := cdn.DefaultGenConfig(seed)
+	cfg.Scale = 0.32
+	cfg.Days = 150
+	return cfg
+}
+
+// TestMillionScaleIdentity is the acceptance-scale oracle check: at ~10⁶
+// associations the streaming generate emits byte-identical CSV, and the
+// sharded analyze renders the byte-identical report, versus the
+// in-memory path. Skipped under -short; the full run takes a few
+// seconds.
+func TestMillionScaleIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10⁶-association identity check skipped with -short")
+	}
+	cfg := millionGenConfig(20201201)
+	ds, want := oracleCSV(t, cfg)
+	if len(ds.Assocs) < 900_000 {
+		t.Fatalf("model produced %d associations, want ~10⁶ (rescale millionGenConfig)", len(ds.Assocs))
+	}
+
+	var got bytes.Buffer
+	got.Grow(len(want))
+	if err := Generate(GenConfig{Gen: cfg}, &got); err != nil {
+		t.Fatalf("stream Generate: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("stream CSV differs from oracle at %d associations", len(ds.Assocs))
+	}
+
+	in := filepath.Join(t.TempDir(), "assocs.csv")
+	if err := os.WriteFile(in, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantRep := renderReport(t, cdn.BuildReport(ds.Assocs, ds.BGP, 350, nil))
+	rep, err := Analyze(AnalyzeConfig{In: in, Threshold: 350, Table: ds.BGP})
+	if err != nil {
+		t.Fatalf("stream Analyze: %v", err)
+	}
+	if gotRep := renderReport(t, rep); !bytes.Equal(gotRep, wantRep) {
+		t.Fatalf("stream report differs from oracle at %d associations:\n got: %s\nwant: %s",
+			len(ds.Assocs), gotRep, wantRep)
+	}
+}
+
+// TestPaperScaleStream is the 10⁸-association soak: generate ~10⁸
+// associations through the streaming path into a CSV on disk, then
+// analyze it sharded, asserting the Go heap stays under a hard ceiling
+// the whole way — the dataset (~4 GB as CSV, ~1.7 GB materialized)
+// must never be resident. Gated behind DYNAMIPS_PAPER_SCALE=1 because
+// the run needs several GB of disk and a few minutes of CPU; CI covers
+// the same bounded-memory contract at reduced scale through the
+// BenchmarkStreamCDNPipeline peak-mem-bytes ceiling.
+func TestPaperScaleStream(t *testing.T) {
+	if os.Getenv("DYNAMIPS_PAPER_SCALE") == "" {
+		t.Skip("set DYNAMIPS_PAPER_SCALE=1 to run the 10⁸-association soak")
+	}
+	const heapCeiling = 2 << 30 // far below the ~10 GB an in-memory run would need
+
+	stopSampler := sampleHeap(t)
+	cfg := cdn.DefaultGenConfig(20201201)
+	cfg.Scale = 32 // ~3.1M associations per unit scale → ~1.0e8
+	cfg.Days = 150
+
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "assocs.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := Generate(GenConfig{Gen: cfg, SpillDir: filepath.Join(dir, "gen-spill")}, bw); err != nil {
+		t.Fatalf("stream Generate: %v", err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("generated CSV: %d bytes", st.Size())
+
+	rep, err := Analyze(AnalyzeConfig{
+		In: csvPath, Shards: 256, Threshold: 350,
+		SpillDir: filepath.Join(dir, "az-spill"),
+	})
+	if err != nil {
+		t.Fatalf("stream Analyze: %v", err)
+	}
+	max := stopSampler()
+	t.Logf("associations=%d episodes=%d peak-heap=%d", rep.Assocs, rep.Episodes, max)
+	if rep.Assocs < 100_000_000 {
+		t.Errorf("analyzed %d associations, want >= 10⁸ (rescale cfg.Scale)", rep.Assocs)
+	}
+	if max > heapCeiling {
+		t.Errorf("peak heap %d exceeds ceiling %d: streaming path is not bounded", max, heapCeiling)
+	}
+}
+
+// sampleHeap polls the runtime heap from a background goroutine until the
+// returned stop function is called; stop reports the peak observation.
+func sampleHeap(t *testing.T) (stop func() uint64) {
+	t.Helper()
+	var peak uint64
+	done := make(chan struct{})
+	quit := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-quit:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	var once bool
+	return func() uint64 {
+		if !once {
+			once = true
+			close(quit)
+			<-done
+		}
+		return peak
+	}
+}

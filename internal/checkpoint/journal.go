@@ -54,20 +54,23 @@ type Journal struct {
 	next        uint32   // index the next Append must carry
 	unsynced    int
 	truncations int64 // corruption-recovery truncations during open
-	appends     *obs.Counter
+	units       *obs.Counter
 	logf        func(format string, args ...any)
 }
 
-// SetObserver attaches o to the journal: appends count live under
-// journal_appends{stage=...}, and the frames replayed (and truncations
-// taken) during recovery are folded in retroactively. A nil o is a no-op.
+// SetObserver attaches o to the journal: completed work units count under
+// journal_units{stage=...}, whether they were replayed from disk at open
+// or appended live afterwards. Counting units instead of append/replay
+// events keeps the metric resume-invariant — a run killed and resumed at
+// any point reports exactly the same totals as an uninterrupted one.
+// Recovery truncations are diagnostics of a particular crash, not of the
+// computation, so they go to the run log only. A nil o is a no-op.
 func (j *Journal) SetObserver(o *obs.Observer, stage string) {
 	if o == nil {
 		return
 	}
-	j.appends = o.Counter("journal_appends", obs.L("stage", stage))
-	o.Counter("journal_replayed", obs.L("stage", stage)).Add(int64(len(j.payloads)))
-	o.Counter("journal_truncations", obs.L("stage", stage)).Add(j.truncations)
+	j.units = o.Counter("journal_units", obs.L("stage", stage))
+	j.units.Add(int64(len(j.payloads)))
 }
 
 // OpenJournal opens (or creates) a journal, scanning any existing frames.
@@ -212,7 +215,7 @@ func (j *Journal) Append(index int, payload []byte) error {
 	if _, err := j.f.Write(frame); err != nil {
 		return fmt.Errorf("checkpoint: appending to %s: %w", j.path, err)
 	}
-	j.appends.Inc()
+	j.units.Inc()
 	j.next++
 	j.unsynced++
 	if j.unsynced >= syncEvery {

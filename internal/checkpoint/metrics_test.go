@@ -1,0 +1,72 @@
+package checkpoint
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dynamips/internal/obs"
+)
+
+// TestJournalUnitsResumeInvariant: journal_units counts completed work
+// units, not append events — a journal that replays a prefix and appends
+// the rest must report exactly what an uninterrupted journal reports.
+func TestJournalUnitsResumeInvariant(t *testing.T) {
+	const total = 15
+	key := `journal_units{stage="s"}`
+
+	// Uninterrupted: every unit appended live.
+	fresh := obs.NewObserver()
+	pathA := filepath.Join(t.TempDir(), "a.wal")
+	ja, err := OpenJournal(pathA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja.SetObserver(fresh, "s")
+	for i := 0; i < total; i++ {
+		if err := ja.Append(i, []byte("unit")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ja.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: 10 units land in a first process, the rest after a
+	// reopen that replays them.
+	pathB := filepath.Join(t.TempDir(), "b.wal")
+	jb, err := OpenJournal(pathB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := jb.Append(i, []byte("unit")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resumed := obs.NewObserver()
+	jb2, err := OpenJournal(pathB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb2.SetObserver(resumed, "s")
+	for i := 10; i < total; i++ {
+		if err := jb2.Append(i, []byte("unit")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jb2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	a := fresh.Snapshot().Counters[key]
+	b := resumed.Snapshot().Counters[key]
+	if a != total || b != total {
+		t.Fatalf("journal_units: fresh=%d resumed=%d, want both %d", a, b, total)
+	}
+	if !fresh.Snapshot().Equal(resumed.Snapshot()) {
+		t.Fatal("journal metrics differ between fresh and resumed runs")
+	}
+}

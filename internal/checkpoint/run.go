@@ -80,10 +80,9 @@ type Run struct {
 	journals map[string]*Journal
 }
 
-// SetObserver routes journal accounting (appends, replayed frames,
-// recovery truncations) for every stage journal opened afterwards into
-// o's counters. Call it right after Open/Resume, before the pipeline
-// touches any stage.
+// SetObserver routes journal accounting (resume-invariant per-stage unit
+// counts) for every stage journal opened afterwards into o's counters.
+// Call it right after Open/Resume, before the pipeline touches any stage.
 func (r *Run) SetObserver(o *obs.Observer) {
 	if r == nil {
 		return

@@ -41,6 +41,7 @@ func DefaultConfig() Config {
 			"internal/isp",
 			"internal/atlas",
 			"internal/cdn",
+			"internal/cdn/stream",
 			"internal/core",
 			"internal/dhcp4",
 			"internal/dhcp6",
@@ -66,6 +67,7 @@ func DefaultConfig() Config {
 		},
 		HotPackages: []string{
 			"internal/rtrie",
+			"internal/cdn/stream",
 		},
 	}
 }

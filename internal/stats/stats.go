@@ -137,6 +137,48 @@ func (e *ECDF) Box() BoxStats {
 	}
 }
 
+// BoxOfCounts computes the BoxStats of a multiset given as parallel
+// (value, count) slices with values in ascending order — equivalent to
+// NewECDF over the expanded multiset without materializing it, which is
+// how the streaming CDN pipeline summarizes 10⁸ episode durations in a
+// few hundred histogram cells. Quantiles use the same nearest-rank rule
+// as ECDF.Quantile, so for any multiset the result is byte-identical to
+// the in-memory path's ECDF.Box().
+func BoxOfCounts(vals []float64, counts []int64) BoxStats {
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	q := func(p float64) float64 {
+		if n == 0 {
+			return math.NaN()
+		}
+		i := int64(math.Ceil(p*float64(n))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		var cum int64
+		for k, c := range counts {
+			cum += c
+			if i < cum {
+				return vals[k]
+			}
+		}
+		return vals[len(vals)-1]
+	}
+	return BoxStats{
+		P5:     q(0.05),
+		Q1:     q(0.25),
+		Median: q(0.5),
+		Q3:     q(0.75),
+		P95:    q(0.95),
+		N:      int(n),
+	}
+}
+
 // String renders a box summary compactly.
 func (b BoxStats) String() string {
 	return fmt.Sprintf("n=%d p5=%.2f q1=%.2f med=%.2f q3=%.2f p95=%.2f",

@@ -35,10 +35,16 @@ import (
 )
 
 // Baseline is the on-disk format: benchmark name (GOMAXPROCS suffix
-// stripped) to nanoseconds per operation.
+// stripped) to nanoseconds per operation. Ceilings are hand-authored
+// absolute maxima on extra b.ReportMetric figures, keyed
+// "BenchmarkName/unit" (e.g. "BenchmarkStreamCDNPipeline/peak-mem-bytes"):
+// unlike ns/op they are not ratio-gated against a recorded figure but
+// enforced as hard limits — the streaming pipeline's bounded-memory
+// contract. -write preserves them from the existing file.
 type Baseline struct {
-	Note    string             `json:"note,omitempty"`
-	NsPerOp map[string]float64 `json:"ns_per_op"`
+	Note     string             `json:"note,omitempty"`
+	NsPerOp  map[string]float64 `json:"ns_per_op"`
+	Ceilings map[string]float64 `json:"ceilings,omitempty"`
 }
 
 // testEvent is the subset of the test2json event stream benchcheck reads.
@@ -50,8 +56,13 @@ type testEvent struct {
 }
 
 // benchLine matches a benchmark result line inside a test2json Output
-// event, e.g. "BenchmarkTable1-8   100   123456 ns/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// event, e.g. "BenchmarkTable1-8   100   123456 ns/op". The tail
+// captures any extra "<value> <unit>" metric pairs appended by
+// b.ReportMetric (e.g. "52428800 peak-mem-bytes").
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op((?:\s+[0-9.]+ [^\s]+)*)`)
+
+// metricPair splits one "<value> <unit>" extra metric out of the tail.
+var metricPair = regexp.MustCompile(`([0-9.]+) ([^\s]+)`)
 
 func main() {
 	write := flag.String("write", "", "write parsed ns/op figures to this JSON file")
@@ -65,7 +76,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	got, err := parseBench(os.Stdin)
+	got, metrics, err := parseBench(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		os.Exit(1)
@@ -76,7 +87,14 @@ func main() {
 	}
 
 	if *write != "" {
-		if err := writeBaseline(*write, Baseline{Note: *note, NsPerOp: got}); err != nil {
+		b := Baseline{Note: *note, NsPerOp: got}
+		// Ceilings are hand-authored, not measured: carry them over from
+		// the file being refreshed so a baseline rewrite never drops the
+		// memory gate.
+		if prev, err := readBaseline(*write); err == nil {
+			b.Ceilings = prev.Ceilings
+		}
+		if err := writeBaseline(*write, b); err != nil {
 			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 			os.Exit(1)
 		}
@@ -89,7 +107,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		os.Exit(1)
 	}
-	if compare(os.Stdout, base.NsPerOp, got, *threshold) {
+	failed := compare(os.Stdout, base.NsPerOp, got, *threshold)
+	if checkCeilings(os.Stdout, base.Ceilings, metrics) {
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 }
@@ -99,9 +121,12 @@ func main() {
 // testing package flushes the padded name and the timing separately), so
 // fragments are reassembled per test and matched only at line boundaries.
 // Repeated runs of the same benchmark keep the fastest figure — the
-// least noise-inflated observation.
-func parseBench(r io.Reader) (map[string]float64, error) {
+// least noise-inflated observation. Extra b.ReportMetric pairs come back
+// keyed "BenchmarkName/unit", keeping the LARGEST observation: the extra
+// metrics gate resource ceilings, where the worst run is the honest one.
+func parseBench(r io.Reader) (map[string]float64, map[string]float64, error) {
 	out := map[string]float64{}
+	metrics := map[string]float64{}
 	partial := map[string]string{} // package/test -> unterminated line fragment
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -128,15 +153,57 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 			}
 			ns, err := strconv.ParseFloat(m[2], 64)
 			if err != nil {
-				return nil, fmt.Errorf("parsing ns/op in %q: %w", line, err)
+				return nil, nil, fmt.Errorf("parsing ns/op in %q: %w", line, err)
 			}
 			if prev, ok := out[m[1]]; !ok || ns < prev {
 				out[m[1]] = ns
 			}
+			for _, pm := range metricPair.FindAllStringSubmatch(m[3], -1) {
+				v, err := strconv.ParseFloat(pm[1], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("parsing metric in %q: %w", line, err)
+				}
+				mk := m[1] + "/" + pm[2]
+				if prev, ok := metrics[mk]; !ok || v > prev {
+					metrics[mk] = v
+				}
+			}
 		}
 		partial[key] = text
 	}
-	return out, sc.Err()
+	return out, metrics, sc.Err()
+}
+
+// checkCeilings enforces the baseline's hand-authored absolute maxima
+// against this run's extra metrics. A ceiling whose metric was not
+// produced this run is reported but never fails it (a reduced smoke may
+// skip the benchmark); a produced metric over its ceiling always fails.
+func checkCeilings(w io.Writer, ceilings, metrics map[string]float64) (failed bool) {
+	if len(ceilings) == 0 {
+		return false
+	}
+	keys := make([]string, 0, len(ceilings))
+	for k := range ceilings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v, ok := metrics[k]
+		if !ok {
+			fmt.Fprintf(w, "  skipped  %-44s (ceiling set, metric not in this run)\n", k)
+			continue
+		}
+		if v > ceilings[k] {
+			fmt.Fprintf(w, "  OVER     %-44s %14.0f exceeds ceiling %14.0f\n", k, v, ceilings[k])
+			failed = true
+		} else {
+			fmt.Fprintf(w, "  ok       %-44s %14.0f within ceiling  %14.0f\n", k, v, ceilings[k])
+		}
+	}
+	if failed {
+		fmt.Fprintln(w, "benchcheck: FAIL — resource ceiling exceeded")
+	}
+	return failed
 }
 
 func writeBaseline(path string, b Baseline) error {
