@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"dynamips/internal/bng"
 	"dynamips/internal/cdn"
 	"dynamips/internal/cdn/stream"
 	"dynamips/internal/experiments"
@@ -113,6 +114,76 @@ func BenchmarkEvolution(b *testing.B) { benchAtlasExperiment(b, "evolution") }
 func BenchmarkZmapBias(b *testing.B)  { benchAtlasExperiment(b, "zmapbias") }
 func BenchmarkTracking(b *testing.B)  { benchAtlasExperiment(b, "tracking") }
 
+// gcBaseline forces a collection and returns the settled heap size, the
+// zero point for peak-mem-bytes deltas (so heap retained by the other
+// benchmarks' memoized pipelines doesn't contaminate the measurement).
+func gcBaseline() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// withHeapSample runs fn while a background goroutine samples the Go
+// heap every millisecond, folding the largest growth over base into
+// *peak.
+func withHeapSample(peak *uint64, base uint64, fn func() error) error {
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-quit:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if grow := ms.HeapAlloc - base; ms.HeapAlloc > base && grow > *peak {
+					*peak = grow
+				}
+			}
+		}
+	}()
+	err := fn()
+	close(quit)
+	<-done
+	return err
+}
+
+// BenchmarkBNGChurn measures the assignment-plane daemon's virtual-time
+// churn loop at reduced scale: 50k subscribers across the built-in
+// groups, two virtual hours of renewal-dominated churn per iteration.
+// Alongside ns/op it reports peak-mem-bytes — heap growth over a
+// post-GC baseline while churning — which benchcheck gates against an
+// absolute ceiling: the striped table's steady-state allocation
+// contract, enforced in CI.
+func BenchmarkBNGChurn(b *testing.B) {
+	cfg := bng.DefaultConfig(50_000, 0xBE7C)
+	d, err := bng.New(cfg, bng.Options{RoundHours: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Attach phase: bring every subscriber online before the timer runs.
+	if err := d.Churn(1); err != nil {
+		b.Fatal(err)
+	}
+
+	base := gcBaseline()
+	var peak uint64
+	hours := d.Hours()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hours += 2
+		if err := withHeapSample(&peak, base, func() error { return d.Churn(hours) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(peak), "peak-mem-bytes")
+}
+
 // BenchmarkStreamCDNPipeline measures the sharded streaming CDN path
 // end-to-end at reduced scale: generate ~315k associations through
 // per-operator spill files into a CSV, then run the partition/shard/merge
@@ -130,36 +201,10 @@ func BenchmarkStreamCDNPipeline(b *testing.B) {
 	cfg.Scale = 0.1
 	cfg.Days = 150
 
-	runtime.GC()
-	var ms0 runtime.MemStats
-	runtime.ReadMemStats(&ms0)
-	base := ms0.HeapAlloc
-
+	base := gcBaseline()
 	var peak uint64
 	sampled := func(fn func() error) error {
-		quit := make(chan struct{})
-		done := make(chan struct{})
-		go func() {
-			defer close(done)
-			tick := time.NewTicker(time.Millisecond)
-			defer tick.Stop()
-			var ms runtime.MemStats
-			for {
-				select {
-				case <-quit:
-					return
-				case <-tick.C:
-					runtime.ReadMemStats(&ms)
-					if grow := ms.HeapAlloc - base; ms.HeapAlloc > base && grow > peak {
-						peak = grow
-					}
-				}
-			}
-		}()
-		err := fn()
-		close(quit)
-		<-done
-		return err
+		return withHeapSample(&peak, base, fn)
 	}
 
 	b.ResetTimer()

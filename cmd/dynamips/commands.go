@@ -143,6 +143,8 @@ func cmdGen(args []string) error {
 		probes := fs.Int("probes", 100, "number of probes")
 		hours := fs.Int64("hours", 17520, "simulated horizon in hours")
 		raw := fs.Bool("raw", false, "emit hourly records instead of RLE series")
+		bngURL := fs.String("bng", "", "pull the ground-truth profile from a live serve-bng daemon at this base URL instead of a built-in profile")
+		bngGroup := fs.String("bng-group", "", "subscriber group to model when -bng is set (default: the daemon's first group)")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
@@ -150,7 +152,14 @@ func cmdGen(args []string) error {
 		if err != nil {
 			return err
 		}
-		err = genAtlas(*profileName, *probes, *hours, *seed, *raw, *out, or.o)
+		if *bngURL != "" {
+			var profile isp.Profile
+			if profile, err = bngProfile(*bngURL, *bngGroup); err == nil {
+				err = genAtlasProfile(profile, *probes, *hours, *seed, *raw, *out, or.o)
+			}
+		} else {
+			err = genAtlas(*profileName, *probes, *hours, *seed, *raw, *out, or.o)
+		}
 		if ferr := or.finish(); err == nil {
 			err = ferr
 		}
@@ -163,8 +172,19 @@ func cmdGen(args []string) error {
 		streamMode := fs.Bool("stream", false, "stream each operator through a binary spill file instead of materializing the dataset (bounded memory; output is byte-identical)")
 		spillDir := fs.String("spill-dir", "", "directory for -stream spill files (default: the checkpoint directory's spill/, or a temp dir)")
 		pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
+		bngURL := fs.String("bng", "", "pull the operator set from a live serve-bng daemon at this base URL instead of the built-ins")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
+		}
+		if *bngURL != "" && *ckpt != "" {
+			return fmt.Errorf("gen cdn: -bng is incompatible with -checkpoint (a remote daemon's state cannot be journaled into a resumable spec)")
+		}
+		var ops []cdn.Operator
+		if *bngURL != "" {
+			var err error
+			if ops, err = bngOperators(*bngURL); err != nil {
+				return err
+			}
 		}
 		spec := runSpec{Kind: "gen-cdn", Out: *out, Seed: *seed, Days: *days, Scale: *scale,
 			Workers: *workers, Stream: *streamMode, SpillDir: *spillDir}
@@ -177,7 +197,7 @@ func cmdGen(args []string) error {
 		if err != nil {
 			return err
 		}
-		err = runGenCDNSpec(spec, run, or.o)
+		err = runGenCDNSpec(spec, run, ops, or.o)
 		if ferr := or.finish(); err == nil {
 			err = ferr
 		}
@@ -192,6 +212,10 @@ func genAtlas(profileName string, probes int, hours, seed int64, raw bool, out s
 	if !ok {
 		return fmt.Errorf("unknown profile %q (see 'dynamips profiles')", profileName)
 	}
+	return genAtlasProfile(profile, probes, hours, seed, raw, out, o)
+}
+
+func genAtlasProfile(profile isp.Profile, probes int, hours, seed int64, raw bool, out string, o *obs.Observer) error {
 	span := o.StartSpan("gen/atlas")
 	res, err := isp.Run(isp.Config{Profile: profile, Subscribers: probes * 2, Hours: hours, Seed: seed})
 	if err != nil {
@@ -216,7 +240,10 @@ func genAtlas(profileName string, probes int, hours, seed int64, raw bool, out s
 	})
 }
 
-func runGenCDNSpec(spec runSpec, run *checkpoint.Run, o *obs.Observer) error {
+// runGenCDNSpec generates the CDN dataset for spec. ops, when non-nil,
+// overrides the built-in operator set (the -bng path); it is always nil
+// on the checkpoint/resume path, which only ever replays built-ins.
+func runGenCDNSpec(spec runSpec, run *checkpoint.Run, ops []cdn.Operator, o *obs.Observer) error {
 	run.SetObserver(o)
 	cfg := cdn.DefaultGenConfig(spec.Seed)
 	cfg.Days = spec.Days
@@ -224,6 +251,7 @@ func runGenCDNSpec(spec runSpec, run *checkpoint.Run, o *obs.Observer) error {
 	cfg.Workers = spec.Workers
 	cfg.Checkpoint = run
 	cfg.Obs = o
+	cfg.Operators = ops
 	if spec.Stream {
 		return writeOutput(spec.Out, func(w io.Writer) error {
 			return stream.Generate(stream.GenConfig{Gen: cfg, SpillDir: spec.SpillDir}, w)
@@ -649,8 +677,8 @@ func cmdResume(args []string) error {
 	case "experiment":
 		err = runExperimentSpec(spec, run, or.o)
 	case "gen-cdn":
-		err = runGenCDNSpec(spec, run, or.o)
-	case "analyze-cdn":
+		err = runGenCDNSpec(spec, run, nil, or.o)
+case "analyze-cdn":
 		err = runAnalyzeCDNSpec(spec, run, or.o)
 	default:
 		err = fmt.Errorf("resume: manifest records unknown command kind %q", spec.Kind)

@@ -7,6 +7,7 @@
 //	dynamips experiment <name|all> [flags] regenerate a paper table/figure
 //	dynamips resume <dir>                  resume an interrupted checkpointed run
 //	dynamips serve-echo [-listen addr]     run the IP echo HTTP server
+//	dynamips serve-bng [flags]             run the assignment-plane BNG daemon
 //	dynamips stats <metrics.json>          render a -metrics dump as a report
 //
 // Every generator is seeded; the same flags reproduce identical output.
@@ -46,6 +47,8 @@ func main() {
 		err = cmdResume(os.Args[2:])
 	case "serve-echo":
 		err = cmdServeEcho(os.Args[2:])
+	case "serve-bng":
+		err = cmdServeBNG(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
 	case "-h", "--help", "help":
@@ -72,13 +75,16 @@ commands:
   experiment <name|all>    regenerate a paper table/figure
   resume <dir>             resume an interrupted checkpointed run
   serve-echo               run the IP echo HTTP server
+  serve-bng                run the assignment-plane BNG daemon (paginated
+                           /sessions /pools /stats API, checkpointed churn)
   stats <metrics.json>     render a -metrics snapshot as a per-stage report
 
 every command takes -metrics FILE (dump pipeline counters and virtual-time
 span timings as JSON); long-running commands take -pprof ADDR (serve
 net/http/pprof on ADDR for the run's duration); gen cdn and analyze-cdn
 take -stream (sharded streaming pipeline, bounded memory, byte-identical
-output) with -shards N and -spill-dir DIR
+output) with -shards N and -spill-dir DIR; gen atlas and gen cdn take
+-bng URL to pull ground truth from a live serve-bng daemon
 
 run 'dynamips <command> -h' for command flags
 `)

@@ -1,0 +1,82 @@
+package bng
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Client reads a live serve-bng daemon's API: the hook the atlas and
+// CDN generators use to pull assignment-plane ground truth from a
+// running BNG instead of in-process servers.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the daemon at base (e.g.
+// "http://127.0.0.1:8447"). A nil hc uses http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+func (c *Client) get(path string, into any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("bng: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("bng: GET %s: status %s", path, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		return fmt.Errorf("bng: GET %s: decoding: %w", path, err)
+	}
+	return nil
+}
+
+// Stats fetches /stats.
+func (c *Client) Stats() (StatsView, error) {
+	var v StatsView
+	err := c.get("/stats", &v)
+	return v, err
+}
+
+// Pools fetches /pools.
+func (c *Client) Pools() ([]PoolStats, error) {
+	var p PoolsPayload
+	if err := c.get("/pools", &p); err != nil {
+		return nil, err
+	}
+	return p.Pools, nil
+}
+
+// Sessions fetches one /sessions page.
+func (c *Client) Sessions(offset, limit int) (SessionsPage, error) {
+	var p SessionsPage
+	err := c.get("/sessions?offset="+strconv.Itoa(offset)+"&limit="+strconv.Itoa(limit), &p)
+	return p, err
+}
+
+// AllSessions walks the full paginated listing, calling fn per page.
+func (c *Client) AllSessions(limit int, fn func(SessionsPage) error) error {
+	offset := 0
+	for {
+		page, err := c.Sessions(offset, limit)
+		if err != nil {
+			return err
+		}
+		if err := fn(page); err != nil {
+			return err
+		}
+		if page.NextOffset == nil {
+			return nil
+		}
+		offset = *page.NextOffset
+	}
+}

@@ -1,0 +1,455 @@
+package bng
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"strconv"
+
+	"dynamips/internal/bng/stripe"
+	"dynamips/internal/dhcp4"
+	"dynamips/internal/dhcp6"
+	"dynamips/internal/netutil"
+	"dynamips/internal/radius"
+)
+
+// horizonSeconds is the server-side lease/session lifetime: effectively
+// infinite, so server state never expires underneath the event
+// schedule (the same "lifetimes cover the horizon" modeling as
+// internal/isp). The subscriber-visible renewal cadence comes from the
+// group's PoolProfile.LeaseSeconds instead.
+const horizonSeconds = 4_000_000_000
+
+// splitmix gamma (same constant as internal/faultnet's streams).
+const gamma = 0x9E3779B97F4A7C15
+
+// next steps a SplitMix64 cursor in place and returns the next draw.
+func next(x *uint64) uint64 {
+	*x += gamma
+	return stripe.Mix64(*x)
+}
+
+// expSeconds draws an exponential interval with the given mean, in
+// whole seconds, floored at 1 so events always advance time.
+func expSeconds(x *uint64, meanSec float64) int64 {
+	u := float64(next(x)>>11) / (1 << 53) // [0, 1)
+	d := -math.Log(1-u) * meanSec
+	if d < 1 {
+		return 1
+	}
+	if d > horizonSeconds {
+		return horizonSeconds
+	}
+	return int64(d)
+}
+
+// Event kinds.
+const (
+	evAttach uint8 = iota
+	evRenew
+	evRenumber
+	evFlap
+	evReattach
+)
+
+// event is one pending subscriber action. Each subscriber has exactly
+// one event in its shard's heap at any time (a flapped-down subscriber
+// holds a pending reattach). rng is the subscriber's SplitMix64 cursor;
+// it travels with the event so draws are independent of processing
+// order across subscribers.
+type event struct {
+	at   int64
+	key  uint64
+	rng  uint64
+	idx  int32
+	kind uint8
+}
+
+// eventHeap is a binary min-heap ordered by (at, key): virtual time
+// first, dense subscriber key as the deterministic tie-break.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].key < h[j].key
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old)
+	old[0] = old[n-1]
+	*h = old[:n-1]
+	n--
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// engClock is the shard-local virtual clock injected into the shard's
+// DHCP servers; the event loop sets it to each event's timestamp.
+type engClock struct{ sec int64 }
+
+func (c *engClock) Now() int64 { return c.sec }
+
+// subState is one subscriber's immutable identity within its shard.
+type subState struct {
+	key   uint64
+	user  string     // RADIUS user (BackendRADIUS groups)
+	duid  dhcp6.DUID // DHCPv6 client id (BackendDHCP groups with V6)
+	group int32
+}
+
+// groupSrv is one group's server set within one shard, plus the
+// group's cadence parameters in seconds.
+type groupSrv struct {
+	rad *radius.Server
+	d4  *dhcp4.Server
+	d6  *dhcp6.Server
+
+	renewSec    int64
+	renumberSec float64
+	flapSec     float64
+	downSec     float64
+}
+
+// ShardStats are one shard's event totals; they sum commutatively into
+// the daemon's StatsView in shard order.
+type ShardStats struct {
+	Events    uint64 `json:"events"`
+	Attaches  uint64 `json:"attaches"`
+	Renews    uint64 `json:"renews"`
+	Renumbers uint64 `json:"renumbers"`
+	Flaps     uint64 `json:"flaps"`
+	Reattach  uint64 `json:"reattaches"`
+	V4Changes uint64 `json:"v4_changes"`
+	V6Changes uint64 `json:"v6_changes"`
+}
+
+func (s *ShardStats) add(o ShardStats) {
+	s.Events += o.Events
+	s.Attaches += o.Attaches
+	s.Renews += o.Renews
+	s.Renumbers += o.Renumbers
+	s.Flaps += o.Flaps
+	s.Reattach += o.Reattach
+	s.V4Changes += o.V4Changes
+	s.V6Changes += o.V6Changes
+}
+
+// shardEngine is one stripe's complete assignment plane: its
+// subscribers, its per-group server instances (carved from disjoint
+// per-shard pools), its event heap, and its virtual clock. Engines
+// share nothing, so any worker count processes them identically.
+type shardEngine struct {
+	id     int
+	clock  *engClock
+	subs   []subState
+	srvs   []groupSrv
+	events eventHeap
+	stats  ShardStats
+}
+
+// hwOf derives a subscriber's MAC from its in-group index: locally
+// administered, unique within the (group, shard) server that sees it.
+func hwOf(key uint64) dhcp4.HWAddr {
+	idx := uint32(key)
+	return dhcp4.HWAddr{0x02, 0x00, byte(idx >> 24), byte(idx >> 16), byte(idx >> 8), byte(idx)}
+}
+
+// buildEngines constructs the per-shard engines for cfg: servers carved
+// from per-shard sub-pools, subscribers routed by the table's stripe
+// function, and an attach event at t=0 per subscriber.
+func buildEngines(cfg *Config, table *stripe.Table) ([]*shardEngine, error) {
+	shards := table.Shards()
+	engines := make([]*shardEngine, shards)
+	for sh := 0; sh < shards; sh++ {
+		e := &shardEngine{id: sh, clock: &engClock{}}
+		e.srvs = make([]groupSrv, len(cfg.Groups))
+		for gi := range cfg.Groups {
+			g := &cfg.Groups[gi]
+			gs, err := buildGroupServers(g, cfg.ShardBits, sh, e.clock)
+			if err != nil {
+				return nil, err
+			}
+			e.srvs[gi] = gs
+		}
+		engines[sh] = e
+	}
+	// Route subscribers to shards in (group, index) order so each
+	// shard's sub list — and its initial event pushes — are in dense
+	// key order.
+	var userBuf []byte
+	for gi := range cfg.Groups {
+		g := &cfg.Groups[gi]
+		for i := 0; i < g.Subscribers; i++ {
+			key := uint64(gi)<<32 | uint64(uint32(i))
+			e := engines[table.ShardOf(key)]
+			st := subState{key: key, group: int32(gi)}
+			switch g.Backend {
+			case BackendRADIUS:
+				userBuf = append(userBuf[:0], 's')
+				userBuf = strconv.AppendUint(userBuf, uint64(uint32(i)), 10)
+				st.user = string(userBuf)
+			case BackendDHCP:
+				if g.V6 != nil {
+					hw := hwOf(key)
+					st.duid = dhcp6.DUIDLL([6]byte(hw))
+				}
+			}
+			e.subs = append(e.subs, st)
+			e.events.push(event{
+				at:   0,
+				key:  key,
+				idx:  int32(len(e.subs) - 1),
+				kind: evAttach,
+				rng:  cfg.Seed + (key+1)*gamma,
+			})
+		}
+	}
+	return engines, nil
+}
+
+// buildGroupServers carves shard sh's pool slice out of the group's
+// aggregates and instantiates the backend servers on it.
+func buildGroupServers(g *Group, shardBits, sh int, clock *engClock) (groupSrv, error) {
+	gs := groupSrv{
+		renewSec:    int64(g.V4.LeaseSeconds / 2),
+		renumberSec: g.RenumberMeanHours * 3600,
+		flapSec:     g.FlapMeanHours * 3600,
+		downSec:     g.DowntimeMeanMinutes * 60,
+	}
+	if gs.renewSec < 1 {
+		gs.renewSec = 1
+	}
+	pool4, err := netutil.SubPrefix(g.V4.Network, g.V4.Network.Bits()+shardBits, uint64(sh))
+	if err != nil {
+		return gs, fmt.Errorf("bng: group %s shard %d: carving v4 pool: %w", g.Name, sh, err)
+	}
+	var pool6 netip.Prefix
+	if g.V6 != nil {
+		pool6, err = netutil.SubPrefix(g.V6.Network, g.V6.Network.Bits()+shardBits, uint64(sh))
+		if err != nil {
+			return gs, fmt.Errorf("bng: group %s shard %d: carving v6 pool: %w", g.Name, sh, err)
+		}
+	}
+	switch g.Backend {
+	case BackendRADIUS:
+		rc := radius.ServerConfig{
+			Pools4:         []netip.Prefix{pool4},
+			SessionTimeout: horizonSeconds,
+			Stride:         257, // scatter active addresses across the pool's /24s
+		}
+		if g.V6 != nil {
+			rc.Pools6 = []netip.Prefix{pool6}
+			rc.DelegatedLen6 = g.V6.DelegatedLen
+		}
+		gs.rad = radius.NewServer(rc)
+	case BackendDHCP:
+		serverID, err := netutil.HostAddr(pool4, 1)
+		if err != nil {
+			return gs, fmt.Errorf("bng: group %s shard %d: server id: %w", g.Name, sh, err)
+		}
+		gs.d4 = dhcp4.NewServer(dhcp4.ServerConfig{
+			Pools:        []netip.Prefix{pool4},
+			LeaseSeconds: horizonSeconds,
+			Sticky:       true,
+			ServerID:     serverID,
+		}, clock)
+		if g.V6 != nil {
+			gs.d6 = dhcp6.NewServer(dhcp6.ServerConfig{
+				Pools:        []netip.Prefix{pool6},
+				DelegatedLen: g.V6.DelegatedLen,
+				ValidSeconds: horizonSeconds,
+				Stride:       2557, // scatter delegations across the pool
+			}, clock)
+		}
+	}
+	return gs, nil
+}
+
+// advance processes every pending event with at <= until against the
+// shard's borrowed stripe, leaving the clock at until.
+func (e *shardEngine) advance(b stripe.Borrowed, until int64) error {
+	for len(e.events) > 0 && e.events[0].at <= until {
+		ev := e.pop()
+		e.clock.sec = ev.at
+		e.stats.Events++
+		sub := &e.subs[ev.idx]
+		g := &e.srvs[sub.group]
+		switch ev.kind {
+		case evAttach, evReattach, evRenumber:
+			if err := e.assign(b, &ev, sub, g); err != nil {
+				return err
+			}
+			e.scheduleNext(&ev, g)
+		case evRenew:
+			if s, ok := b.Get(ev.key); ok {
+				s.Renews++
+				s.Expiry = ev.at + int64(2)*g.renewSec
+				b.Put(s)
+			}
+			e.stats.Renews++
+			e.scheduleNext(&ev, g)
+		case evFlap:
+			e.release(b, &ev, sub, g)
+			down := expSeconds(&ev.rng, g.downSec)
+			e.events.push(event{at: ev.at + down, key: ev.key, idx: ev.idx, kind: evReattach, rng: ev.rng})
+		}
+	}
+	e.clock.sec = until
+	return nil
+}
+
+func (e *shardEngine) pop() event { return e.events.pop() }
+
+// assign (re)allocates the subscriber's addresses through its backend
+// and writes the resulting session record, bumping Gen when either
+// family's assignment changed.
+func (e *shardEngine) assign(b stripe.Borrowed, ev *event, sub *subState, g *groupSrv) error {
+	var (
+		addr4  uint32
+		p6hi   uint64
+		p6len  uint8
+		renum  = ev.kind == evRenumber
+		reatt  = ev.kind == evReattach
+		newTxn = uint32(next(&ev.rng))
+	)
+	switch {
+	case g.rad != nil:
+		sess, err := g.rad.StartSession(sub.user, ev.at)
+		if err != nil {
+			return fmt.Errorf("bng: shard %d key %#x: radius: %w", e.id, ev.key, err)
+		}
+		addr4 = netutil.U32(sess.Addr4)
+		if sess.Prefix6.IsValid() {
+			p6hi, _ = netutil.U128(sess.Prefix6.Addr())
+			p6len = uint8(sess.Prefix6.Bits())
+		}
+	default:
+		hw := hwOf(ev.key)
+		if renum {
+			// A forced v4 renumber releases before reacquiring; the
+			// sticky server re-offers the same address (stable
+			// business addressing), while v6 Reassign forces a fresh
+			// delegation.
+			if _, err := g.d4.Handle(dhcp4.NewMessage(dhcp4.Release, newTxn, hw)); err != nil {
+				return fmt.Errorf("bng: shard %d key %#x: dhcp4 release: %w", e.id, ev.key, err)
+			}
+		}
+		lease, err := g.d4.Acquire(hw, newTxn)
+		if err != nil {
+			return fmt.Errorf("bng: shard %d key %#x: dhcp4: %w", e.id, ev.key, err)
+		}
+		addr4 = netutil.U32(lease.Addr)
+		if g.d6 != nil {
+			var bind dhcp6.Binding
+			if renum {
+				bind, err = g.d6.Reassign(sub.duid, newTxn)
+			} else {
+				bind, err = g.d6.Acquire(sub.duid, newTxn)
+			}
+			if err != nil {
+				return fmt.Errorf("bng: shard %d key %#x: dhcp6: %w", e.id, ev.key, err)
+			}
+			p6hi, _ = netutil.U128(bind.Prefix.Addr())
+			p6len = uint8(bind.Prefix.Bits())
+		}
+	}
+	old, had := b.Get(ev.key)
+	s := stripe.Session{
+		Key:     ev.key,
+		Addr4:   addr4,
+		Pfx6Hi:  p6hi,
+		Pfx6Len: p6len,
+		Start:   ev.at,
+		Expiry:  ev.at + 2*g.renewSec,
+		State:   stripe.StateActive,
+	}
+	if had {
+		s.Start = old.Start
+		s.Gen = old.Gen
+		s.Renews = old.Renews
+		if old.Addr4 != addr4 {
+			s.Gen++
+			e.stats.V4Changes++
+		}
+		if old.Pfx6Hi != p6hi || old.Pfx6Len != p6len {
+			if old.Addr4 == addr4 {
+				s.Gen++
+			}
+			e.stats.V6Changes++
+		}
+	}
+	b.Put(s)
+	switch {
+	case renum:
+		e.stats.Renumbers++
+	case reatt:
+		e.stats.Reattach++
+	default:
+		e.stats.Attaches++
+	}
+	return nil
+}
+
+// release tears the subscriber's server-side state down and deletes its
+// session record.
+func (e *shardEngine) release(b stripe.Borrowed, ev *event, sub *subState, g *groupSrv) {
+	switch {
+	case g.rad != nil:
+		g.rad.StopSession(sub.user)
+	default:
+		hw := hwOf(ev.key)
+		g.d4.Handle(dhcp4.NewMessage(dhcp4.Release, uint32(next(&ev.rng)), hw))
+		if g.d6 != nil {
+			g.d6.ReleaseBinding(sub.duid)
+		}
+	}
+	b.Delete(ev.key)
+	e.stats.Flaps++
+}
+
+// scheduleNext draws the subscriber's next action — routine renewal at
+// T1 (lease/2), exponential renumbering, or an exponential flap — and
+// pushes whichever comes first. Ties resolve renew < renumber < flap.
+func (e *shardEngine) scheduleNext(ev *event, g *groupSrv) {
+	in := g.renewSec
+	kind := evRenew
+	if rn := expSeconds(&ev.rng, g.renumberSec); rn < in {
+		in, kind = rn, evRenumber
+	}
+	if fl := expSeconds(&ev.rng, g.flapSec); fl < in {
+		in, kind = fl, evFlap
+	}
+	e.events.push(event{at: ev.at + in, key: ev.key, idx: ev.idx, kind: kind, rng: ev.rng})
+}

@@ -1,0 +1,133 @@
+package bng
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Pagination limits for /sessions.
+const (
+	DefaultPageLimit = 100
+	MaxPageLimit     = 1000
+)
+
+// SessionsPage is the /sessions payload. NextOffset is nil on the last
+// page. Offsets index the stable subscriber-slot space (every
+// configured subscriber has a slot whether or not it is online), so a
+// paginated walk under churn never skips or repeats a slot.
+type SessionsPage struct {
+	Total      int           `json:"total"`
+	Offset     int           `json:"offset"`
+	Limit      int           `json:"limit"`
+	NextOffset *int          `json:"next_offset"`
+	Sessions   []SessionView `json:"sessions"`
+}
+
+// PoolsPayload is the /pools payload.
+type PoolsPayload struct {
+	Pools []PoolStats `json:"pools"`
+}
+
+// Handler returns the read-only API: GET /stats (cached round-boundary
+// view, canonical JSON), GET /pools, and GET /sessions?offset=&limit=.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", d.handleStats)
+	mux.HandleFunc("/pools", d.handlePools)
+	mux.HandleFunc("/sessions", d.handleSessions)
+	return mux
+}
+
+// APIServer is the daemon's running northbound HTTP endpoint.
+type APIServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the bound listen address.
+func (s *APIServer) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown drains in-flight requests until ctx expires.
+func (s *APIServer) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
+
+// Serve starts the read-only API on addr. The listener goroutine lives
+// for the daemon's lifetime and is drained by Shutdown; it only reads
+// the stripe table (per-shard locks) and the cached stats view, never
+// the engines.
+func (d *Daemon) Serve(addr string) (*APIServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bng: api listener on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: d.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	//lint:ignore goroutines background API listener joined by APIServer.Shutdown; read-only view of the striped table, never touches the engines
+	go srv.Serve(ln) //nolint:errcheck // Shutdown surfaces as ErrServerClosed here
+	return &APIServer{srv: srv, ln: ln}, nil
+}
+
+func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = d.WriteStats(w)
+}
+
+func (d *Daemon) handlePools(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	v := d.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(PoolsPayload{Pools: v.Pools})
+}
+
+func (d *Daemon) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	offset := 0
+	if s := q.Get("offset"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			http.Error(w, "bad offset", http.StatusBadRequest)
+			return
+		}
+		offset = v
+	}
+	limit := DefaultPageLimit
+	if s := q.Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = v
+	}
+	if limit > MaxPageLimit {
+		limit = MaxPageLimit
+	}
+	total := d.cumSubs[len(d.cumSubs)-1]
+	page := SessionsPage{
+		Total:    total,
+		Offset:   offset,
+		Limit:    limit,
+		Sessions: d.Sessions(offset, limit),
+	}
+	if n := offset + len(page.Sessions); len(page.Sessions) > 0 && n < total {
+		page.NextOffset = &n
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(page)
+}

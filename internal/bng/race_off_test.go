@@ -1,0 +1,9 @@
+//go:build !race
+
+package bng
+
+// raceEnabled reports whether the race detector is compiled in; the
+// million-session soak skips under it (the detector's ~10× slowdown
+// would turn a throughput assertion into a flake) and runs in its own
+// non-race CI step instead.
+const raceEnabled = false

@@ -1,0 +1,228 @@
+package stripe
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestNewRejectsBadShardBits(t *testing.T) {
+	for _, bits := range []int{-1, MaxShardBits + 1} {
+		if _, err := New(bits); !errors.Is(err, ErrShardBits) {
+			t.Errorf("New(%d): got %v, want ErrShardBits", bits, err)
+		}
+	}
+}
+
+func TestShardOfSingleShard(t *testing.T) {
+	tab, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1", tab.Shards())
+	}
+	for _, k := range []uint64{0, 1, 1 << 40, ^uint64(0)} {
+		if got := tab.ShardOf(k); got != 0 {
+			t.Errorf("ShardOf(%d) = %d, want 0", k, got)
+		}
+	}
+}
+
+func TestShardOfCoversAllShards(t *testing.T) {
+	tab, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for k := uint64(0); k < 4096; k++ {
+		i := tab.ShardOf(k)
+		if i < 0 || i >= tab.Shards() {
+			t.Fatalf("ShardOf(%d) = %d out of range", k, i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != tab.Shards() {
+		t.Errorf("dense keys hit %d/%d shards", len(seen), tab.Shards())
+	}
+}
+
+func TestPutGetDeleteLen(t *testing.T) {
+	tab, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Session{Key: 42, Addr4: 0x0a000001, State: StateActive, Expiry: 3600}
+	tab.Put(s)
+	got, ok := tab.Get(42)
+	if !ok || got != s {
+		t.Fatalf("Get(42) = %+v, %v; want %+v, true", got, ok, s)
+	}
+	if _, ok := tab.Get(43); ok {
+		t.Error("Get(43) found a session that was never stored")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", tab.Len())
+	}
+	if !tab.Delete(42) {
+		t.Error("Delete(42) = false, want true")
+	}
+	if tab.Delete(42) {
+		t.Error("second Delete(42) = true, want false")
+	}
+	if tab.Len() != 0 {
+		t.Errorf("Len() after delete = %d, want 0", tab.Len())
+	}
+}
+
+func TestBorrowOps(t *testing.T) {
+	tab, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := uint64(7)
+	sh := tab.ShardOf(key)
+	b := tab.Borrow(sh)
+	b.Put(Session{Key: key, State: StateActive})
+	if got, ok := b.Get(key); !ok || got.Key != key {
+		t.Fatalf("Borrowed.Get = %+v, %v", got, ok)
+	}
+	if b.Len() != 1 {
+		t.Errorf("Borrowed.Len = %d, want 1", b.Len())
+	}
+	if !b.Delete(key) {
+		t.Error("Borrowed.Delete = false, want true")
+	}
+	if b.Delete(key) {
+		t.Error("second Borrowed.Delete = true, want false")
+	}
+	b.Release()
+	// Table must be usable again after release.
+	tab.Put(Session{Key: key, State: StateActive})
+	if tab.Len() != 1 {
+		t.Errorf("Len after release = %d, want 1", tab.Len())
+	}
+}
+
+func TestSnapshotSortedOrder(t *testing.T) {
+	tab, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert in a scrambled order; expect key-ascending output.
+	keys := []uint64{900, 3, 1 << 33, 77, 0, 12, 1<<32 + 5}
+	for _, k := range keys {
+		tab.Put(Session{Key: k, State: StateActive})
+	}
+	snap := tab.SnapshotSorted()
+	if len(snap) != len(keys) {
+		t.Fatalf("snapshot has %d records, want %d", len(snap), len(keys))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Key >= snap[i].Key {
+			t.Fatalf("snapshot not strictly ascending at %d: %d >= %d", i, snap[i-1].Key, snap[i].Key)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	sessions := []Session{
+		{Key: 1, Pfx6Hi: 0x20010db800000000, Start: 10, Expiry: 3610, Addr4: 0x0a000001, Gen: 2, Renews: 9, Pfx6Len: 56, State: StateActive},
+		{Key: 1<<32 + 7, Start: -5, Expiry: 1 << 40, Addr4: 0xffffffff, State: StateActive},
+		{},
+	}
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, sessions); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 16 + len(sessions)*EncodedSessionSize + 4
+	if buf.Len() != wantLen {
+		t.Fatalf("encoded length %d, want %d", buf.Len(), wantLen)
+	}
+	got, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sessions) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(sessions))
+	}
+	for i := range sessions {
+		if got[i] != sessions[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], sessions[i])
+		}
+	}
+}
+
+func TestDecodeSnapshotErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, []Session{{Key: 1, State: StateActive}}); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := DecodeSnapshot(bytes.NewReader(nil)); !errors.Is(err, ErrSnapshotTruncate) {
+			t.Errorf("got %v, want ErrSnapshotTruncate", err)
+		}
+	})
+	t.Run("magic", func(t *testing.T) {
+		bad := append([]byte(nil), enc...)
+		bad[0] ^= 0xff
+		if _, err := DecodeSnapshot(bytes.NewReader(bad)); !errors.Is(err, ErrSnapshotMagic) {
+			t.Errorf("got %v, want ErrSnapshotMagic", err)
+		}
+	})
+	t.Run("truncated-record", func(t *testing.T) {
+		if _, err := DecodeSnapshot(bytes.NewReader(enc[:20])); !errors.Is(err, ErrSnapshotTruncate) {
+			t.Errorf("got %v, want ErrSnapshotTruncate", err)
+		}
+	})
+	t.Run("missing-trailer", func(t *testing.T) {
+		if _, err := DecodeSnapshot(bytes.NewReader(enc[:len(enc)-4])); !errors.Is(err, ErrSnapshotTruncate) {
+			t.Errorf("got %v, want ErrSnapshotTruncate", err)
+		}
+	})
+	t.Run("crc", func(t *testing.T) {
+		bad := append([]byte(nil), enc...)
+		bad[20] ^= 0xff
+		if _, err := DecodeSnapshot(bytes.NewReader(bad)); !errors.Is(err, ErrSnapshotCRC) {
+			t.Errorf("got %v, want ErrSnapshotCRC", err)
+		}
+	})
+	t.Run("absurd-count", func(t *testing.T) {
+		bad := append([]byte(nil), enc...)
+		for i := 8; i < 16; i++ {
+			bad[i] = 0xff
+		}
+		if _, err := DecodeSnapshot(bytes.NewReader(bad)); !errors.Is(err, ErrSnapshotTruncate) {
+			t.Errorf("got %v, want ErrSnapshotTruncate", err)
+		}
+	})
+}
+
+func TestHashDistinguishesStates(t *testing.T) {
+	a := []Session{{Key: 1, Addr4: 10, State: StateActive}}
+	b := []Session{{Key: 1, Addr4: 11, State: StateActive}}
+	if Hash(a) == Hash(b) {
+		t.Error("Hash collision between distinct single-record states")
+	}
+	if Hash(a) != Hash(append([]Session(nil), a...)) {
+		t.Error("Hash not deterministic for equal input")
+	}
+	if Hash(nil) == Hash(a) {
+		t.Error("Hash(nil) equals Hash(one record)")
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Spot-check injectivity over a dense range (a true bijection can't
+	// collide; a buggy finalizer would show collisions fast).
+	seen := make(map[uint64]uint64, 1<<16)
+	for k := uint64(0); k < 1<<16; k++ {
+		h := Mix64(k)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision: %d and %d -> %#x", prev, k, h)
+		}
+		seen[h] = k
+	}
+}

@@ -174,3 +174,76 @@ func TestNewGatewayPanics(t *testing.T) {
 		}()
 	}
 }
+
+// tinyGateway has two public addresses with two blocks each, so the
+// address-straddle and exhaustion edges are a handful of binds away.
+func tinyGateway() *Gateway {
+	return NewGateway(Config{
+		Public:              []netip.Prefix{netip.MustParsePrefix("198.51.100.0/31")},
+		PortsPerBlock:       32256, // (65536-1024)/32256 = 2 blocks per address
+		BlocksPerSubscriber: 4,
+		PortFloor:           1024,
+	})
+}
+
+// TestGrowNeverStraddlesAddresses: a subscriber whose address is out of
+// blocks gets ErrExhausted even while the next public address still has
+// free blocks — deterministic attribution requires one address per
+// subscriber.
+func TestGrowNeverStraddlesAddresses(t *testing.T) {
+	g := tinyGateway()
+	if g.Capacity() != 4 {
+		t.Fatalf("tiny gateway capacity %d, want 4", g.Capacity())
+	}
+	// a takes block 0, b takes block 1: address 0 is now full.
+	if _, err := g.Bind("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Bind("b"); err != nil {
+		t.Fatal(err)
+	}
+	// a's second block would land on address 1: refused, though the
+	// gateway still has half its capacity free.
+	_, _, err := g.Translate("a", 32256)
+	if !errors.Is(err, ErrExhausted) {
+		t.Errorf("straddling grow: err = %v, want ErrExhausted", err)
+	}
+	// b can still not grow either, but a fresh subscriber starts
+	// cleanly on address 1.
+	if b, err := g.Bind("c"); err != nil {
+		t.Fatal(err)
+	} else if b.Public != netip.MustParseAddr("198.51.100.1") {
+		t.Errorf("c bound to %v, want the second public address", b.Public)
+	}
+}
+
+// TestTranslateBindExhausted: Translate for an unknown subscriber on a
+// fully-allocated gateway surfaces the Bind failure.
+func TestTranslateBindExhausted(t *testing.T) {
+	g := tinyGateway()
+	for i := 0; i < 4; i++ {
+		if _, err := g.Bind(fmt.Sprintf("s%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := g.Translate("late", 0); !errors.Is(err, ErrExhausted) {
+		t.Errorf("Translate on exhausted gateway: err = %v, want ErrExhausted", err)
+	}
+	// A bound subscriber growing into the exhausted pool also fails.
+	if _, _, err := g.Translate("s3", 32256); !errors.Is(err, ErrExhausted) {
+		t.Errorf("grow on exhausted gateway: err = %v, want ErrExhausted", err)
+	}
+}
+
+// TestAttributeOtherAddress: attribution skips bindings on other public
+// addresses and reports ErrNoBinding when the queried address holds none.
+func TestAttributeOtherAddress(t *testing.T) {
+	g := tinyGateway()
+	if _, err := g.Bind("a"); err != nil {
+		t.Fatal(err)
+	}
+	// a lives on .0; querying .1 must not attribute a's ports to it.
+	if _, err := g.Attribute(netip.MustParseAddr("198.51.100.1"), 1024); !errors.Is(err, ErrNoBinding) {
+		t.Errorf("Attribute on unused address: err = %v, want ErrNoBinding", err)
+	}
+}

@@ -509,3 +509,78 @@ func TestAdminRenumberMovesEveryone(t *testing.T) {
 		t.Errorf("%d of %d subscribers moved at the renumbering hour", moved4, movedAll)
 	}
 }
+
+func TestRemoteProfile(t *testing.T) {
+	v4 := []netip.Prefix{netip.MustParsePrefix("10.0.0.0/9")}
+	v6 := netip.MustParsePrefix("2001:db8::/34")
+
+	p, err := RemoteProfile("bng/res", 64512, BackendRADIUS, v4, v6, 56, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("remote profile invalid: %v", err)
+	}
+	if p.PoolLen4 != 11 || p.PoolLen6 != 40 || p.DualStackFrac != 1 {
+		t.Errorf("derived pools /%d //%d dsfrac=%g, want /11 //40 1", p.PoolLen4, p.PoolLen6, p.DualStackFrac)
+	}
+	if len(p.DS) == 0 || !p.DS[0].Coupled || p.DS[0].V4.PeriodHours != 4 {
+		t.Errorf("RADIUS classes should renumber on the 4h lease cadence: %+v", p.DS)
+	}
+
+	// A sticky DHCP backend gets exponential, decoupled classes.
+	p, err = RemoteProfile("bng/biz", 64513, BackendDHCP, v4, v6, 56, 24, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.DS {
+		if c.V4.PeriodHours != 0 || c.Coupled {
+			t.Errorf("DHCP class should be exponential and decoupled: %+v", c)
+		}
+	}
+
+	// The v6 pool never outruns the delegation, and a runnable profile
+	// comes back even from a tight aggregate.
+	p, err = RemoteProfile("bng/tight", 64514, BackendRADIUS, v4, netip.MustParsePrefix("2001:db8::/60"), 61, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PoolLen6 != 61 || !p.Mobile {
+		t.Errorf("tight aggregate: pool //%d mobile=%v, want //61 true", p.PoolLen6, p.Mobile)
+	}
+	if _, err := Run(Config{Profile: p, Subscribers: 20, Hours: 24, Seed: 3}); err != nil {
+		t.Errorf("tight remote profile does not run: %v", err)
+	}
+
+	// Rejections.
+	bad := []struct {
+		name string
+		err  func() error
+	}{
+		{"no name", func() error {
+			_, err := RemoteProfile("", 1, BackendRADIUS, v4, v6, 56, 4, false)
+			return err
+		}},
+		{"no v4", func() error {
+			_, err := RemoteProfile("x", 1, BackendRADIUS, nil, v6, 56, 4, false)
+			return err
+		}},
+		{"invalid v6", func() error {
+			_, err := RemoteProfile("x", 1, BackendRADIUS, v4, netip.Prefix{}, 56, 4, false)
+			return err
+		}},
+		{"delegation above aggregate", func() error {
+			_, err := RemoteProfile("x", 1, BackendRADIUS, v4, v6, 34, 4, false)
+			return err
+		}},
+		{"delegation below /64", func() error {
+			_, err := RemoteProfile("x", 1, BackendRADIUS, v4, v6, 65, 4, false)
+			return err
+		}},
+	}
+	for _, tc := range bad {
+		if tc.err() == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}

@@ -457,3 +457,81 @@ func ProfileByName(name string) (Profile, bool) {
 	}
 	return Profile{}, false
 }
+
+// RemoteProfile builds a runnable Profile from the pool layout of a
+// live assignment-plane daemon (dynamips serve-bng): the daemon's
+// published pool prefixes and lease cadence become the generative
+// ground truth, with class mixes derived heuristically from the
+// backend. The daemon's groups are fully dual-stack, so the profile
+// is too. The result passes Validate.
+func RemoteProfile(name string, asn uint32, backend Backend, v4 []netip.Prefix, v6 netip.Prefix, delegatedLen int, leaseHours uint32, mobile bool) (Profile, error) {
+	if name == "" {
+		return Profile{}, fmt.Errorf("isp: remote profile without name")
+	}
+	if len(v4) == 0 {
+		return Profile{}, fmt.Errorf("isp: remote profile %s: no IPv4 pools", name)
+	}
+	if !v6.IsValid() {
+		return Profile{}, fmt.Errorf("isp: remote profile %s: no IPv6 aggregate", name)
+	}
+	if delegatedLen <= v6.Bits() || delegatedLen > 64 {
+		return Profile{}, fmt.Errorf("isp: remote profile %s: delegation /%d outside (%d, 64]",
+			name, delegatedLen, v6.Bits())
+	}
+	if leaseHours < 1 {
+		leaseHours = 1
+	}
+	// Two regional pool groups, carved one level below the announced
+	// prefixes: v4 pools two bits below the longest announcement
+	// (capped at /30, the Validate ceiling), v6 pools six bits below
+	// the aggregate (capped at the delegation length so at least one
+	// delegation fits per pool).
+	pool4 := 0
+	for _, p := range v4 {
+		if p.Bits() > pool4 {
+			pool4 = p.Bits()
+		}
+	}
+	pool4 += 2
+	if pool4 > 30 {
+		pool4 = 30
+	}
+	pool6 := v6.Bits() + 6
+	if pool6 > delegatedLen {
+		pool6 = delegatedLen
+	}
+	lease := float64(leaseHours)
+	p := Profile{
+		Name: name, ASN: asn, Country: "ZZ",
+		BGP4:    append([]netip.Prefix(nil), v4...),
+		BGP6:    v6,
+		Regions: 2, PoolLen4: pool4, PoolLen6: pool6, DelegatedLen: delegatedLen,
+		CrossPool6Frac: 0.01,
+		Backend:        backend, LeaseHours: leaseHours,
+		DualStackFrac: 1, StaticFrac: 0.05,
+		Mobile: mobile,
+	}
+	if len(v4) > 1 {
+		p.CrossBGP4Frac = 0.2
+	}
+	switch backend {
+	case BackendDHCP:
+		// Sticky servers re-offer the same address: changes are rare
+		// and outage-like, decoupled across families.
+		p.DS = []Class{
+			{Weight: 0.7, V4: DurationModel{MeanHours: 40 * lease}, V6: DurationModel{MeanHours: 80 * lease}},
+			{Weight: 0.3, V4: DurationModel{MeanHours: 120 * lease}, V6: DurationModel{MeanHours: 240 * lease}},
+		}
+	default:
+		// Session-based assignment renumbers on the lease cadence for
+		// most subscribers, with a long-duration exponential tail.
+		p.DS = []Class{
+			{Weight: 0.6, V4: DurationModel{PeriodHours: lease, JitterHours: 1}, Coupled: true},
+			{Weight: 0.4, V4: DurationModel{MeanHours: 24 * lease}, V6: DurationModel{MeanHours: 48 * lease}},
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}

@@ -61,6 +61,8 @@ func DefaultConfig() Config {
 			"internal/rir",
 			"internal/netutil",
 			"internal/rtrie",
+			"internal/bng",
+			"internal/bng/stripe",
 		},
 		SpawnPackages: []string{
 			"internal/parallel",
@@ -68,6 +70,7 @@ func DefaultConfig() Config {
 		HotPackages: []string{
 			"internal/rtrie",
 			"internal/cdn/stream",
+			"internal/bng/stripe",
 		},
 	}
 }

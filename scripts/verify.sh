@@ -6,8 +6,11 @@
 #   suite under the race detector (which includes the fault-injection soak,
 #   TestPipelineUnderLoss), the golden regression corpus, the crash-injection
 #   kill-and-resume smoke, a metrics/stats CLI smoke, a coverage floor over
-#   the assignment-plane protocol packages, the checkpoint layer, and the
-#   observability layer, a bench regression smoke against the checked-in
+#   the assignment-plane protocol packages, the CGN substrate, the
+#   checkpoint layer, and the observability layer, the non-race
+#   million-session BNG soak (>=10^6 concurrent sessions at >=10^6
+#   events/sec with worker-count hash identity), a bench regression
+#   smoke against the checked-in
 #   baseline, and a bounded fuzz smoke over every wire-codec,
 #   fault-injection, and journal-decoding Fuzz* target. FUZZTIME bounds
 #   each fuzz run (default 10s); BENCH_THRESHOLD bounds the allowed ns/op
@@ -39,6 +42,9 @@ echo "    findings artifact: $lintjson"
 echo "==> go test -race ./... (includes the loss soak)"
 go test -race ./...
 
+echo "==> million-session BNG soak (non-race: >=10^6 sessions, >=10^6 events/sec, worker-count identity)"
+go test ./internal/bng -run '^TestMillionSessionSoak$' -count=1 -v
+
 echo "==> golden regression corpus"
 go test . -run '^TestGolden' -count=1
 
@@ -54,7 +60,7 @@ go build -o "$smokedir/dynamips" ./cmd/dynamips
 "$smokedir/dynamips" stats "$smokedir/metrics.json" >/dev/null
 
 echo "==> coverage floor (>=${COVERAGE_FLOOR}% of statements)"
-for pkg in internal/dhcp4 internal/dhcp6 internal/radius internal/faultnet internal/checkpoint internal/obs; do
+for pkg in internal/dhcp4 internal/dhcp6 internal/radius internal/faultnet internal/checkpoint internal/obs internal/cgnat; do
 	line=$(go test -cover "./$pkg" | tail -n 1)
 	echo "$line"
 	pct=$(echo "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
@@ -69,7 +75,7 @@ for pkg in internal/dhcp4 internal/dhcp6 internal/radius internal/faultnet inter
 done
 
 echo "==> bench regression smoke (<=${BENCH_THRESHOLD}x of baseline; streaming RSS ceiling)"
-go test -run '^$' -bench '^(BenchmarkTable1|BenchmarkFig1|BenchmarkGlobalDurations|BenchmarkBuildAtlasPipeline|BenchmarkBuildCDNPipeline|BenchmarkStreamCDNPipeline)$' \
+go test -run '^$' -bench '^(BenchmarkTable1|BenchmarkFig1|BenchmarkGlobalDurations|BenchmarkBuildAtlasPipeline|BenchmarkBuildCDNPipeline|BenchmarkStreamCDNPipeline|BenchmarkBNGChurn)$' \
 	-benchtime 5x -json . \
 	| go run ./scripts/benchcheck -baseline testdata/bench_baseline.json -threshold "$BENCH_THRESHOLD"
 
