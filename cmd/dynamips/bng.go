@@ -45,6 +45,10 @@ func cmdServeBNG(args []string) error {
 	grace := fs.Duration("grace", 5*time.Second, "graceful API shutdown drain deadline")
 	metrics := fs.String("metrics", "", "dump daemon counters (JSON) to this file at exit")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
+	scenario := fs.String("scenario", "", "operator-event scenario, e.g. 'failover-at=12:36,policy=renumber,coa-mean=72,relay-hops=2,relay-drop=0.02'")
+	standby := fs.String("standby", "", "run as warm standby tracking the active daemon at this URL; promote after -max-misses failed polls")
+	poll := fs.Duration("poll", time.Second, "standby: interval between polls of the active daemon")
+	maxMisses := fs.Int("max-misses", 3, "standby: consecutive failed polls before declaring the active dead and promoting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,11 +61,20 @@ func cmdServeBNG(args []string) error {
 	}
 	cfg := bng.DefaultConfig(*subscribers, *seed)
 	cfg.ShardBits = *shardBits
+	cfg.Scenario, err = bng.ParseScenario(*scenario)
+	if err != nil {
+		return err
+	}
+	role := "active"
+	if *standby != "" {
+		role = "standby"
+	}
 	d, err := bng.New(cfg, bng.Options{
 		Workers:       *workers,
 		RoundHours:    *roundHours,
 		CheckpointDir: *ckpt,
 		Obs:           or.o,
+		Role:          role,
 	})
 	if err != nil {
 		return err
@@ -85,29 +98,42 @@ func cmdServeBNG(args []string) error {
 		if err != nil {
 			return err
 		}
-		logf("serve-bng: %d subscribers in %d groups; API on http://%s (/sessions /pools /stats)",
+		logf("serve-bng: %d subscribers in %d groups; API on http://%s (/sessions /pools /stats /ha /snapshot)",
 			cfg.Subscribers(), len(cfg.Groups), api.Addr())
 	}
 
 	interrupted := false
-churn:
-	for d.Hours() < *churnHours {
-		next := d.Hours() + *roundHours
-		if next > *churnHours {
-			next = *churnHours
-		}
-		if err := d.Churn(next); err != nil {
+	if *standby != "" {
+		interrupted, err = runStandby(d, *standby, *churnHours, *poll, *maxMisses, sig)
+		if err != nil {
 			return err
 		}
-		if bngRoundHook != nil {
-			bngRoundHook(d.Hours())
-		}
-		select {
-		case s := <-sig:
-			logf("serve-bng: received %v at virtual hour %d; draining", s, d.Hours())
-			interrupted = true
-			break churn
-		default:
+	} else {
+		failovers := 0
+	churn:
+		for d.Hours() < *churnHours {
+			next := d.Hours() + *roundHours
+			if next > *churnHours {
+				next = *churnHours
+			}
+			if err := d.Churn(next); err != nil {
+				return err
+			}
+			if v := d.Stats(); v.Failovers > failovers {
+				failovers = v.Failovers
+				logf("serve-bng: failover #%d fired at virtual hour %d (policy %s)",
+					failovers, v.LastFailoverHour, cfg.Scenario.EffectivePolicy())
+			}
+			if bngRoundHook != nil {
+				bngRoundHook(d.Hours())
+			}
+			select {
+			case s := <-sig:
+				logf("serve-bng: received %v at virtual hour %d; draining", s, d.Hours())
+				interrupted = true
+				break churn
+			default:
+			}
 		}
 	}
 
@@ -139,6 +165,73 @@ churn:
 		}
 	}
 	return or.finish()
+}
+
+// runStandby tracks a remote active daemon: every poll interval it
+// pulls the active's /ha view, replays its own deterministic copy of
+// the same Config to the active's virtual hour, and cross-checks the
+// table hash plus the codec-level /snapshot stream (warm state sync
+// with split-brain detection). After maxMisses consecutive failed polls
+// it declares the active dead and promotes itself: the replayed state
+// already reflects the scenario's recovery policy, so promotion churns
+// straight on to churnHours as the new active. Returns interrupted=true
+// when a signal ended the watch before promotion.
+func runStandby(d *bng.Daemon, activeURL string, churnHours int64, poll time.Duration, maxMisses int, sig <-chan os.Signal) (bool, error) {
+	cl := bng.NewClient(activeURL, nil).WithRetry(0, 0)
+	logf("serve-bng: standby tracking %s (poll %v, promote after %d misses)", activeURL, poll, maxMisses)
+	misses := 0
+	for misses < maxMisses {
+		select {
+		case s := <-sig:
+			logf("serve-bng: standby received %v at virtual hour %d; draining", s, d.Hours())
+			return true, nil
+		case <-time.After(poll):
+		}
+		ha, err := cl.HA()
+		if err != nil {
+			misses++
+			logf("serve-bng: standby poll miss %d/%d: %v", misses, maxMisses, err)
+			continue
+		}
+		misses = 0
+		if ha.VirtualHours > d.Hours() {
+			if err := d.Churn(ha.VirtualHours); err != nil {
+				return false, err
+			}
+		}
+		if d.Hours() != ha.VirtualHours {
+			continue // the active moved on mid-poll; re-check next round
+		}
+		if my := d.Stats().TableHash; my != ha.TableHash {
+			return false, fmt.Errorf("serve-bng: standby split brain at hour %d: active table %s, standby %s", d.Hours(), ha.TableHash, my)
+		}
+		// Codec-level sync: pull the active's snapshot stream and verify
+		// it decodes to the standby's exact session records.
+		recs, err := cl.Snapshot()
+		if err != nil {
+			misses++
+			logf("serve-bng: standby snapshot miss %d/%d: %v", misses, maxMisses, err)
+			continue
+		}
+		mine := d.Table().SnapshotSorted()
+		if len(recs) != len(mine) {
+			return false, fmt.Errorf("serve-bng: standby split brain: active snapshot has %d sessions, standby %d", len(recs), len(mine))
+		}
+		for i := range recs {
+			if recs[i] != mine[i] {
+				return false, fmt.Errorf("serve-bng: standby split brain at key %#x", recs[i].Key)
+			}
+		}
+	}
+	d.SetRole("active")
+	logf("serve-bng: active lost; promoting standby at virtual hour %d (policy %s)",
+		d.Hours(), d.Config().Scenario.EffectivePolicy())
+	if d.Hours() < churnHours {
+		if err := d.Churn(churnHours); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
 }
 
 // bngBaseASN numbers remote-daemon groups into the private ASN range:

@@ -678,7 +678,7 @@ func cmdResume(args []string) error {
 		err = runExperimentSpec(spec, run, or.o)
 	case "gen-cdn":
 		err = runGenCDNSpec(spec, run, nil, or.o)
-case "analyze-cdn":
+	case "analyze-cdn":
 		err = runAnalyzeCDNSpec(spec, run, or.o)
 	default:
 		err = fmt.Errorf("resume: manifest records unknown command kind %q", spec.Kind)

@@ -1,19 +1,41 @@
 package bng
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
+
+	"dynamips/internal/bng/stripe"
+)
+
+// Retry defaults: up to DefaultRetries re-attempts on transient errors,
+// with a deterministic doubling backoff starting at DefaultRetryBase
+// (250ms, 500ms, 1s, 2s — no jitter, so retry schedules are
+// reproducible in tests and logs).
+const (
+	DefaultRetries   = 4
+	DefaultRetryBase = 250 * time.Millisecond
 )
 
 // Client reads a live serve-bng daemon's API: the hook the atlas and
 // CDN generators use to pull assignment-plane ground truth from a
-// running BNG instead of in-process servers.
+// running BNG instead of in-process servers. Transient failures —
+// connection errors and 5xx responses, the signature of an active
+// daemon dying mid-pull during a failover — are retried with a bounded
+// deterministic backoff so a generator survives a takeover window.
 type Client struct {
 	base string
 	hc   *http.Client
+	ctx  context.Context
+
+	retries   int
+	retryBase time.Duration
 }
 
 // NewClient builds a client for the daemon at base (e.g.
@@ -22,22 +44,99 @@ func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	return &Client{
+		base:      strings.TrimRight(base, "/"),
+		hc:        hc,
+		ctx:       context.Background(),
+		retries:   DefaultRetries,
+		retryBase: DefaultRetryBase,
+	}
 }
 
-func (c *Client) get(path string, into any) error {
-	resp, err := c.hc.Get(c.base + path)
+// WithRetry overrides the retry budget; retries <= 0 disables retrying
+// and base <= 0 keeps the default backoff. Returns the client.
+func (c *Client) WithRetry(retries int, base time.Duration) *Client {
+	c.retries = retries
+	if base > 0 {
+		c.retryBase = base
+	}
+	return c
+}
+
+// WithContext attaches a cancellation context: in-flight requests and
+// backoff sleeps abort when it is done. Returns the client.
+func (c *Client) WithContext(ctx context.Context) *Client {
+	if ctx != nil {
+		c.ctx = ctx
+	}
+	return c
+}
+
+// statusError is a non-2xx response; 5xx ones are transient.
+type statusError struct {
+	code   int
+	status string
+}
+
+func (e *statusError) Error() string { return "status " + e.status }
+
+// transient reports whether the error is worth a retry: anything except
+// a non-5xx HTTP status (4xx means the request itself is wrong).
+func transient(err error) bool {
+	if se, ok := err.(*statusError); ok {
+		return se.code >= 500
+	}
+	return true
+}
+
+// fetch GETs path with the retry budget, handing each successful
+// response body to read. Bodies are fully consumed per attempt, so a
+// decode error mid-stream (the daemon died mid-response) retries too.
+func (c *Client) fetch(path string, read func(io.Reader) error) error {
+	delay := c.retryBase
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.fetchOnce(path, read)
+		if err == nil {
+			return nil
+		}
+		if c.ctx.Err() != nil || attempt >= c.retries || !transient(err) {
+			return fmt.Errorf("bng: GET %s: %w", path, err)
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-c.ctx.Done():
+			t.Stop()
+			return fmt.Errorf("bng: GET %s: %w (last error: %v)", path, c.ctx.Err(), err)
+		case <-t.C:
+		}
+		delay *= 2
+	}
+}
+
+func (c *Client) fetchOnce(path string, read func(io.Reader) error) error {
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
-		return fmt.Errorf("bng: GET %s: %w", path, err)
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("bng: GET %s: status %s", path, resp.Status)
+		return &statusError{code: resp.StatusCode, status: resp.Status}
 	}
-	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
-		return fmt.Errorf("bng: GET %s: decoding: %w", path, err)
-	}
-	return nil
+	return read(resp.Body)
+}
+
+func (c *Client) get(path string, into any) error {
+	return c.fetch(path, func(r io.Reader) error {
+		if err := json.NewDecoder(r).Decode(into); err != nil {
+			return fmt.Errorf("decoding: %w", err)
+		}
+		return nil
+	})
 }
 
 // Stats fetches /stats.
@@ -79,4 +178,27 @@ func (c *Client) AllSessions(limit int, fn func(SessionsPage) error) error {
 		}
 		offset = *page.NextOffset
 	}
+}
+
+// HA fetches /ha, the daemon's failover posture.
+func (c *Client) HA() (HAView, error) {
+	var v HAView
+	err := c.get("/ha", &v)
+	return v, err
+}
+
+// Snapshot fetches /snapshot and decodes the session-table codec
+// stream: the standby's state-sync pull.
+func (c *Client) Snapshot() ([]stripe.Session, error) {
+	var recs []stripe.Session
+	err := c.fetch("/snapshot", func(r io.Reader) error {
+		var buf bytes.Buffer
+		if _, err := io.Copy(&buf, r); err != nil {
+			return err
+		}
+		var derr error
+		recs, derr = stripe.DecodeSnapshot(&buf)
+		return derr
+	})
+	return recs, err
 }

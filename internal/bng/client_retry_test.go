@@ -1,0 +1,126 @@
+package bng
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientRetriesTransient: 5xx responses are retried with the
+// bounded backoff until the daemon recovers — the failover window a
+// generator pull must survive.
+func TestClientRetriesTransient(t *testing.T) {
+	d := churned(t, testConfig(5), Options{Workers: 2, RoundHours: 4}, 4)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "failing over", http.StatusServiceUnavailable)
+			return
+		}
+		d.Handler().ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	cl := NewClient(srv.URL, nil).WithRetry(3, time.Millisecond)
+	v, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("Stats() with transient 503s: %v", err)
+	}
+	if v.VirtualHours != 4 {
+		t.Errorf("VirtualHours = %d, want 4", v.VirtualHours)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (2 failures + success)", got)
+	}
+}
+
+// TestClientRetryExhaustion: the budget is bounded — persistent 5xx
+// surfaces as an error after retries, and 4xx fails immediately.
+func TestClientRetryExhaustion(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	cl := NewClient(srv.URL, nil).WithRetry(2, time.Millisecond)
+	if _, err := cl.Stats(); err == nil {
+		t.Fatal("Stats() succeeded against a dead daemon")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+
+	calls.Store(0)
+	notFound := httptest.NewServer(http.NotFoundHandler())
+	defer notFound.Close()
+	cl = NewClient(notFound.URL, nil).WithRetry(5, time.Millisecond)
+	var v StatsView
+	if err := cl.get("/stats", &v); err == nil {
+		t.Fatal("get() succeeded on 404")
+	}
+}
+
+// TestClientContextCancel: a cancelled context aborts the backoff sleep
+// instead of burning the full retry budget.
+func TestClientContextCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cl := NewClient(srv.URL, nil).WithContext(ctx).WithRetry(50, time.Hour)
+	done := make(chan error, 1)
+	go func() { _, err := cl.Stats(); done <- err }()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Stats() succeeded after cancellation")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled client still blocked in backoff")
+	}
+}
+
+// TestHASnapshotEndpoints: /ha renders the failover posture and
+// /snapshot streams the codec bytes a standby syncs from.
+func TestHASnapshotEndpoints(t *testing.T) {
+	sc := &Scenario{FailoverAtHours: []int64{2}, Policy: PolicyRenumber}
+	d := churned(t, scenarioConfig(13, sc), Options{Workers: 2, RoundHours: 2}, 4)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	cl := NewClient(srv.URL, nil)
+	ha, err := cl.HA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha.Role != "active" || ha.Policy != PolicyRenumber {
+		t.Errorf("HA = %+v, want active/renumber", ha)
+	}
+	if len(ha.FailoverHours) != 1 || ha.FailoverHours[0] != 2 {
+		t.Errorf("FailoverHours = %v, want [2]", ha.FailoverHours)
+	}
+	if ha.TableHash != d.Stats().TableHash {
+		t.Errorf("HA hash %s != stats hash %s", ha.TableHash, d.Stats().TableHash)
+	}
+	recs, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mine := d.Table().SnapshotSorted()
+	if len(recs) != len(mine) {
+		t.Fatalf("snapshot decoded %d sessions, table has %d", len(recs), len(mine))
+	}
+	for i := range recs {
+		if recs[i] != mine[i] {
+			t.Fatalf("snapshot record %d differs: %+v vs %+v", i, recs[i], mine[i])
+		}
+	}
+}

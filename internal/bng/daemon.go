@@ -32,6 +32,9 @@ type Options struct {
 	CheckpointDir string
 	// Obs instruments round/event counters (nil-safe).
 	Obs *obs.Observer
+	// Role labels the daemon in the /ha view ("active" when empty); it
+	// never affects state.
+	Role string
 }
 
 // GroupStats is one group's live state in the stats view.
@@ -70,6 +73,10 @@ type StatsView struct {
 	Events         ShardStats   `json:"events"`
 	Groups         []GroupStats `json:"groups"`
 	Pools          []PoolStats  `json:"pools"`
+	// Failovers counts scenario failovers fired so far;
+	// LastFailoverHour is the most recent one (0 = none yet).
+	Failovers        int   `json:"failovers"`
+	LastFailoverHour int64 `json:"last_failover_hour"`
 }
 
 // Daemon hosts the sharded assignment plane: the stripe table, one
@@ -88,9 +95,24 @@ type Daemon struct {
 	hours     int64
 	view      StatsView
 	statsJSON []byte
+	role      string
+
+	// Failover schedule (scenario-driven). failCursor draws exponential
+	// gaps when FailoverMeanHours is set; failIdx walks the explicit
+	// FailoverAtHours list. nextFail is the next failover hour (0 =
+	// none pending); failovers records fired hours. Only the churn
+	// goroutine writes these; readers go through mu.
+	failCursor uint64
+	failIdx    int
+	nextFail   int64
+	failovers  []int64
 
 	confHash string
 }
+
+// failoverSalt separates the daemon's failover-gap stream from every
+// per-subscriber cursor.
+const failoverSalt = 0xFA170FEE
 
 // New validates cfg and builds the daemon with every subscriber's
 // attach event pending at t=0; no churn has run yet.
@@ -123,6 +145,14 @@ func New(cfg Config, opt Options) (*Daemon, error) {
 	d.cumSubs = make([]int, len(cfg.Groups)+1)
 	for gi := range cfg.Groups {
 		d.cumSubs[gi+1] = d.cumSubs[gi] + cfg.Groups[gi].Subscribers
+	}
+	d.role = opt.Role
+	if d.role == "" {
+		d.role = "active"
+	}
+	if cfg.Scenario.hasFailover() {
+		d.failCursor = stripe.Mix64(cfg.Seed ^ failoverSalt)
+		d.advanceFailover(0)
 	}
 	d.refreshView()
 	return d, nil
@@ -157,14 +187,54 @@ func (d *Daemon) Churn(toHours int64) error {
 		if round > toHours {
 			round = toHours
 		}
+		// Clamp rounds to the next failover hour so the takeover fires
+		// at its exact virtual time regardless of round granularity.
+		if nf := d.nextFailover(); nf > h && nf < round {
+			round = nf
+		}
 		if err := d.runRound(round); err != nil {
 			return err
 		}
 	}
 }
 
+// nextFailover returns the next pending failover hour (0 = none).
+func (d *Daemon) nextFailover() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.nextFail
+}
+
+// advanceFailover computes the next scheduled failover hour strictly
+// after from, under d.mu (or before the daemon is shared).
+func (d *Daemon) advanceFailover(from int64) {
+	sc := d.cfg.Scenario
+	if !sc.hasFailover() {
+		d.nextFail = 0
+		return
+	}
+	if len(sc.FailoverAtHours) > 0 {
+		for d.failIdx < len(sc.FailoverAtHours) && sc.FailoverAtHours[d.failIdx] <= from {
+			d.failIdx++
+		}
+		if d.failIdx < len(sc.FailoverAtHours) {
+			d.nextFail = sc.FailoverAtHours[d.failIdx]
+		} else {
+			d.nextFail = 0
+		}
+		return
+	}
+	gap := (expSeconds(&d.failCursor, sc.FailoverMeanHours*3600) + 3599) / 3600
+	if gap < 1 {
+		gap = 1
+	}
+	d.nextFail = from + gap
+}
+
 func (d *Daemon) runRound(toHours int64) error {
 	until := toHours * 3600
+	fire := d.nextFailover() == toHours && toHours != 0
+	renumber := fire && d.cfg.Scenario.EffectivePolicy() == PolicyRenumber
 	var span *obs.Span
 	if d.opt.Obs != nil {
 		span = d.opt.Obs.StartSpan("bng.round")
@@ -172,13 +242,25 @@ func (d *Daemon) runRound(toHours int64) error {
 	_, err := parallel.MapErr(len(d.engines), d.opt.Workers, func(sh int) (struct{}, error) {
 		b := d.table.Borrow(sh)
 		defer b.Release()
-		return struct{}{}, d.engines[sh].advance(b, until)
+		if err := d.engines[sh].advance(b, until); err != nil {
+			return struct{}{}, err
+		}
+		if renumber {
+			// A lease-preserving takeover leaves the stripes untouched;
+			// the renumbering one re-runs every assignment in place.
+			return struct{}{}, d.engines[sh].failoverRenumber(b, until, d.cfg.Seed)
+		}
+		return struct{}{}, nil
 	})
 	if err != nil {
 		return err
 	}
 	d.mu.Lock()
 	d.hours = toHours
+	if fire {
+		d.failovers = append(d.failovers, toHours)
+		d.advanceFailover(toHours)
+	}
 	d.mu.Unlock()
 	d.refreshView()
 	if d.opt.Obs != nil {
@@ -188,6 +270,9 @@ func (d *Daemon) runRound(toHours int64) error {
 		d.opt.Obs.Counter("bng_rounds").Inc()
 		d.opt.Obs.Gauge("bng_active_sessions").Set(int64(v.ActiveSessions))
 		d.opt.Obs.Gauge("bng_events_total").Set(int64(v.Events.Events))
+		if fire {
+			d.opt.Obs.Counter("bng_failovers").Inc()
+		}
 		d.opt.Obs.Advance(1)
 		span.End()
 	}
@@ -261,15 +346,22 @@ func (d *Daemon) refreshView() {
 	}
 	d.mu.RLock()
 	hours := d.hours
+	nFail := len(d.failovers)
+	var lastFail int64
+	if nFail > 0 {
+		lastFail = d.failovers[nFail-1]
+	}
 	d.mu.RUnlock()
 	view := StatsView{
-		VirtualHours:   hours,
-		Subscribers:    d.cfg.Subscribers(),
-		ActiveSessions: len(snap),
-		TableHash:      fmt.Sprintf("%016x", stripe.Hash(snap)),
-		Events:         stats,
-		Groups:         groups,
-		Pools:          pools,
+		VirtualHours:     hours,
+		Subscribers:      d.cfg.Subscribers(),
+		ActiveSessions:   len(snap),
+		TableHash:        fmt.Sprintf("%016x", stripe.Hash(snap)),
+		Events:           stats,
+		Groups:           groups,
+		Pools:            pools,
+		Failovers:        nFail,
+		LastFailoverHour: lastFail,
 	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
@@ -412,4 +504,39 @@ func (d *Daemon) Resume() (int64, error) {
 		return 0, err
 	}
 	return wm.Hours, nil
+}
+
+// HAView is the /ha payload: the daemon's failover posture.
+type HAView struct {
+	Role     string `json:"role"`
+	Policy   string `json:"policy"`
+	Scenario string `json:"scenario,omitempty"`
+	// FailoverHours lists fired failovers; NextFailoverHour is the next
+	// scheduled one (0 = none pending).
+	FailoverHours    []int64 `json:"failover_hours,omitempty"`
+	NextFailoverHour int64   `json:"next_failover_hour"`
+	VirtualHours     int64   `json:"virtual_hours"`
+	TableHash        string  `json:"table_hash"`
+}
+
+// HA returns the daemon's high-availability posture.
+func (d *Daemon) HA() HAView {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return HAView{
+		Role:             d.role,
+		Policy:           d.cfg.Scenario.EffectivePolicy(),
+		Scenario:         d.cfg.Scenario.String(),
+		FailoverHours:    append([]int64(nil), d.failovers...),
+		NextFailoverHour: d.nextFail,
+		VirtualHours:     d.hours,
+		TableHash:        d.view.TableHash,
+	}
+}
+
+// SetRole relabels the daemon (standby promotion); state is unaffected.
+func (d *Daemon) SetRole(role string) {
+	d.mu.Lock()
+	d.role = role
+	d.mu.Unlock()
 }

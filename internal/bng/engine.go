@@ -50,7 +50,28 @@ const (
 	evRenumber
 	evFlap
 	evReattach
+	// evCoA and evDisconnect are scenario-driven operator actions on
+	// RADIUS groups: a CoA-Request renumbers the live session in place,
+	// a Disconnect-Request tears it down for a full reattach. They are
+	// only ever scheduled when the scenario sets their cadences, so a
+	// scenario-free config draws nothing extra and replays the legacy
+	// history byte-for-byte.
+	evCoA
+	evDisconnect
 )
+
+// chance draws a Bernoulli(p) from the cursor, consuming no stream
+// state for degenerate probabilities (faultnet's zero-consumption
+// convention: p=0 profiles replay the fault-free schedule exactly).
+func chance(x *uint64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return float64(next(x)>>11)/(1<<53) < p
+}
 
 // event is one pending subscriber action. Each subscriber has exactly
 // one event in its shard's heap at any time (a flapped-down subscriber
@@ -140,6 +161,16 @@ type groupSrv struct {
 	renumberSec float64
 	flapSec     float64
 	downSec     float64
+
+	// Scenario extras. coaSec/discSec are the operator-action cadences
+	// (RADIUS groups only; 0 disables). relay4/ldra route DHCP attach
+	// traffic through an aggregation chain, each hop dropping with
+	// relayDrop per direction.
+	coaSec    float64
+	discSec   float64
+	relay4    dhcp4.RelayChain
+	ldra      dhcp6.LDRAChain
+	relayDrop float64
 }
 
 // ShardStats are one shard's event totals; they sum commutatively into
@@ -153,6 +184,15 @@ type ShardStats struct {
 	Reattach  uint64 `json:"reattaches"`
 	V4Changes uint64 `json:"v4_changes"`
 	V6Changes uint64 `json:"v6_changes"`
+	// Scenario counters: CoAs/Disconnects are RFC 5176 operator actions
+	// delivered; FailoverRenumbers counts subscribers renumbered by a
+	// failover takeover; RelayDrops counts datagrams lost on relay hops
+	// and RelayOutages attaches abandoned after exhausting retries.
+	CoAs              uint64 `json:"coas"`
+	Disconnects       uint64 `json:"disconnects"`
+	FailoverRenumbers uint64 `json:"failover_renumbers"`
+	RelayDrops        uint64 `json:"relay_drops"`
+	RelayOutages      uint64 `json:"relay_outages"`
 }
 
 func (s *ShardStats) add(o ShardStats) {
@@ -164,6 +204,11 @@ func (s *ShardStats) add(o ShardStats) {
 	s.Reattach += o.Reattach
 	s.V4Changes += o.V4Changes
 	s.V6Changes += o.V6Changes
+	s.CoAs += o.CoAs
+	s.Disconnects += o.Disconnects
+	s.FailoverRenumbers += o.FailoverRenumbers
+	s.RelayDrops += o.RelayDrops
+	s.RelayOutages += o.RelayOutages
 }
 
 // shardEngine is one stripe's complete assignment plane: its
@@ -197,7 +242,7 @@ func buildEngines(cfg *Config, table *stripe.Table) ([]*shardEngine, error) {
 		e.srvs = make([]groupSrv, len(cfg.Groups))
 		for gi := range cfg.Groups {
 			g := &cfg.Groups[gi]
-			gs, err := buildGroupServers(g, cfg.ShardBits, sh, e.clock)
+			gs, err := buildGroupServers(g, cfg.Scenario, cfg.ShardBits, sh, e.clock)
 			if err != nil {
 				return nil, err
 			}
@@ -240,8 +285,9 @@ func buildEngines(cfg *Config, table *stripe.Table) ([]*shardEngine, error) {
 }
 
 // buildGroupServers carves shard sh's pool slice out of the group's
-// aggregates and instantiates the backend servers on it.
-func buildGroupServers(g *Group, shardBits, sh int, clock *engClock) (groupSrv, error) {
+// aggregates and instantiates the backend servers on it, plus any
+// scenario machinery the group participates in.
+func buildGroupServers(g *Group, sc *Scenario, shardBits, sh int, clock *engClock) (groupSrv, error) {
 	gs := groupSrv{
 		renewSec:    int64(g.V4.LeaseSeconds / 2),
 		renumberSec: g.RenumberMeanHours * 3600,
@@ -274,6 +320,10 @@ func buildGroupServers(g *Group, shardBits, sh int, clock *engClock) (groupSrv, 
 			rc.DelegatedLen6 = g.V6.DelegatedLen
 		}
 		gs.rad = radius.NewServer(rc)
+		if sc != nil {
+			gs.coaSec = sc.CoAMeanHours * 3600
+			gs.discSec = sc.DisconnectMeanHours * 3600
+		}
 	case BackendDHCP:
 		serverID, err := netutil.HostAddr(pool4, 1)
 		if err != nil {
@@ -293,6 +343,17 @@ func buildGroupServers(g *Group, shardBits, sh int, clock *engClock) (groupSrv, 
 				Stride:       2557, // scatter delegations across the pool
 			}, clock)
 		}
+		if sc != nil && sc.RelayHops > 0 {
+			// Relay gateways live in TEST-NET-2, outside every pool: a
+			// giaddr is routing metadata, never an allocation.
+			gw := netip.AddrFrom4([4]byte{198, 51, 100, 1})
+			gs.relay4, err = dhcp4.NewRelayChain(gw, sc.RelayHops)
+			if err != nil {
+				return gs, fmt.Errorf("bng: group %s shard %d: relay chain: %w", g.Name, sh, err)
+			}
+			gs.ldra = dhcp6.NewLDRAChain(fmt.Sprintf("%s/sh%d", g.Name, sh), sc.RelayHops)
+			gs.relayDrop = sc.RelayDrop
+		}
 	}
 	return gs, nil
 }
@@ -308,10 +369,29 @@ func (e *shardEngine) advance(b stripe.Borrowed, until int64) error {
 		g := &e.srvs[sub.group]
 		switch ev.kind {
 		case evAttach, evReattach, evRenumber:
-			if err := e.assign(b, &ev, sub, g); err != nil {
+			ok, err := e.assign(b, &ev, sub, g)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				// The relay chain ate every attempt: the subscriber stays
+				// down and retries after a fresh downtime draw.
+				down := expSeconds(&ev.rng, g.downSec)
+				e.events.push(event{at: ev.at + down, key: ev.key, idx: ev.idx, kind: evReattach, rng: ev.rng})
+				continue
+			}
+			e.scheduleNext(&ev, g)
+		case evCoA:
+			if err := e.coa(b, &ev, sub, g); err != nil {
 				return err
 			}
 			e.scheduleNext(&ev, g)
+		case evDisconnect:
+			if err := e.disconnect(b, &ev, sub, g); err != nil {
+				return err
+			}
+			down := expSeconds(&ev.rng, g.downSec)
+			e.events.push(event{at: ev.at + down, key: ev.key, idx: ev.idx, kind: evReattach, rng: ev.rng})
 		case evRenew:
 			if s, ok := b.Get(ev.key); ok {
 				s.Renews++
@@ -334,8 +414,10 @@ func (e *shardEngine) pop() event { return e.events.pop() }
 
 // assign (re)allocates the subscriber's addresses through its backend
 // and writes the resulting session record, bumping Gen when either
-// family's assignment changed.
-func (e *shardEngine) assign(b stripe.Borrowed, ev *event, sub *subState, g *groupSrv) error {
+// family's assignment changed. ok=false (no error) means a relay-routed
+// attach exhausted its wire attempts; the subscriber holds no record or
+// server state and the caller schedules the retry.
+func (e *shardEngine) assign(b stripe.Borrowed, ev *event, sub *subState, g *groupSrv) (bool, error) {
 	var (
 		addr4  uint32
 		p6hi   uint64
@@ -348,12 +430,19 @@ func (e *shardEngine) assign(b stripe.Borrowed, ev *event, sub *subState, g *gro
 	case g.rad != nil:
 		sess, err := g.rad.StartSession(sub.user, ev.at)
 		if err != nil {
-			return fmt.Errorf("bng: shard %d key %#x: radius: %w", e.id, ev.key, err)
+			return false, fmt.Errorf("bng: shard %d key %#x: radius: %w", e.id, ev.key, err)
 		}
 		addr4 = netutil.U32(sess.Addr4)
 		if sess.Prefix6.IsValid() {
 			p6hi, _ = netutil.U128(sess.Prefix6.Addr())
 			p6len = uint8(sess.Prefix6.Bits())
+		}
+	case len(g.relay4) > 0:
+		// Wire-level attach through the aggregation chain: every
+		// datagram crosses the relays and may be lost on any hop.
+		ok, err := e.relayAssign(b, ev, sub, g, renum, &addr4, &p6hi, &p6len)
+		if err != nil || !ok {
+			return ok, err
 		}
 	default:
 		hw := hwOf(ev.key)
@@ -363,12 +452,12 @@ func (e *shardEngine) assign(b stripe.Borrowed, ev *event, sub *subState, g *gro
 			// business addressing), while v6 Reassign forces a fresh
 			// delegation.
 			if _, err := g.d4.Handle(dhcp4.NewMessage(dhcp4.Release, newTxn, hw)); err != nil {
-				return fmt.Errorf("bng: shard %d key %#x: dhcp4 release: %w", e.id, ev.key, err)
+				return false, fmt.Errorf("bng: shard %d key %#x: dhcp4 release: %w", e.id, ev.key, err)
 			}
 		}
 		lease, err := g.d4.Acquire(hw, newTxn)
 		if err != nil {
-			return fmt.Errorf("bng: shard %d key %#x: dhcp4: %w", e.id, ev.key, err)
+			return false, fmt.Errorf("bng: shard %d key %#x: dhcp4: %w", e.id, ev.key, err)
 		}
 		addr4 = netutil.U32(lease.Addr)
 		if g.d6 != nil {
@@ -379,7 +468,7 @@ func (e *shardEngine) assign(b stripe.Borrowed, ev *event, sub *subState, g *gro
 				bind, err = g.d6.Acquire(sub.duid, newTxn)
 			}
 			if err != nil {
-				return fmt.Errorf("bng: shard %d key %#x: dhcp6: %w", e.id, ev.key, err)
+				return false, fmt.Errorf("bng: shard %d key %#x: dhcp6: %w", e.id, ev.key, err)
 			}
 			p6hi, _ = netutil.U128(bind.Prefix.Addr())
 			p6len = uint8(bind.Prefix.Bits())
@@ -419,6 +508,345 @@ func (e *shardEngine) assign(b stripe.Borrowed, ev *event, sub *subState, g *gro
 	default:
 		e.stats.Attaches++
 	}
+	return true, nil
+}
+
+// relayAttemptCap bounds wire-exchange retries behind a lossy relay
+// chain within one virtual attach.
+const relayAttemptCap = 16
+
+// crossRelays draws per-hop loss for one direction of one datagram from
+// the subscriber's cursor. It reports whether the datagram survived.
+func (e *shardEngine) crossRelays(g *groupSrv, rng *uint64) bool {
+	for h := 0; h < len(g.relay4); h++ {
+		if chance(rng, g.relayDrop) {
+			e.stats.RelayDrops++
+			return false
+		}
+	}
+	return true
+}
+
+// relayX4 pushes one DHCPv4 message up the relay chain, through the
+// wire codec into the shard's server, and the reply back down. ok=false
+// means the request or its reply was lost on a hop.
+func (e *shardEngine) relayX4(g *groupSrv, msg *dhcp4.Message, rng *uint64) (*dhcp4.Message, bool, error) {
+	fwd, err := g.relay4.Forward(msg)
+	if err != nil {
+		return nil, false, fmt.Errorf("bng: shard %d: relay forward: %w", e.id, err)
+	}
+	if !e.crossRelays(g, rng) {
+		return nil, false, nil
+	}
+	wire, err := dhcp4.Unmarshal(fwd.Marshal())
+	if err != nil {
+		return nil, false, fmt.Errorf("bng: shard %d: relay codec: %w", e.id, err)
+	}
+	rep, err := g.d4.Handle(wire)
+	if err != nil {
+		return nil, false, fmt.Errorf("bng: shard %d: relayed dhcp4: %w", e.id, err)
+	}
+	if rep == nil {
+		return nil, true, nil // Release elicits no reply
+	}
+	if !e.crossRelays(g, rng) {
+		return nil, false, nil
+	}
+	back, err := g.relay4.Return(rep)
+	if err != nil {
+		return nil, false, fmt.Errorf("bng: shard %d: relay return: %w", e.id, err)
+	}
+	return back, true, nil
+}
+
+// relayAcquire4 runs the full DORA exchange across the relay chain,
+// redrawing the transaction id per attempt.
+func (e *shardEngine) relayAcquire4(g *groupSrv, hw dhcp4.HWAddr, rng *uint64) (netip.Addr, bool, error) {
+	for attempt := 0; attempt < relayAttemptCap; attempt++ {
+		xid := uint32(next(rng))
+		offer, ok, err := e.relayX4(g, dhcp4.NewMessage(dhcp4.Discover, xid, hw), rng)
+		if err != nil {
+			return netip.Addr{}, false, err
+		}
+		if !ok {
+			continue
+		}
+		req := dhcp4.NewMessage(dhcp4.Request, xid, hw)
+		req.SetAddrOption(dhcp4.OptRequestedIP, offer.YIAddr)
+		ack, ok, err := e.relayX4(g, req, rng)
+		if err != nil {
+			return netip.Addr{}, false, err
+		}
+		if !ok || ack.Type() != dhcp4.ACK {
+			continue
+		}
+		return ack.YIAddr, true, nil
+	}
+	return netip.Addr{}, false, nil
+}
+
+// relayAcquire6 runs a rapid-commit Solicit through the LDRA chain:
+// encapsulated on the way up, the Relay-reply peeled on the way down.
+func (e *shardEngine) relayAcquire6(g *groupSrv, duid dhcp6.DUID, rng *uint64) (netip.Prefix, bool, error) {
+	for attempt := 0; attempt < relayAttemptCap; attempt++ {
+		sol := dhcp6.NewMessage(dhcp6.Solicit, uint32(next(rng)), duid)
+		sol.RapidCommit = true
+		rm, err := g.ldra.Wrap(sol, netip.IPv6Unspecified())
+		if err != nil {
+			return netip.Prefix{}, false, fmt.Errorf("bng: shard %d: ldra wrap: %w", e.id, err)
+		}
+		if !e.crossLDRA(g, rng) {
+			continue
+		}
+		parsed, err := dhcp6.UnmarshalRelay(rm.Marshal())
+		if err != nil {
+			return netip.Prefix{}, false, fmt.Errorf("bng: shard %d: ldra codec: %w", e.id, err)
+		}
+		repRM, err := g.d6.HandleRelay(parsed)
+		if err != nil {
+			return netip.Prefix{}, false, fmt.Errorf("bng: shard %d: relayed dhcp6: %w", e.id, err)
+		}
+		if !e.crossLDRA(g, rng) {
+			continue
+		}
+		rep, err := g.ldra.Unwrap(repRM)
+		if err != nil {
+			return netip.Prefix{}, false, fmt.Errorf("bng: shard %d: ldra unwrap: %w", e.id, err)
+		}
+		if len(rep.IAPDs) == 0 || len(rep.IAPDs[0].Prefixes) == 0 {
+			continue
+		}
+		return rep.IAPDs[0].Prefixes[0].Prefix, true, nil
+	}
+	return netip.Prefix{}, false, nil
+}
+
+// crossLDRA draws per-hop loss for one direction of a v6 datagram.
+func (e *shardEngine) crossLDRA(g *groupSrv, rng *uint64) bool {
+	for h := 0; h < len(g.ldra); h++ {
+		if chance(rng, g.relayDrop) {
+			e.stats.RelayDrops++
+			return false
+		}
+	}
+	return true
+}
+
+// relayAssign is the relay-routed attach path. On success it fills the
+// assignment out-params; ok=false means the exchange was abandoned and
+// all partial state rolled back.
+func (e *shardEngine) relayAssign(b stripe.Borrowed, ev *event, sub *subState, g *groupSrv, renum bool, addr4 *uint32, p6hi *uint64, p6len *uint8) (bool, error) {
+	hw := hwOf(ev.key)
+	if renum {
+		// The release may itself be lost on a hop; the sticky server
+		// then still holds the old binding and simply re-offers it.
+		if _, _, err := e.relayX4(g, dhcp4.NewMessage(dhcp4.Release, uint32(next(&ev.rng)), hw), &ev.rng); err != nil {
+			return false, err
+		}
+	}
+	a4, ok, err := e.relayAcquire4(g, hw, &ev.rng)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		e.relayFail(b, ev, sub, g)
+		return false, nil
+	}
+	*addr4 = netutil.U32(a4)
+	if g.d6 == nil {
+		return true, nil
+	}
+	if renum {
+		// Renumbering stays programmatic: Reassign's
+		// allocate-before-free contract is what guarantees a fresh
+		// prefix, and it has no single-message wire equivalent.
+		bind, err := g.d6.Reassign(sub.duid, uint32(next(&ev.rng)))
+		if err != nil {
+			return false, fmt.Errorf("bng: shard %d key %#x: dhcp6: %w", e.id, ev.key, err)
+		}
+		*p6hi, _ = netutil.U128(bind.Prefix.Addr())
+		*p6len = uint8(bind.Prefix.Bits())
+		return true, nil
+	}
+	p6, ok, err := e.relayAcquire6(g, sub.duid, &ev.rng)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		e.relayFail(b, ev, sub, g)
+		return false, nil
+	}
+	*p6hi, _ = netutil.U128(p6.Addr())
+	*p6len = uint8(p6.Bits())
+	return true, nil
+}
+
+// relayFail abandons an attach after the relay chain exhausted every
+// attempt: any partial server state and the session record are dropped
+// so the retry starts clean.
+func (e *shardEngine) relayFail(b stripe.Borrowed, ev *event, sub *subState, g *groupSrv) {
+	e.stats.RelayOutages++
+	_, _ = g.d4.Handle(dhcp4.NewMessage(dhcp4.Release, uint32(next(&ev.rng)), hwOf(ev.key)))
+	if g.d6 != nil {
+		g.d6.ReleaseBinding(sub.duid)
+	}
+	b.Delete(ev.key)
+}
+
+// coa delivers an RFC 5176 CoA-Request through the wire codec and the
+// group's RADIUS server, then applies the ACK's fresh addresses to the
+// session record: operator-forced renumbering without a disconnect.
+func (e *shardEngine) coa(b stripe.Borrowed, ev *event, sub *subState, g *groupSrv) error {
+	req := radius.New(radius.CoARequest, byte(next(&ev.rng)))
+	req.AddString(radius.AttrUserName, sub.user)
+	wire := req.EncodeRequest(g.rad.Secret())
+	if err := radius.VerifyRequest(wire, g.rad.Secret()); err != nil {
+		return fmt.Errorf("bng: shard %d key %#x: coa auth: %w", e.id, ev.key, err)
+	}
+	parsed, err := radius.Parse(wire)
+	if err != nil {
+		return fmt.Errorf("bng: shard %d key %#x: coa parse: %w", e.id, ev.key, err)
+	}
+	rep, err := g.rad.Handle(parsed, ev.at)
+	if err != nil {
+		return fmt.Errorf("bng: shard %d key %#x: coa: %w", e.id, ev.key, err)
+	}
+	e.stats.CoAs++
+	if rep.Code != radius.CoAACK {
+		return nil // NAKed: the subscriber keeps its current lease
+	}
+	var addr4 uint32
+	if a4, ok := rep.GetAddr4(radius.AttrFramedIPAddress); ok {
+		addr4 = netutil.U32(a4)
+	}
+	var (
+		p6hi  uint64
+		p6len uint8
+	)
+	if p6, ok := rep.GetPrefix6(radius.AttrDelegatedIPv6Prefix); ok {
+		p6hi, _ = netutil.U128(p6.Addr())
+		p6len = uint8(p6.Bits())
+	}
+	if old, had := b.Get(ev.key); had {
+		s := old
+		s.Addr4 = addr4
+		s.Pfx6Hi = p6hi
+		s.Pfx6Len = p6len
+		if old.Addr4 != addr4 {
+			s.Gen++
+			e.stats.V4Changes++
+		}
+		if old.Pfx6Hi != p6hi || old.Pfx6Len != p6len {
+			if old.Addr4 == addr4 {
+				s.Gen++
+			}
+			e.stats.V6Changes++
+		}
+		b.Put(s)
+	}
+	return nil
+}
+
+// disconnect tears the session down with an RFC 5176 Disconnect-Request
+// through the wire codec; the caller schedules the reattach.
+func (e *shardEngine) disconnect(b stripe.Borrowed, ev *event, sub *subState, g *groupSrv) error {
+	req := radius.New(radius.DisconnectRequest, byte(next(&ev.rng)))
+	req.AddString(radius.AttrUserName, sub.user)
+	parsed, err := radius.Parse(req.EncodeRequest(g.rad.Secret()))
+	if err != nil {
+		return fmt.Errorf("bng: shard %d key %#x: disconnect parse: %w", e.id, ev.key, err)
+	}
+	if _, err := g.rad.Handle(parsed, ev.at); err != nil {
+		return fmt.Errorf("bng: shard %d key %#x: disconnect: %w", e.id, ev.key, err)
+	}
+	e.stats.Disconnects++
+	b.Delete(ev.key)
+	return nil
+}
+
+// failoverRenumber applies a renumbering takeover at atSec: the standby
+// that assumed this shard holds no lease state, so every subscriber is
+// forced through reattachment. Two passes — release everything first,
+// then reacquire in dense key order — so the LIFO free lists cannot
+// hand a subscriber its own address straight back. Fresh per-subscriber
+// cursors derived from (seed, atSec, key) leave the traveling event
+// cursors untouched: the post-failover event schedule is identical to
+// an uninterrupted run, only the assignments change.
+func (e *shardEngine) failoverRenumber(b stripe.Borrowed, atSec int64, seed uint64) error {
+	e.clock.sec = atSec
+	active := make([]int, 0, len(e.subs))
+	for i := range e.subs {
+		sub := &e.subs[i]
+		g := &e.srvs[sub.group]
+		_, had := b.Get(sub.key)
+		if g.rad != nil {
+			if had {
+				g.rad.StopSession(sub.user)
+			}
+		} else {
+			// Forget clears even the sticky memory, so every DHCP
+			// subscriber — online or mid-flap — draws fresh afterwards.
+			g.d4.Forget(hwOf(sub.key))
+			if g.d6 != nil {
+				g.d6.ReleaseBinding(sub.duid)
+			}
+		}
+		if had {
+			active = append(active, i)
+		}
+	}
+	for _, i := range active {
+		sub := &e.subs[i]
+		g := &e.srvs[sub.group]
+		rng := (seed ^ uint64(atSec)*gamma) + (sub.key+1)*gamma
+		var (
+			addr4 uint32
+			p6hi  uint64
+			p6len uint8
+		)
+		if g.rad != nil {
+			sess, err := g.rad.StartSession(sub.user, atSec)
+			if err != nil {
+				return fmt.Errorf("bng: shard %d key %#x: failover radius: %w", e.id, sub.key, err)
+			}
+			addr4 = netutil.U32(sess.Addr4)
+			if sess.Prefix6.IsValid() {
+				p6hi, _ = netutil.U128(sess.Prefix6.Addr())
+				p6len = uint8(sess.Prefix6.Bits())
+			}
+		} else {
+			lease, err := g.d4.Acquire(hwOf(sub.key), uint32(next(&rng)))
+			if err != nil {
+				return fmt.Errorf("bng: shard %d key %#x: failover dhcp4: %w", e.id, sub.key, err)
+			}
+			addr4 = netutil.U32(lease.Addr)
+			if g.d6 != nil {
+				bind, err := g.d6.Acquire(sub.duid, uint32(next(&rng)))
+				if err != nil {
+					return fmt.Errorf("bng: shard %d key %#x: failover dhcp6: %w", e.id, sub.key, err)
+				}
+				p6hi, _ = netutil.U128(bind.Prefix.Addr())
+				p6len = uint8(bind.Prefix.Bits())
+			}
+		}
+		old, _ := b.Get(sub.key)
+		s := old
+		s.Addr4 = addr4
+		s.Pfx6Hi = p6hi
+		s.Pfx6Len = p6len
+		if old.Addr4 != addr4 {
+			s.Gen++
+			e.stats.V4Changes++
+		}
+		if old.Pfx6Hi != p6hi || old.Pfx6Len != p6len {
+			if old.Addr4 == addr4 {
+				s.Gen++
+			}
+			e.stats.V6Changes++
+		}
+		b.Put(s)
+		e.stats.FailoverRenumbers++
+	}
 	return nil
 }
 
@@ -450,6 +878,18 @@ func (e *shardEngine) scheduleNext(ev *event, g *groupSrv) {
 	}
 	if fl := expSeconds(&ev.rng, g.flapSec); fl < in {
 		in, kind = fl, evFlap
+	}
+	// Scenario operator actions: drawn only when the cadence is set, so
+	// a scenario-free config consumes no extra cursor state.
+	if g.coaSec > 0 {
+		if ca := expSeconds(&ev.rng, g.coaSec); ca < in {
+			in, kind = ca, evCoA
+		}
+	}
+	if g.discSec > 0 {
+		if dc := expSeconds(&ev.rng, g.discSec); dc < in {
+			in, kind = dc, evDisconnect
+		}
 	}
 	e.events.push(event{at: ev.at + in, key: ev.key, idx: ev.idx, kind: kind, rng: ev.rng})
 }

@@ -3,6 +3,7 @@ package bng
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -34,14 +35,32 @@ type PoolsPayload struct {
 }
 
 // Handler returns the read-only API: GET /stats (cached round-boundary
-// view, canonical JSON), GET /pools, and GET /sessions?offset=&limit=.
+// view, canonical JSON), GET /pools, GET /sessions?offset=&limit=,
+// GET /ha (failover posture), and GET /snapshot (the binary
+// session-table codec stream a standby syncs from).
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", d.handleStats)
 	mux.HandleFunc("/pools", d.handlePools)
 	mux.HandleFunc("/sessions", d.handleSessions)
+	mux.HandleFunc("/ha", d.handleHA)
+	mux.HandleFunc("/snapshot", d.handleSnapshot)
 	return mux
 }
+
+// Connection timeouts for the API server. ReadTimeout caps the whole
+// request read, WriteTimeout the response write — /snapshot streams a
+// full session table, so it gets the largest budget — and IdleTimeout
+// reaps keep-alive connections between generator pulls.
+const (
+	httpReadHeaderTimeout = 5 * time.Second
+	httpReadTimeout       = 10 * time.Second
+	httpWriteTimeout      = 60 * time.Second
+	httpIdleTimeout       = 120 * time.Second
+	// shutdownGrace bounds the graceful drain when the caller's context
+	// has no deadline of its own.
+	shutdownGrace = 5 * time.Second
+)
 
 // APIServer is the daemon's running northbound HTTP endpoint.
 type APIServer struct {
@@ -52,9 +71,20 @@ type APIServer struct {
 // Addr returns the bound listen address.
 func (s *APIServer) Addr() string { return s.ln.Addr().String() }
 
-// Shutdown drains in-flight requests until ctx expires.
+// Shutdown drains in-flight requests, then closes whatever is left. The
+// drain is always bounded: a caller context without a deadline gets
+// shutdownGrace, so a wedged client can never block daemon exit.
 func (s *APIServer) Shutdown(ctx context.Context) error {
-	return s.srv.Shutdown(ctx)
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, shutdownGrace)
+		defer cancel()
+	}
+	err := s.srv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return s.srv.Close()
+	}
+	return err
 }
 
 // Serve starts the read-only API on addr. The listener goroutine lives
@@ -66,10 +96,34 @@ func (d *Daemon) Serve(addr string) (*APIServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bng: api listener on %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: d.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{
+		Handler:           d.Handler(),
+		ReadHeaderTimeout: httpReadHeaderTimeout,
+		ReadTimeout:       httpReadTimeout,
+		WriteTimeout:      httpWriteTimeout,
+		IdleTimeout:       httpIdleTimeout,
+	}
 	//lint:ignore goroutines background API listener joined by APIServer.Shutdown; read-only view of the striped table, never touches the engines
 	go srv.Serve(ln) //nolint:errcheck // Shutdown surfaces as ErrServerClosed here
 	return &APIServer{srv: srv, ln: ln}, nil
+}
+
+func (d *Daemon) handleHA(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(d.HA())
+}
+
+func (d *Daemon) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_ = d.WriteSnapshot(w)
 }
 
 func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -80,6 +80,10 @@ type Config struct {
 	// its own servers, event heap, and pool slice.
 	ShardBits int     `json:"shard_bits"`
 	Groups    []Group `json:"groups"`
+	// Scenario layers operator events — failovers, CoA/Disconnect,
+	// relay topologies — over the baseline churn; nil runs none and
+	// keeps pre-scenario checkpoint identities valid.
+	Scenario *Scenario `json:"scenario,omitempty"`
 }
 
 // headroomNum/headroomDen is the required pool slack: each shard's pool
@@ -156,7 +160,7 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("bng: group %s: renumber/flap/downtime means must be positive", g.Name)
 		}
 	}
-	return nil
+	return c.Scenario.Validate()
 }
 
 // Subscribers returns the configured total across groups.

@@ -1,0 +1,122 @@
+package dhcp4
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// ErrHopLimit is returned when a relay refuses to forward a message whose
+// hop count has reached the configured ceiling (RFC 1542 §4.1.1).
+var ErrHopLimit = errors.New("dhcp4: relay hop limit exceeded")
+
+// relayHardHops is the absolute hop ceiling RFC 1542 §4.1.1 imposes
+// ("must be discarded if it exceeds 16").
+const relayHardHops = 16
+
+// Relay is a BOOTP/DHCP relay agent (RFC 1542, RFC 2131 §4.3.1): a
+// router on the subscriber's broadcast domain that forwards DHCP
+// traffic to a server elsewhere in the ISP, stamping its own gateway
+// address into giaddr so the server can both address the reply and pick
+// the pool serving that subnet. Aggregation topologies chain several —
+// access node behind a BNG behind a core relay — each incrementing the
+// hop count.
+type Relay struct {
+	// GIAddr is the relay's gateway address, stamped into requests whose
+	// giaddr is still empty (only the relay closest to the client sets
+	// it; later hops preserve it, per RFC 1542 §4.1.1).
+	GIAddr netip.Addr
+	// MaxHops is the per-relay discard threshold; zero means the RFC's
+	// hard ceiling of 16.
+	MaxHops byte
+}
+
+// Forward relays a client-to-server message: the hop count is
+// incremented, giaddr is stamped if this is the first relay on the path,
+// and the message is rejected if it has traveled too far. The input is
+// not modified.
+func (r *Relay) Forward(req *Message) (*Message, error) {
+	if req.Op != OpRequest {
+		return nil, fmt.Errorf("dhcp4: relay forwarding non-request op %d", req.Op)
+	}
+	limit := r.MaxHops
+	if limit == 0 || limit > relayHardHops {
+		limit = relayHardHops
+	}
+	if req.Hops >= limit {
+		return nil, fmt.Errorf("%w: %d hops at relay %v", ErrHopLimit, req.Hops, r.GIAddr)
+	}
+	out := req.Clone()
+	out.Hops++
+	if !out.GIAddr.IsValid() || out.GIAddr == netip.IPv4Unspecified() {
+		out.GIAddr = r.GIAddr
+	}
+	return out, nil
+}
+
+// Return relays a server-to-client reply back toward the subscriber.
+// The server unicasts replies to giaddr (RFC 2131 §4.1); a relay only
+// accepts replies stamped with its own gateway address.
+func (r *Relay) Return(rep *Message) (*Message, error) {
+	if rep.Op != OpReply {
+		return nil, fmt.Errorf("dhcp4: relay returning non-reply op %d", rep.Op)
+	}
+	if rep.GIAddr != r.GIAddr {
+		return nil, fmt.Errorf("dhcp4: reply giaddr %v does not match relay %v", rep.GIAddr, r.GIAddr)
+	}
+	out := rep.Clone()
+	return out, nil
+}
+
+// Clone returns a deep copy of the message (options included).
+func (m *Message) Clone() *Message {
+	out := *m
+	out.Options = make(map[byte][]byte, len(m.Options))
+	for c, v := range m.Options {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		out.Options[c] = cp
+	}
+	return &out
+}
+
+// RelayChain is an ordered aggregation path from the subscriber to the
+// server: Chain[0] is the relay on the client's broadcast domain.
+type RelayChain []*Relay
+
+// NewRelayChain builds an n-hop chain with deterministic gateway
+// addresses drawn from base's subnet (hop i gets base+i).
+func NewRelayChain(base netip.Addr, n int) (RelayChain, error) {
+	chain := make(RelayChain, 0, n)
+	a := base
+	for i := 0; i < n; i++ {
+		if !a.Is4() && !a.Is4In6() {
+			return nil, fmt.Errorf("dhcp4: relay gateway %v not IPv4", a)
+		}
+		chain = append(chain, &Relay{GIAddr: a.Unmap()})
+		a = a.Next()
+	}
+	return chain, nil
+}
+
+// Forward runs a request up the whole chain, client to server.
+func (c RelayChain) Forward(req *Message) (*Message, error) {
+	out := req
+	for _, r := range c {
+		var err error
+		if out, err = r.Forward(out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Return runs a reply down the chain, server to client. Only the
+// innermost relay stamped giaddr, so only it validates the address;
+// outer hops pass the reply through.
+func (c RelayChain) Return(rep *Message) (*Message, error) {
+	if len(c) == 0 {
+		return rep, nil
+	}
+	return c[0].Return(rep)
+}

@@ -231,6 +231,7 @@ func (s *Server) Handle(req *Message) (*Message, error) {
 		s.offers[req.CHAddr] = a
 		rep := NewMessage(Offer, req.XID, req.CHAddr)
 		rep.YIAddr = a
+		rep.GIAddr = req.GIAddr // echoed so relays can route the reply (RFC 2131 §4.1)
 		rep.SetAddrOption(OptServerID, s.cfg.ServerID)
 		s.setTimes(rep)
 		return rep, nil
@@ -262,6 +263,7 @@ func (s *Server) Handle(req *Message) (*Message, error) {
 		l := s.bind(req.CHAddr, want, now)
 		rep := NewMessage(ACK, req.XID, req.CHAddr)
 		rep.YIAddr = l.Addr
+		rep.GIAddr = req.GIAddr
 		rep.SetAddrOption(OptServerID, s.cfg.ServerID)
 		s.setTimes(rep)
 		return rep, nil
@@ -295,8 +297,28 @@ func (s *Server) setTimes(rep *Message) {
 func (s *Server) nak(req *Message) *Message {
 	s.stats.NAKs++
 	rep := NewMessage(NAK, req.XID, req.CHAddr)
+	rep.GIAddr = req.GIAddr
 	rep.SetAddrOption(OptServerID, s.cfg.ServerID)
 	return rep
+}
+
+// Forget releases hw's binding AND drops the sticky memory of it, so the
+// client's next discovery draws a fresh address. This is the
+// operator-forced renumbering a failover with the renumbering recovery
+// policy applies: unlike LoseState the pool bookkeeping survives (no
+// leaked addresses), and unlike Release a sticky server will not
+// re-offer the same address.
+func (s *Server) Forget(hw HWAddr) {
+	if l, ok := s.byHW[hw]; ok {
+		delete(s.byHW, hw)
+		// An expired sticky binding may already have been reclaimed (or
+		// its address re-bound); only free the address this lease still owns.
+		if cur, bound := s.byAddr[l.Addr]; bound && cur == l {
+			delete(s.byAddr, l.Addr)
+			s.freed = append(s.freed, l.Addr)
+		}
+	}
+	delete(s.offers, hw)
 }
 
 // Acquire performs the full DORA exchange for hw and returns the resulting

@@ -1,0 +1,256 @@
+package dhcp6
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Relay agent message types (RFC 8415 §7.3).
+const (
+	RelayForw MessageType = 12
+	RelayRepl MessageType = 13
+)
+
+// Relay option codes (RFC 8415 §21.10, RFC 6221 §5.3).
+const (
+	OptRelayMsg    uint16 = 9
+	OptInterfaceID uint16 = 18
+)
+
+// HopCountLimit is RFC 8415 §7.6's HOP_COUNT_LIMIT: the maximum hop
+// count in a Relay-forward message.
+const HopCountLimit = 8
+
+// ErrHopLimit is returned when a relay refuses to encapsulate a message
+// whose hop count has reached HOP_COUNT_LIMIT.
+var ErrHopLimit = errors.New("dhcp6: relay hop count limit exceeded")
+
+const relayHeaderLen = 34 // type + hop-count + link-address + peer-address
+
+// RelayMessage is a Relay-forward or Relay-reply (RFC 8415 §9): a
+// different wire layout from client/server messages, carrying the
+// encapsulated message as the Relay Message option. Aggregation
+// topologies nest these — each LDRA or relay on the path adds a layer.
+type RelayMessage struct {
+	Type     MessageType // RelayForw or RelayRepl
+	HopCount byte
+	// LinkAddr identifies the link the client sits on (an LDRA uses ::
+	// and relies on Interface-ID instead, RFC 6221 §5.3.1).
+	LinkAddr netip.Addr
+	// PeerAddr is the address the relay received the inner message from.
+	PeerAddr netip.Addr
+	// InterfaceID is the opaque RFC 6221 access-loop identifier, nil
+	// when absent.
+	InterfaceID []byte
+	// Inner is the encapsulated message in wire format: a client/server
+	// Message at the innermost layer, another RelayMessage otherwise.
+	Inner []byte
+}
+
+// IsRelay reports whether wire bytes carry a relay agent message.
+func IsRelay(b []byte) bool {
+	return len(b) > 0 && (MessageType(b[0]) == RelayForw || MessageType(b[0]) == RelayRepl)
+}
+
+func put16(b []byte, a netip.Addr) {
+	if a.IsValid() {
+		a16 := a.As16()
+		copy(b, a16[:])
+	}
+}
+
+// Marshal encodes the relay message to wire format.
+func (m *RelayMessage) Marshal() []byte {
+	b := make([]byte, relayHeaderLen, relayHeaderLen+8+len(m.Inner)+len(m.InterfaceID))
+	b[0] = byte(m.Type)
+	b[1] = m.HopCount
+	put16(b[2:], m.LinkAddr)
+	put16(b[18:], m.PeerAddr)
+	if len(m.InterfaceID) > 0 {
+		b = appendOption(b, OptInterfaceID, m.InterfaceID)
+	}
+	b = appendOption(b, OptRelayMsg, m.Inner)
+	return b
+}
+
+// UnmarshalRelay decodes a wire-format relay agent message.
+func UnmarshalRelay(b []byte) (*RelayMessage, error) {
+	if len(b) < relayHeaderLen {
+		return nil, fmt.Errorf("%w: relay message %d bytes", ErrShortMessage, len(b))
+	}
+	mt := MessageType(b[0])
+	if mt != RelayForw && mt != RelayRepl {
+		return nil, fmt.Errorf("%w: type %v is not a relay message", ErrBadOption, mt)
+	}
+	m := &RelayMessage{
+		Type:     mt,
+		HopCount: b[1],
+		LinkAddr: netip.AddrFrom16([16]byte(b[2:18])),
+		PeerAddr: netip.AddrFrom16([16]byte(b[18:34])),
+	}
+	rest := b[relayHeaderLen:]
+	for len(rest) > 0 {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: truncated relay option header", ErrBadOption)
+		}
+		code := binary.BigEndian.Uint16(rest)
+		l := int(binary.BigEndian.Uint16(rest[2:]))
+		if 4+l > len(rest) {
+			return nil, fmt.Errorf("%w: relay option %d overruns message", ErrBadOption, code)
+		}
+		body := rest[4 : 4+l]
+		switch code {
+		case OptRelayMsg:
+			m.Inner = append([]byte(nil), body...)
+		case OptInterfaceID:
+			m.InterfaceID = append([]byte(nil), body...)
+		}
+		rest = rest[4+l:]
+	}
+	if m.Inner == nil {
+		return nil, fmt.Errorf("%w: relay message without Relay Message option", ErrBadOption)
+	}
+	return m, nil
+}
+
+// LDRA is a Lightweight DHCPv6 Relay Agent (RFC 6221): an access node —
+// a DSLAM or OLT — that encapsulates the subscriber's messages with an
+// Interface-ID identifying the access loop, without holding any
+// addressing itself (link-address stays ::, §5.3.1). Aggregation
+// topologies chain one LDRA per aggregation level.
+type LDRA struct {
+	// InterfaceID is the access-loop identifier stamped into
+	// Relay-forward messages this LDRA builds.
+	InterfaceID []byte
+}
+
+// Encapsulate wraps wire bytes — a client message or a previous relay's
+// Relay-forward — in a new Relay-forward layer. peer is the address the
+// message arrived from. Messages already at HOP_COUNT_LIMIT are refused.
+func (l *LDRA) Encapsulate(inner []byte, peer netip.Addr) (*RelayMessage, error) {
+	var hop byte
+	if IsRelay(inner) {
+		if MessageType(inner[0]) != RelayForw {
+			return nil, fmt.Errorf("%w: encapsulating %v", ErrBadOption, MessageType(inner[0]))
+		}
+		if len(inner) < 2 {
+			return nil, ErrShortMessage
+		}
+		if inner[1] >= HopCountLimit-1 {
+			return nil, fmt.Errorf("%w: %d hops", ErrHopLimit, inner[1])
+		}
+		hop = inner[1] + 1
+	}
+	return &RelayMessage{
+		Type:        RelayForw,
+		HopCount:    hop,
+		LinkAddr:    netip.IPv6Unspecified(),
+		PeerAddr:    peer,
+		InterfaceID: append([]byte(nil), l.InterfaceID...),
+		Inner:       append([]byte(nil), inner...),
+	}, nil
+}
+
+// Decapsulate peels one Relay-reply layer, verifying it mirrors this
+// LDRA's Interface-ID (RFC 6221 §5.3.2: the reply is routed back down
+// the access loop the Interface-ID names).
+func (l *LDRA) Decapsulate(rm *RelayMessage) ([]byte, error) {
+	if rm.Type != RelayRepl {
+		return nil, fmt.Errorf("%w: decapsulating %v", ErrBadOption, rm.Type)
+	}
+	if string(rm.InterfaceID) != string(l.InterfaceID) {
+		return nil, fmt.Errorf("%w: interface-id %q does not match LDRA %q",
+			ErrBadOption, rm.InterfaceID, l.InterfaceID)
+	}
+	return rm.Inner, nil
+}
+
+// LDRAChain is an ordered aggregation path from the subscriber to the
+// server: Chain[0] is the access node on the subscriber's loop.
+type LDRAChain []*LDRA
+
+// NewLDRAChain builds an n-level chain with deterministic interface
+// identifiers derived from base (the subscriber's access-loop name).
+func NewLDRAChain(base string, n int) LDRAChain {
+	chain := make(LDRAChain, 0, n)
+	for i := 0; i < n; i++ {
+		chain = append(chain, &LDRA{InterfaceID: []byte(fmt.Sprintf("%s/%d", base, i))})
+	}
+	return chain
+}
+
+// Wrap encapsulates a client message through every aggregation level,
+// innermost LDRA first.
+func (c LDRAChain) Wrap(req *Message, peer netip.Addr) (*RelayMessage, error) {
+	b := req.Marshal()
+	var rm *RelayMessage
+	for _, l := range c {
+		var err error
+		if rm, err = l.Encapsulate(b, peer); err != nil {
+			return nil, err
+		}
+		b = rm.Marshal()
+		peer = netip.IPv6Unspecified() // upper levels see the relay, not the client
+	}
+	return rm, nil
+}
+
+// Unwrap peels every Relay-reply layer, outermost LDRA last, returning
+// the server's message to the client.
+func (c LDRAChain) Unwrap(rm *RelayMessage) (*Message, error) {
+	for i := len(c) - 1; i >= 0; i-- {
+		inner, err := c[i].Decapsulate(rm)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			return Unmarshal(inner)
+		}
+		if rm, err = UnmarshalRelay(inner); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("%w: empty LDRA chain", ErrBadOption)
+}
+
+// HandleRelay processes a Relay-forward carrying a possibly nested
+// client message and returns the mirrored Relay-reply: hop count,
+// addresses, and Interface-ID are copied back at every layer so each
+// relay can route the reply down its access loop (RFC 8415 §19.2).
+func (s *Server) HandleRelay(rm *RelayMessage) (*RelayMessage, error) {
+	if rm.Type != RelayForw {
+		return nil, fmt.Errorf("dhcp6: HandleRelay on %v", rm.Type)
+	}
+	var payload []byte
+	if IsRelay(rm.Inner) {
+		nested, err := UnmarshalRelay(rm.Inner)
+		if err != nil {
+			return nil, err
+		}
+		nrep, err := s.HandleRelay(nested)
+		if err != nil {
+			return nil, err
+		}
+		payload = nrep.Marshal()
+	} else {
+		req, err := Unmarshal(rm.Inner)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := s.Handle(req)
+		if err != nil {
+			return nil, err
+		}
+		payload = rep.Marshal()
+	}
+	return &RelayMessage{
+		Type:        RelayRepl,
+		HopCount:    rm.HopCount,
+		LinkAddr:    rm.LinkAddr,
+		PeerAddr:    rm.PeerAddr,
+		InterfaceID: append([]byte(nil), rm.InterfaceID...),
+		Inner:       payload,
+	}, nil
+}

@@ -229,6 +229,9 @@ type LinkStats struct {
 	// Delivered counts request copies that reached the server;
 	// Duplicates counts the dup-injected extras among them.
 	Delivered, Duplicates int64
+	// RelayDrops counts datagrams (requests or replies) lost on a relay
+	// hop rather than the access link itself.
+	RelayDrops int64
 }
 
 // Add accumulates o into s.
@@ -239,15 +242,24 @@ func (s *LinkStats) Add(o LinkStats) {
 	s.Retransmits += o.Retransmits
 	s.Delivered += o.Delivered
 	s.Duplicates += o.Duplicates
+	s.RelayDrops += o.RelayDrops
 }
 
 // Link is one client↔server path with independent per-direction fault
 // streams plus a client-side stream for retransmission jitter and
-// transaction identifiers.
+// transaction identifiers. A relay topology (NewRelayLink) adds
+// aggregation hops between the access link and the server, each with its
+// own per-direction streams.
 type Link struct {
 	prof             Profile
 	up, down, client *Stream
 	stats            LinkStats
+
+	// relayProf/relayUp/relayDown model the relay hops. Empty slices
+	// (plain NewLink) consume no stream state, so a hop-free link
+	// replays the original schedule exactly.
+	relayProf          Profile
+	relayUp, relayDown []*Stream
 }
 
 // NewLink builds the link for (seed, id). Distinct ids yield uncorrelated
@@ -259,6 +271,43 @@ func NewLink(prof Profile, seed, id uint64) *Link {
 		down:   NewStream(seed, 3*id+1),
 		client: NewStream(seed, 3*id+2),
 	}
+}
+
+// relayStreamBase offsets relay-hop stream ids away from the 3*id space
+// NewLink draws from, so adding hops never shifts an access link's
+// schedule.
+const relayStreamBase = 1 << 62
+
+// NewRelayLink builds a link whose datagrams additionally traverse hops
+// relay hops (a DHCPv4 relay chain or DHCPv6 LDRA aggregation path)
+// between the access link and the server. Each hop applies relayProf
+// independently in both directions from its own (seed, id)-derived
+// streams; the access link keeps the exact schedule NewLink(prof, seed,
+// id) would produce. hops <= 0 yields a plain link.
+func NewRelayLink(prof, relayProf Profile, seed, id uint64, hops int) *Link {
+	l := NewLink(prof, seed, id)
+	l.relayProf = relayProf
+	for h := 0; h < hops; h++ {
+		l.relayUp = append(l.relayUp, NewStream(seed, relayStreamBase+2*uint64(hops)*id+2*uint64(h)))
+		l.relayDown = append(l.relayDown, NewStream(seed, relayStreamBase+2*uint64(hops)*id+2*uint64(h)+1))
+	}
+	return l
+}
+
+// Hops returns the number of relay hops on the link.
+func (l *Link) Hops() int { return len(l.relayUp) }
+
+// crossRelay traverses the relay chain in one direction, returning the
+// accumulated hop delay and whether the datagram survived every hop.
+func (l *Link) crossRelay(streams []*Stream) (delayMS int64, ok bool) {
+	for _, st := range streams {
+		if st.bernoulli(l.relayProf.Drop) {
+			l.stats.RelayDrops++
+			return 0, false
+		}
+		delayMS += st.delayMS(l.relayProf)
+	}
+	return delayMS, true
 }
 
 // Client returns the link's client-side stream, the deterministic source
@@ -315,14 +364,22 @@ func (l *Link) Exchange(nowMS int64, rt Retransmitter, deliver func(copy int)) V
 			}
 			for c := 0; c < copies; c++ {
 				upDelay := l.up.delayMS(l.prof)
+				relayUpDelay, survived := l.crossRelay(l.relayUp)
+				if !survived {
+					continue // request lost on a relay hop
+				}
 				if deliver != nil {
 					deliver(c)
 				}
 				v.Delivered++
+				relayDownDelay, survived := l.crossRelay(l.relayDown)
+				if !survived {
+					continue // reply lost on a relay hop
+				}
 				if l.down.bernoulli(l.prof.Drop) {
 					continue // reply lost on the way back
 				}
-				if arrival := t + upDelay + l.down.delayMS(l.prof); arrival < best {
+				if arrival := t + upDelay + relayUpDelay + relayDownDelay + l.down.delayMS(l.prof); arrival < best {
 					best = arrival
 				}
 			}

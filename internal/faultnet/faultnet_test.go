@@ -280,17 +280,17 @@ func TestConnHeldPacketReleasedNextWrite(t *testing.T) {
 // return an error — never panic, never yield an invalid profile.
 func TestParseProfileGarbage(t *testing.T) {
 	for _, in := range []string{
-		"\x00\x01\xff",       // binary garbage
-		"drop=0.1,dup",       // truncated trailing field
-		"drop=0.1,dup=",      // empty value
-		"=0.5",               // empty key
-		"drop=NaN",           // NaN sneaks past range checks without the explicit test
-		"dup=+Inf",           // infinity
-		"delay=0.1:",         // bounds separator with nothing after
-		"delay=0.1:5-",       // half a bound
-		"delay=0.1:999999999999999999999-5", // overflowing int64
-		"drop=1e999",         // overflowing float64
-		"drop==0.1",          // doubled separator
+		"\x00\x01\xff",                       // binary garbage
+		"drop=0.1,dup",                       // truncated trailing field
+		"drop=0.1,dup=",                      // empty value
+		"=0.5",                               // empty key
+		"drop=NaN",                           // NaN sneaks past range checks without the explicit test
+		"dup=+Inf",                           // infinity
+		"delay=0.1:",                         // bounds separator with nothing after
+		"delay=0.1:5-",                       // half a bound
+		"delay=0.1:999999999999999999999-5",  // overflowing int64
+		"drop=1e999",                         // overflowing float64
+		"drop==0.1",                          // doubled separator
 		strings.Repeat("drop=0.1,", 3) + "q", // junk tail
 	} {
 		p, err := ParseProfile(in)

@@ -1,0 +1,79 @@
+package isp
+
+import (
+	"testing"
+
+	"dynamips/internal/faultnet"
+)
+
+func runRelay(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	cfg.Profile = testProfile()
+	cfg.Subscribers = 40
+	cfg.Hours = 2000
+	cfg.Seed = 91
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func sameHistories(a, b *Result) bool {
+	for i := range a.Subscribers {
+		sa, sb := a.Subscribers[i], b.Subscribers[i]
+		if len(sa.V4) != len(sb.V4) || len(sa.V6) != len(sb.V6) {
+			return false
+		}
+		for j := range sa.V4 {
+			if sa.V4[j] != sb.V4[j] {
+				return false
+			}
+		}
+		for j := range sa.V6 {
+			if sa.V6[j] != sb.V6[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRelayZeroProfileIdentity: adding aggregation hops with a zero
+// per-hop profile must reproduce the hop-free run byte for byte — the
+// relay streams live in their own id space and a zero profile consumes
+// nothing, so the access link's schedule is untouched.
+func TestRelayZeroProfileIdentity(t *testing.T) {
+	access := faultnet.Profile{Drop: 0.05}
+	plain := runRelay(t, Config{Faults: &access})
+	relayed := runRelay(t, Config{Faults: &access, RelayHops: 3, RelayFaults: &faultnet.Profile{}})
+	if !sameHistories(plain, relayed) {
+		t.Fatal("zero-profile relay hops changed the assignment histories")
+	}
+	if relayed.Net.Link4.RelayDrops != 0 || relayed.Net.Link6.RelayDrops != 0 {
+		t.Errorf("zero-profile hops dropped datagrams: %d/%d",
+			relayed.Net.Link4.RelayDrops, relayed.Net.Link6.RelayDrops)
+	}
+}
+
+// TestRelayLossDeterministic: lossy hops behind a perfect access link
+// drop datagrams, perturb the histories, and replay identically.
+func TestRelayLossDeterministic(t *testing.T) {
+	cfg := Config{RelayHops: 2, RelayFaults: &faultnet.Profile{Drop: 0.25}}
+	a := runRelay(t, cfg)
+	b := runRelay(t, cfg)
+	if !sameHistories(a, b) {
+		t.Fatal("lossy relay runs diverged across replays")
+	}
+	if a.Net.Link4.RelayDrops == 0 || a.Net.Link6.RelayDrops == 0 {
+		t.Errorf("no relay drops recorded: v4=%d v6=%d",
+			a.Net.Link4.RelayDrops, a.Net.Link6.RelayDrops)
+	}
+	if a.Net.Link4.Failed == 0 {
+		t.Error("relay loss never exhausted a retransmission schedule")
+	}
+	direct := runRelay(t, Config{})
+	if sameHistories(a, direct) {
+		t.Error("25% per-hop loss left every assignment history unchanged")
+	}
+}

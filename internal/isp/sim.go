@@ -36,6 +36,17 @@ type Config struct {
 	// profile reproduces the nil-Faults output byte for byte. nil keeps
 	// the direct in-process call path.
 	Faults *faultnet.Profile
+	// RelayHops, when positive, inserts that many aggregation hops — a
+	// DHCPv4 relay chain or DHCPv6 LDRA path — between every subscriber
+	// and its servers. Each hop applies RelayFaults independently in
+	// both directions from its own streams; the access link's schedule
+	// is untouched (faultnet.NewRelayLink), so hops with a zero relay
+	// profile reproduce the hop-free output byte for byte.
+	RelayHops int
+	// RelayFaults is the per-hop fault profile; nil reuses Faults.
+	// Setting RelayHops with a nil Faults runs a perfect access link
+	// behind lossy relays.
+	RelayFaults *faultnet.Profile
 }
 
 // V4Step is one IPv4 assignment: Addr holds from Start (hours) until the
@@ -343,13 +354,20 @@ func (s *sim) buildSubscribers() {
 		}
 		s.subs[i] = sub
 	}
-	if s.cfg.Faults != nil {
-		prof := *s.cfg.Faults
+	if s.cfg.Faults != nil || s.cfg.RelayHops > 0 {
+		var prof faultnet.Profile
+		if s.cfg.Faults != nil {
+			prof = *s.cfg.Faults
+		}
+		relayProf := prof
+		if s.cfg.RelayFaults != nil {
+			relayProf = *s.cfg.RelayFaults
+		}
 		s.links4 = make([]*faultnet.Link, len(s.subs))
 		s.links6 = make([]*faultnet.Link, len(s.subs))
 		for i := range s.subs {
-			s.links4[i] = faultnet.NewLink(prof, uint64(s.cfg.Seed), uint64(2*i))
-			s.links6[i] = faultnet.NewLink(prof, uint64(s.cfg.Seed), uint64(2*i+1))
+			s.links4[i] = faultnet.NewRelayLink(prof, relayProf, uint64(s.cfg.Seed), uint64(2*i), s.cfg.RelayHops)
+			s.links6[i] = faultnet.NewRelayLink(prof, relayProf, uint64(s.cfg.Seed), uint64(2*i+1), s.cfg.RelayHops)
 		}
 	}
 }
@@ -465,7 +483,7 @@ func (s *sim) changeV4(t int64, sub *Subscriber) {
 	}
 	srv := s.v4Srvs[sub.Region][bgpIdx]
 	var addr netip.Addr
-	if s.cfg.Faults != nil {
+	if s.links4 != nil {
 		a, ok := s.accessOverLink(sub, srv)
 		if !ok {
 			return // no Accept survived the network: keep the old address
@@ -567,7 +585,7 @@ func (s *sim) changeV6(t int64, sub *Subscriber) {
 		}
 	}
 	srv := s.v6Srvs[poolIdx]
-	if s.cfg.Faults != nil && !s.v6ChangeDelivered(sub, sub.v6Srv == srv) {
+	if s.links6 != nil && !s.v6ChangeDelivered(sub, sub.v6Srv == srv) {
 		return // the exchange never completed: keep the old delegation
 	}
 	var (

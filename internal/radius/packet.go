@@ -35,6 +35,9 @@ var codeNames = map[Code]string{
 	AccessRequest: "Access-Request", AccessAccept: "Access-Accept",
 	AccessReject: "Access-Reject", AccountingRequest: "Accounting-Request",
 	AccountingResponse: "Accounting-Response",
+	DisconnectRequest:  "Disconnect-Request", DisconnectACK: "Disconnect-ACK",
+	DisconnectNAK: "Disconnect-NAK", CoARequest: "CoA-Request",
+	CoAACK: "CoA-ACK", CoANAK: "CoA-NAK",
 }
 
 // String returns the RFC name of the code.

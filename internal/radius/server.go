@@ -76,6 +76,10 @@ type ServerStats struct {
 	AccessRequests, ReplayHits int64
 	// Rejects counts Access-Reject replies (bad user or exhausted pool).
 	Rejects int64
+	// CoARequests and Disconnects count first-seen RFC 5176 CoA-Requests
+	// and Disconnect-Requests; DynauthNAKs counts the NAK replies among
+	// them (unknown session, missing attribute, exhausted pool).
+	CoARequests, Disconnects, DynauthNAKs int64
 }
 
 // Add accumulates o into s.
@@ -83,6 +87,9 @@ func (s *ServerStats) Add(o ServerStats) {
 	s.AccessRequests += o.AccessRequests
 	s.ReplayHits += o.ReplayHits
 	s.Rejects += o.Rejects
+	s.CoARequests += o.CoARequests
+	s.Disconnects += o.Disconnects
+	s.DynauthNAKs += o.DynauthNAKs
 }
 
 // Server allocates per-session addresses RADIUS-style: every new session
@@ -315,38 +322,56 @@ func (s *Server) handleAccess(req *Packet, now int64) *Packet {
 	return rep
 }
 
+// cacheReply records a first-seen request's reply for RFC 5080 §2.2.2
+// duplicate detection and prunes entries past the window.
+func (s *Server) cacheReply(key replayKey, rep *Packet, now int64) {
+	e := &replayEntry{key: key, reply: rep, at: now}
+	s.replay[key] = e
+	s.replayQ = append(s.replayQ, e)
+	for len(s.replayQ) > 0 && now-s.replayQ[0].at >= replayWindowSec {
+		old := s.replayQ[0]
+		s.replayQ = s.replayQ[1:]
+		// A key re-inserted after expiry owns a newer entry; only
+		// drop the mapping the stale queue slot still owns.
+		if s.replay[old.key] == old {
+			delete(s.replay, old.key)
+		}
+	}
+}
+
 // Handle processes one RADIUS packet and returns the reply (nil for
 // unhandled codes). now is the current time in seconds.
 //
-// A retransmitted Access-Request — same Identifier and Request
-// Authenticator within the duplicate window — returns the cached reply
-// without touching session state: the subscriber keeps the address the
-// first transmission allocated, and its Session-Timeout is not reset.
+// A retransmitted request — same Identifier and Request Authenticator
+// within the duplicate window — returns the cached reply without
+// touching session state: a retransmitted Access-Request keeps the
+// address the first transmission allocated, and a retransmitted
+// CoA-Request does not renumber the subscriber twice (RFC 5176 inherits
+// RFC 5080's duplicate detection).
 func (s *Server) Handle(req *Packet, now int64) (*Packet, error) {
 	switch req.Code {
-	case AccessRequest:
+	case AccessRequest, CoARequest, DisconnectRequest:
 		key := replayKey{id: req.Identifier, auth: req.Authenticator}
 		if e, ok := s.replay[key]; ok && now-e.at < replayWindowSec {
 			s.stats.ReplayHits++
 			return e.reply, nil
 		}
-		s.stats.AccessRequests++
-		rep := s.handleAccess(req, now)
-		if rep.Code == AccessReject {
-			s.stats.Rejects++
-		}
-		e := &replayEntry{key: key, reply: rep, at: now}
-		s.replay[key] = e
-		s.replayQ = append(s.replayQ, e)
-		for len(s.replayQ) > 0 && now-s.replayQ[0].at >= replayWindowSec {
-			old := s.replayQ[0]
-			s.replayQ = s.replayQ[1:]
-			// A key re-inserted after expiry owns a newer entry; only
-			// drop the mapping the stale queue slot still owns.
-			if s.replay[old.key] == old {
-				delete(s.replay, old.key)
+		var rep *Packet
+		switch req.Code {
+		case AccessRequest:
+			s.stats.AccessRequests++
+			rep = s.handleAccess(req, now)
+			if rep.Code == AccessReject {
+				s.stats.Rejects++
 			}
+		case CoARequest:
+			s.stats.CoARequests++
+			rep = s.handleCoA(req, now)
+		case DisconnectRequest:
+			s.stats.Disconnects++
+			rep = s.handleDisconnect(req)
 		}
+		s.cacheReply(key, rep, now)
 		return rep, nil
 
 	case AccountingRequest:

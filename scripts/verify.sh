@@ -5,7 +5,9 @@
 #   artifact file), the test
 #   suite under the race detector (which includes the fault-injection soak,
 #   TestPipelineUnderLoss), the golden regression corpus, the crash-injection
-#   kill-and-resume smoke, a metrics/stats CLI smoke, a coverage floor over
+#   kill-and-resume smoke, the seeded HA failover matrix (lease-preserving
+#   and renumbering takeovers under -race plus the serve-bng standby
+#   promotion), a metrics/stats CLI smoke, a coverage floor over
 #   the assignment-plane protocol packages, the CGN substrate, the
 #   checkpoint layer, and the observability layer, the non-race
 #   million-session BNG soak (>=10^6 concurrent sessions at >=10^6
@@ -51,6 +53,10 @@ go test . -run '^TestGolden' -count=1
 echo "==> crash-injection smoke (kill-and-resume matrix)"
 go test ./cmd/dynamips -run '^(TestKillAndResume|TestResumeAfterTrailingCorruption)$' -count=1
 
+echo "==> HA failover matrix (both recovery policies under -race at workers 1/4/16; standby promotion)"
+go test -race ./internal/bng -run '^(TestFailoverPreserveIdentity|TestFailoverRenumberDeterministic|TestFailoverResumeReplay|TestFailoverMeanSchedule|TestPairSyncPromote)$' -count=1
+go test ./cmd/dynamips -run '^TestServeBNGStandbyPromotion$' -count=1
+
 echo "==> metrics/stats CLI smoke"
 smokedir=$(mktemp -d)
 trap 'rm -rf "$smokedir"' EXIT
@@ -60,7 +66,7 @@ go build -o "$smokedir/dynamips" ./cmd/dynamips
 "$smokedir/dynamips" stats "$smokedir/metrics.json" >/dev/null
 
 echo "==> coverage floor (>=${COVERAGE_FLOOR}% of statements)"
-for pkg in internal/dhcp4 internal/dhcp6 internal/radius internal/faultnet internal/checkpoint internal/obs internal/cgnat; do
+for pkg in internal/dhcp4 internal/dhcp6 internal/radius internal/faultnet internal/checkpoint internal/obs internal/cgnat internal/bng; do
 	line=$(go test -cover "./$pkg" | tail -n 1)
 	echo "$line"
 	pct=$(echo "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
@@ -83,6 +89,8 @@ echo "==> fuzz smoke (-fuzztime ${FUZZTIME} each)"
 go test ./internal/dhcp4 -run '^$' -fuzz '^FuzzUnmarshal$' -fuzztime "$FUZZTIME"
 go test ./internal/dhcp6 -run '^$' -fuzz '^FuzzUnmarshal$' -fuzztime "$FUZZTIME"
 go test ./internal/radius -run '^$' -fuzz '^FuzzParse$' -fuzztime "$FUZZTIME"
+go test ./internal/radius -run '^$' -fuzz '^FuzzDynauth$' -fuzztime "$FUZZTIME"
+go test ./internal/dhcp6 -run '^$' -fuzz '^FuzzRelayMessage$' -fuzztime "$FUZZTIME"
 go test ./internal/faultnet -run '^$' -fuzz '^FuzzParseProfile$' -fuzztime "$FUZZTIME"
 go test ./internal/faultnet -run '^$' -fuzz '^FuzzReorder$' -fuzztime "$FUZZTIME"
 go test ./internal/checkpoint -run '^$' -fuzz '^FuzzJournalScan$' -fuzztime "$FUZZTIME"
