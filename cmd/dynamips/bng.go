@@ -98,7 +98,7 @@ func cmdServeBNG(args []string) error {
 		if err != nil {
 			return err
 		}
-		logf("serve-bng: %d subscribers in %d groups; API on http://%s (/sessions /pools /stats /ha /snapshot)",
+		logf("serve-bng: %d subscribers in %d groups; API on http://%s (/sessions /pools /stats /ha /snapshot /sketch)",
 			cfg.Subscribers(), len(cfg.Groups), api.Addr())
 	}
 

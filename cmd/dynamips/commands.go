@@ -62,13 +62,18 @@ type runSpec struct {
 	Days       int     `json:"days,omitempty"`
 	Scale      float64 `json:"scale,omitempty"`
 	Faults     string  `json:"faults,omitempty"`
-	Workers    int     `json:"workers,omitempty"`
-	In         string  `json:"in,omitempty"`
-	Threshold  int     `json:"threshold,omitempty"`
-	Pfx2as     string  `json:"pfx2as,omitempty"`
-	Stream     bool    `json:"stream,omitempty"`
-	Shards     int     `json:"shards,omitempty"`
-	SpillDir   string  `json:"spill_dir,omitempty"`
+	// RelayHops/RelayFaults route assignment exchanges through an
+	// aggregation relay chain (experiment runs only). Both change the
+	// generated datasets, so they participate in the manifest key.
+	RelayHops   int    `json:"relay_hops,omitempty"`
+	RelayFaults string `json:"relay_faults,omitempty"`
+	Workers     int    `json:"workers,omitempty"`
+	In          string `json:"in,omitempty"`
+	Threshold   int    `json:"threshold,omitempty"`
+	Pfx2as      string `json:"pfx2as,omitempty"`
+	Stream      bool   `json:"stream,omitempty"`
+	Shards      int    `json:"shards,omitempty"`
+	SpillDir    string `json:"spill_dir,omitempty"`
 }
 
 // specKey derives the manifest key for a spec. Workers and SpillDir are
@@ -487,6 +492,67 @@ func analyzeReport(w io.Writer, series []atlas.Series, table *bgp.Table, o *obs.
 	return nil
 }
 
+// experimentFlags are the raw 'dynamips experiment' flag values before
+// normalization.
+type experimentFlags struct {
+	name        string
+	out         string
+	asJSON      bool
+	seed        int64
+	hours       int64
+	probeScale  float64
+	cdnScale    float64
+	cdnDays     int
+	workers     int
+	faults      string
+	loss        float64
+	relayHops   int
+	relayFaults string
+}
+
+// experimentSpec validates and normalizes raw experiment flags into the
+// manifest-keyed runSpec. Fault profiles are parsed and re-rendered in
+// canonical form so equivalent spellings share a checkpoint key.
+func experimentSpec(f experimentFlags) (runSpec, error) {
+	faultSpec := ""
+	if f.faults != "" || f.loss != 0 {
+		prof, err := faultnet.ParseProfile(f.faults)
+		if err != nil {
+			return runSpec{}, fmt.Errorf("experiment: %w", err)
+		}
+		if f.loss != 0 {
+			prof.Drop = f.loss
+		}
+		if err := prof.Validate(); err != nil {
+			return runSpec{}, fmt.Errorf("experiment: %w", err)
+		}
+		faultSpec = prof.String()
+	}
+	if f.relayHops < 0 {
+		return runSpec{}, fmt.Errorf("experiment: -relay-hops must be >= 0, got %d", f.relayHops)
+	}
+	relaySpec := ""
+	if f.relayFaults != "" {
+		if f.relayHops == 0 {
+			return runSpec{}, fmt.Errorf("experiment: -relay-faults needs -relay-hops > 0")
+		}
+		prof, err := faultnet.ParseProfile(f.relayFaults)
+		if err != nil {
+			return runSpec{}, fmt.Errorf("experiment: -relay-faults: %w", err)
+		}
+		if err := prof.Validate(); err != nil {
+			return runSpec{}, fmt.Errorf("experiment: -relay-faults: %w", err)
+		}
+		relaySpec = prof.String()
+	}
+	return runSpec{
+		Kind: "experiment", Name: f.name, Out: f.out, JSON: f.asJSON,
+		Seed: f.seed, Hours: f.hours, ProbeScale: f.probeScale,
+		CDNScale: f.cdnScale, CDNDays: f.cdnDays, Faults: faultSpec,
+		RelayHops: f.relayHops, RelayFaults: relaySpec, Workers: f.workers,
+	}, nil
+}
+
 func cmdExperiment(args []string) error {
 	fs := newFlagSet("experiment")
 	seed := fs.Int64("seed", 20201201, "pipeline seed")
@@ -497,6 +563,8 @@ func cmdExperiment(args []string) error {
 	workers := fs.Int("workers", 0, "pipeline build fan-out, 0 = all CPUs (output is identical for any value)")
 	faults := fs.String("faults", "", "fault profile, e.g. drop=0.1,dup=0.02,delay=0.05:200-1500,reorder=0.01 (empty = perfect network)")
 	loss := fs.Float64("loss", 0, "shorthand for the fault profile's drop probability; overrides drop= in -faults")
+	relayHops := fs.Int("relay-hops", 0, "route assignment exchanges through this many aggregation relay hops (0 = direct)")
+	relayFaults := fs.String("relay-faults", "", "per-relay-hop fault profile (same syntax as -faults; empty reuses -faults; needs -relay-hops)")
 	asJSON := fs.Bool("json", false, "emit the figure's data series as JSON (fig1/fig2/fig3/fig5/fig9)")
 	out := fs.String("o", "-", "output file (default stdout; written atomically)")
 	ckpt := fs.String("checkpoint", "", "journal completed pipeline units under this directory; resumable with 'dynamips resume'")
@@ -508,24 +576,15 @@ func cmdExperiment(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("experiment: need a name (one of %v) or 'all'", experiments.Names)
 	}
-	faultSpec := ""
-	if *faults != "" || *loss != 0 {
-		prof, err := faultnet.ParseProfile(*faults)
-		if err != nil {
-			return fmt.Errorf("experiment: %w", err)
-		}
-		if *loss != 0 {
-			prof.Drop = *loss
-		}
-		if err := prof.Validate(); err != nil {
-			return fmt.Errorf("experiment: %w", err)
-		}
-		faultSpec = prof.String()
-	}
-	spec := runSpec{
-		Kind: "experiment", Name: fs.Arg(0), Out: *out, JSON: *asJSON,
-		Seed: *seed, Hours: *hours, ProbeScale: *probeScale,
-		CDNScale: *cdnScale, CDNDays: *cdnDays, Faults: faultSpec, Workers: *workers,
+	spec, err := experimentSpec(experimentFlags{
+		name: fs.Arg(0), out: *out, asJSON: *asJSON,
+		seed: *seed, hours: *hours, probeScale: *probeScale,
+		cdnScale: *cdnScale, cdnDays: *cdnDays, workers: *workers,
+		faults: *faults, loss: *loss,
+		relayHops: *relayHops, relayFaults: *relayFaults,
+	})
+	if err != nil {
+		return err
 	}
 	run, err := openCheckpoint(*ckpt, spec)
 	if err != nil {
@@ -559,6 +618,14 @@ func runExperimentSpec(spec runSpec, run *checkpoint.Run, o *obs.Observer) error
 			return fmt.Errorf("experiment: %w", err)
 		}
 		cfg.Faults = &prof
+	}
+	cfg.RelayHops = spec.RelayHops
+	if spec.RelayFaults != "" {
+		prof, err := faultnet.ParseProfile(spec.RelayFaults)
+		if err != nil {
+			return fmt.Errorf("experiment: -relay-faults: %w", err)
+		}
+		cfg.RelayFaults = &prof
 	}
 	name := spec.Name
 	if spec.JSON {

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExperimentSpecTable pins flag normalization for 'dynamips
+// experiment': fault/relay profiles parse into canonical strings (so
+// equivalent spellings share a checkpoint key), and invalid knob
+// combinations are rejected before any pipeline work starts.
+func TestExperimentSpecTable(t *testing.T) {
+	base := experimentFlags{
+		name: "all", out: "-", seed: 7, hours: 2000,
+		probeScale: 0.5, cdnScale: 0.1, cdnDays: 30, workers: 2,
+	}
+	mod := func(edit func(*experimentFlags)) experimentFlags {
+		f := base
+		edit(&f)
+		return f
+	}
+	for _, tc := range []struct {
+		label   string
+		flags   experimentFlags
+		want    runSpec // zero when wantErr
+		wantErr string
+	}{
+		{
+			label: "defaults",
+			flags: base,
+			want: runSpec{Kind: "experiment", Name: "all", Out: "-", Seed: 7,
+				Hours: 2000, ProbeScale: 0.5, CDNScale: 0.1, CDNDays: 30, Workers: 2},
+		},
+		{
+			label: "loss shorthand",
+			flags: mod(func(f *experimentFlags) { f.loss = 0.1 }),
+			want: runSpec{Kind: "experiment", Name: "all", Out: "-", Seed: 7,
+				Hours: 2000, ProbeScale: 0.5, CDNScale: 0.1, CDNDays: 30, Workers: 2,
+				Faults: "drop=0.1"},
+		},
+		{
+			label: "loss overrides drop, canonical field order",
+			flags: mod(func(f *experimentFlags) { f.faults = "dup=0.02,drop=0.05"; f.loss = 0.1 }),
+			want: runSpec{Kind: "experiment", Name: "all", Out: "-", Seed: 7,
+				Hours: 2000, ProbeScale: 0.5, CDNScale: 0.1, CDNDays: 30, Workers: 2,
+				Faults: "drop=0.1,dup=0.02"},
+		},
+		{
+			label: "relay hops without per-hop profile",
+			flags: mod(func(f *experimentFlags) { f.relayHops = 3 }),
+			want: runSpec{Kind: "experiment", Name: "all", Out: "-", Seed: 7,
+				Hours: 2000, ProbeScale: 0.5, CDNScale: 0.1, CDNDays: 30, Workers: 2,
+				RelayHops: 3},
+		},
+		{
+			label: "relay hops with canonicalized per-hop profile",
+			flags: mod(func(f *experimentFlags) { f.relayHops = 2; f.relayFaults = "dup=0.01,drop=0.25" }),
+			want: runSpec{Kind: "experiment", Name: "all", Out: "-", Seed: 7,
+				Hours: 2000, ProbeScale: 0.5, CDNScale: 0.1, CDNDays: 30, Workers: 2,
+				RelayHops: 2, RelayFaults: "drop=0.25,dup=0.01"},
+		},
+		{
+			label:   "relay faults require relay hops",
+			flags:   mod(func(f *experimentFlags) { f.relayFaults = "drop=0.25" }),
+			wantErr: "-relay-faults needs -relay-hops",
+		},
+		{
+			label:   "negative relay hops",
+			flags:   mod(func(f *experimentFlags) { f.relayHops = -1 }),
+			wantErr: "-relay-hops must be >= 0",
+		},
+		{
+			label:   "malformed faults",
+			flags:   mod(func(f *experimentFlags) { f.faults = "drop=lots" }),
+			wantErr: "experiment:",
+		},
+		{
+			label:   "out-of-range loss",
+			flags:   mod(func(f *experimentFlags) { f.loss = 1.5 }),
+			wantErr: "experiment:",
+		},
+		{
+			label:   "out-of-range relay profile",
+			flags:   mod(func(f *experimentFlags) { f.relayHops = 1; f.relayFaults = "drop=2" }),
+			wantErr: "-relay-faults:",
+		},
+	} {
+		got, err := experimentSpec(tc.flags)
+		if tc.wantErr != "" {
+			if err == nil {
+				t.Errorf("%s: got %+v, want error containing %q", tc.label, got, tc.wantErr)
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("%s: error %q does not contain %q", tc.label, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", tc.label, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s:\n got %+v\nwant %+v", tc.label, got, tc.want)
+		}
+	}
+}
+
+// TestExperimentSpecKeySeparation: relay knobs must land in the
+// checkpoint manifest key — a relay run can never resume a direct run's
+// journal.
+func TestExperimentSpecKeySeparation(t *testing.T) {
+	direct, err := experimentSpec(experimentFlags{name: "all", out: "-", seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay, err := experimentSpec(experimentFlags{name: "all", out: "-", seed: 7, relayHops: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kd, err := specKey(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr, err := specKey(relay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kd == kr {
+		t.Error("relay-hops did not change the checkpoint key")
+	}
+}

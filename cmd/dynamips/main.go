@@ -9,6 +9,7 @@
 //	dynamips serve-echo [-listen addr]     run the IP echo HTTP server
 //	dynamips serve-bng [flags]             run the assignment-plane BNG daemon
 //	dynamips stats <metrics.json>          render a -metrics dump as a report
+//	dynamips watch [flags]                 follow live sketch summaries from a daemon or spill dir
 //
 // Every generator is seeded; the same flags reproduce identical output.
 // Runs started with -checkpoint DIR journal completed work units and can
@@ -51,6 +52,8 @@ func main() {
 		err = cmdServeBNG(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -78,6 +81,10 @@ commands:
   serve-bng                run the assignment-plane BNG daemon (paginated
                            /sessions /pools /stats API, checkpointed churn)
   stats <metrics.json>     render a -metrics snapshot as a per-stage report
+  watch                    follow live online summaries: -bng URL polls a
+                           serve-bng daemon's /sketch endpoint, -spill DIR
+                           tails a streaming run's spill directory
+                           (-interval, -once)
 
 every command takes -metrics FILE (dump pipeline counters and virtual-time
 span timings as JSON); long-running commands take -pprof ADDR (serve

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dynamips/internal/bng"
+	"dynamips/internal/cdn/stream"
+	"dynamips/internal/sketch"
+)
+
+// cmdWatch follows live online summaries: with -bng it polls a running
+// serve-bng daemon's /sketch endpoint; with -spill it tails a streaming
+// pipeline's spill directory, folding whatever complete chunks the
+// in-flight run has journaled so far. Each tick renders one snapshot to
+// stdout. -once renders a single snapshot and exits (the CI smoke
+// mode); otherwise the watch re-polls every -interval until SIGTERM.
+func cmdWatch(args []string) error {
+	fs := newFlagSet("watch")
+	bngURL := fs.String("bng", "", "poll the live serve-bng daemon at this URL")
+	spill := fs.String("spill", "", "tail this streaming-pipeline spill directory")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	once := fs.Bool("once", false, "render one snapshot and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("watch: unexpected arguments %q", fs.Args())
+	}
+	if (*bngURL == "") == (*spill == "") {
+		return fmt.Errorf("watch: exactly one of -bng or -spill is required")
+	}
+	var tick func() error
+	if *bngURL != "" {
+		cl := bng.NewClient(*bngURL, nil)
+		tick = func() error {
+			v, err := cl.Sketch()
+			if err != nil {
+				return err
+			}
+			return renderBNGSketch(os.Stdout, v)
+		}
+	} else {
+		dir := *spill
+		tick = func() error {
+			s, n, err := stream.TailSpillDir(dir)
+			if err != nil {
+				return err
+			}
+			return renderTailSketch(os.Stdout, s, n)
+		}
+	}
+	if err := tick(); err != nil {
+		return err
+	}
+	if *once {
+		return nil
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	for {
+		select {
+		case <-sig:
+			return nil
+		case <-time.After(*interval):
+			if err := tick(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// watchProbs is the quantile grid watch snapshots print.
+var watchProbs = []float64{0.5, 0.9, 0.99}
+
+// fmtSketchKey renders a heavy-hitter key in the sketch's own address
+// space: /24 sketches carry the address's top 24 bits, /64 sketches the
+// prefix's high 64 bits; anything else prints as hex.
+func fmtSketchKey(name string, key uint64) string {
+	switch {
+	case strings.HasSuffix(name, "24"):
+		a := netip.AddrFrom4([4]byte{byte(key >> 16), byte(key >> 8), byte(key), 0})
+		return a.String() + "/24"
+	case strings.HasSuffix(name, "64"):
+		var b [16]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(key >> (56 - 8*i))
+		}
+		return netip.PrefixFrom(netip.AddrFrom16(b), 64).String()
+	default:
+		return fmt.Sprintf("%#x", key)
+	}
+}
+
+// renderBNGSketch prints one /sketch view snapshot.
+func renderBNGSketch(w io.Writer, v bng.SketchView) error {
+	fmt.Fprintf(w, "watch: bng virtual hour %d\n", v.VirtualHours)
+	for _, s := range v.Sketches {
+		switch s.Kind {
+		case "quantile":
+			fmt.Fprintf(w, "  %-10s n=%d", s.Name, s.Count)
+			for _, qp := range s.Quantiles {
+				for _, p := range watchProbs {
+					if qp.P == p {
+						fmt.Fprintf(w, " p%02.0f=%.2f", p*100, qp.V)
+					}
+				}
+			}
+			fmt.Fprintln(w)
+		case "topk":
+			fmt.Fprintf(w, "  %-10s n=%d slack=%d top:", s.Name, s.N, s.Slack)
+			for i, e := range s.Top {
+				if i == 3 {
+					break
+				}
+				fmt.Fprintf(w, " %s=%d", fmtSketchKey(s.Name, e.Key), e.Count)
+			}
+			fmt.Fprintln(w)
+		case "card":
+			fmt.Fprintf(w, "  %-10s ~%.0f distinct (rse %.2f%%)\n", s.Name, s.Estimate, 100*s.RSE)
+		}
+	}
+	return nil
+}
+
+// renderTailSketch prints one spill-tail snapshot folded from the
+// chunks on disk so far.
+func renderTailSketch(w io.Writer, s *sketch.Set, records int64) error {
+	fmt.Fprintf(w, "watch: spill tail, %d association rows folded\n", records)
+	for _, name := range s.Names() {
+		switch s.KindOf(name) {
+		case sketch.KindTopK:
+			tk := s.TopK(name)
+			fmt.Fprintf(w, "  %-10s n=%d slack=%d top:", name, tk.N(), tk.Slack())
+			for _, e := range tk.Top(3) {
+				fmt.Fprintf(w, " %s=%d", fmtSketchKey(name, e.Key), e.Count)
+			}
+			fmt.Fprintln(w)
+		case sketch.KindCard:
+			c := s.Card(name)
+			fmt.Fprintf(w, "  %-10s ~%.0f distinct (rse %.2f%%)\n", name, c.Estimate(), 100*c.RSE())
+		case sketch.KindQuantile:
+			q := s.Quantile(name)
+			fmt.Fprintf(w, "  %-10s n=%d", name, q.Count())
+			for _, p := range watchProbs {
+				if q.Count() > 0 {
+					fmt.Fprintf(w, " p%02.0f=%.2f", p*100, q.Query(p))
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}

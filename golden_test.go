@@ -115,6 +115,8 @@ func TestGoldenPipeline(t *testing.T) {
 	}
 	checkGolden(t, "cdn_report.txt", cdnBuf.Bytes())
 
+	goldenSketchCorpus(t, c)
+
 	var metricsBuf bytes.Buffer
 	snap := o.Snapshot()
 	if err := snap.WriteJSON(&metricsBuf); err != nil {

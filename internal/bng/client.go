@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
 
 	"dynamips/internal/bng/stripe"
+	"dynamips/internal/sketch"
 )
 
 // Retry defaults: up to DefaultRetries re-attempts on transient errors,
@@ -185,6 +187,50 @@ func (c *Client) HA() (HAView, error) {
 	var v HAView
 	err := c.get("/ha", &v)
 	return v, err
+}
+
+// Sketch fetches the full /sketch summary view.
+func (c *Client) Sketch() (SketchView, error) {
+	var v SketchView
+	err := c.get("/sketch", &v)
+	return v, err
+}
+
+// SketchQuantile fetches one quantile answer from /sketch.
+func (c *Client) SketchQuantile(name string, p float64) (QuantileAnswer, error) {
+	var a QuantileAnswer
+	err := c.get("/sketch?op=quantile&name="+url.QueryEscape(name)+
+		"&p="+strconv.FormatFloat(p, 'g', -1, 64), &a)
+	return a, err
+}
+
+// SketchTopK fetches one heavy-hitter answer from /sketch.
+func (c *Client) SketchTopK(name string, k int) (TopKAnswer, error) {
+	var a TopKAnswer
+	err := c.get("/sketch?op=topk&name="+url.QueryEscape(name)+"&k="+strconv.Itoa(k), &a)
+	return a, err
+}
+
+// SketchCard fetches one cardinality answer from /sketch.
+func (c *Client) SketchCard(name string) (CardAnswer, error) {
+	var a CardAnswer
+	err := c.get("/sketch?op=card&name="+url.QueryEscape(name), &a)
+	return a, err
+}
+
+// SketchSet fetches /sketch?format=binary and decodes the CRC-framed
+// set — the mergeable form a watcher folds across daemons or rounds.
+func (c *Client) SketchSet() (*sketch.Set, error) {
+	var s *sketch.Set
+	err := c.fetch("/sketch?format=binary", func(r io.Reader) error {
+		raw, err := io.ReadAll(r)
+		if err != nil {
+			return err
+		}
+		s, err = sketch.DecodeSet(raw)
+		return err
+	})
+	return s, err
 }
 
 // Snapshot fetches /snapshot and decodes the session-table codec

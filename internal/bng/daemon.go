@@ -16,6 +16,7 @@ import (
 	"dynamips/internal/netutil"
 	"dynamips/internal/obs"
 	"dynamips/internal/parallel"
+	"dynamips/internal/sketch"
 )
 
 // Options are the run-shape knobs that do NOT affect daemon state:
@@ -96,6 +97,15 @@ type Daemon struct {
 	view      StatsView
 	statsJSON []byte
 	role      string
+
+	// Round-boundary streaming summaries: the stripe partials merged in
+	// stripe order, their canonical /sketch JSON view, and the CRC-framed
+	// binary encoding. All three are pure functions of engine state, so
+	// they are byte-identical at any worker count.
+	sketchSet  *sketch.Set
+	sketchView SketchView
+	sketchJSON []byte
+	sketchBin  []byte
 
 	// Failover schedule (scenario-driven). failCursor draws exponential
 	// gaps when FailoverMeanHours is set; failIdx walks the explicit
@@ -367,9 +377,19 @@ func (d *Daemon) refreshView() {
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(view) // a buffer write of a plain struct cannot fail
+	merged := d.mergeEngineSketches()
+	skView := buildSketchView(hours, merged)
+	var skBuf bytes.Buffer
+	skEnc := json.NewEncoder(&skBuf)
+	skEnc.SetIndent("", "  ")
+	_ = skEnc.Encode(skView)
 	d.mu.Lock()
 	d.view = view
 	d.statsJSON = append(d.statsJSON[:0], buf.Bytes()...)
+	d.sketchSet = merged
+	d.sketchView = skView
+	d.sketchJSON = append(d.sketchJSON[:0], skBuf.Bytes()...)
+	d.sketchBin = merged.Encode()
 	d.mu.Unlock()
 }
 
@@ -385,6 +405,14 @@ func (d *Daemon) WriteStats(w io.Writer) error {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	_, err := w.Write(d.statsJSON)
+	return err
+}
+
+// WriteSketchJSON writes the canonical /sketch full-view JSON.
+func (d *Daemon) WriteSketchJSON(w io.Writer) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, err := w.Write(d.sketchJSON)
 	return err
 }
 

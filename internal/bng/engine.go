@@ -11,6 +11,7 @@ import (
 	"dynamips/internal/dhcp6"
 	"dynamips/internal/netutil"
 	"dynamips/internal/radius"
+	"dynamips/internal/sketch"
 )
 
 // horizonSeconds is the server-side lease/session lifetime: effectively
@@ -222,6 +223,12 @@ type shardEngine struct {
 	srvs   []groupSrv
 	events eventHeap
 	stats  ShardStats
+	// sk is the stripe's streaming-summary partial (churn heavy
+	// hitters, session-duration quantiles, pool cardinalities). The
+	// engine folds into it single-threaded; the daemon merges partials
+	// in stripe order at the round barrier, so the merged set is
+	// worker-count invariant byte for byte.
+	sk *sketch.Set
 }
 
 // hwOf derives a subscriber's MAC from its in-group index: locally
@@ -238,7 +245,7 @@ func buildEngines(cfg *Config, table *stripe.Table) ([]*shardEngine, error) {
 	shards := table.Shards()
 	engines := make([]*shardEngine, shards)
 	for sh := 0; sh < shards; sh++ {
-		e := &shardEngine{id: sh, clock: &engClock{}}
+		e := &shardEngine{id: sh, clock: &engClock{}, sk: newEngineSketch()}
 		e.srvs = make([]groupSrv, len(cfg.Groups))
 		for gi := range cfg.Groups {
 			g := &cfg.Groups[gi]
@@ -491,15 +498,18 @@ func (e *shardEngine) assign(b stripe.Borrowed, ev *event, sub *subState, g *gro
 		if old.Addr4 != addr4 {
 			s.Gen++
 			e.stats.V4Changes++
+			e.skV4Change(old.Addr4)
 		}
 		if old.Pfx6Hi != p6hi || old.Pfx6Len != p6len {
 			if old.Addr4 == addr4 {
 				s.Gen++
 			}
 			e.stats.V6Changes++
+			e.skV6Change(old.Pfx6Hi, old.Pfx6Len)
 		}
 	}
 	b.Put(s)
+	e.skAssign(addr4, p6hi, p6len)
 	switch {
 	case renum:
 		e.stats.Renumbers++
@@ -735,14 +745,17 @@ func (e *shardEngine) coa(b stripe.Borrowed, ev *event, sub *subState, g *groupS
 		if old.Addr4 != addr4 {
 			s.Gen++
 			e.stats.V4Changes++
+			e.skV4Change(old.Addr4)
 		}
 		if old.Pfx6Hi != p6hi || old.Pfx6Len != p6len {
 			if old.Addr4 == addr4 {
 				s.Gen++
 			}
 			e.stats.V6Changes++
+			e.skV6Change(old.Pfx6Hi, old.Pfx6Len)
 		}
 		b.Put(s)
+		e.skAssign(addr4, p6hi, p6len)
 	}
 	return nil
 }
@@ -760,6 +773,9 @@ func (e *shardEngine) disconnect(b stripe.Borrowed, ev *event, sub *subState, g 
 		return fmt.Errorf("bng: shard %d key %#x: disconnect: %w", e.id, ev.key, err)
 	}
 	e.stats.Disconnects++
+	if s, ok := b.Get(ev.key); ok {
+		e.skSessionEnd(s.Start, ev.at)
+	}
 	b.Delete(ev.key)
 	return nil
 }
@@ -837,14 +853,17 @@ func (e *shardEngine) failoverRenumber(b stripe.Borrowed, atSec int64, seed uint
 		if old.Addr4 != addr4 {
 			s.Gen++
 			e.stats.V4Changes++
+			e.skV4Change(old.Addr4)
 		}
 		if old.Pfx6Hi != p6hi || old.Pfx6Len != p6len {
 			if old.Addr4 == addr4 {
 				s.Gen++
 			}
 			e.stats.V6Changes++
+			e.skV6Change(old.Pfx6Hi, old.Pfx6Len)
 		}
 		b.Put(s)
+		e.skAssign(addr4, p6hi, p6len)
 		e.stats.FailoverRenumbers++
 	}
 	return nil
@@ -862,6 +881,9 @@ func (e *shardEngine) release(b stripe.Borrowed, ev *event, sub *subState, g *gr
 		if g.d6 != nil {
 			g.d6.ReleaseBinding(sub.duid)
 		}
+	}
+	if s, ok := b.Get(ev.key); ok {
+		e.skSessionEnd(s.Start, ev.at)
 	}
 	b.Delete(ev.key)
 	e.stats.Flaps++

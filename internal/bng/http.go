@@ -36,8 +36,9 @@ type PoolsPayload struct {
 
 // Handler returns the read-only API: GET /stats (cached round-boundary
 // view, canonical JSON), GET /pools, GET /sessions?offset=&limit=,
-// GET /ha (failover posture), and GET /snapshot (the binary
-// session-table codec stream a standby syncs from).
+// GET /ha (failover posture), GET /snapshot (the binary session-table
+// codec stream a standby syncs from), and GET /sketch (streaming
+// summaries: ?op=quantile|topk|card&name=... or ?format=binary).
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", d.handleStats)
@@ -45,7 +46,39 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("/sessions", d.handleSessions)
 	mux.HandleFunc("/ha", d.handleHA)
 	mux.HandleFunc("/snapshot", d.handleSnapshot)
+	mux.HandleFunc("/sketch", d.handleSketch)
 	return mux
+}
+
+// handleSketch serves the round-boundary streaming summaries: the full
+// canonical view by default, a single quantile/topk/card answer under
+// op=, or the CRC-framed binary set under format=binary.
+func (d *Daemon) handleSketch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q, err := ParseSketchQuery(r.URL.RawQuery)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch q.Op {
+	case "":
+		w.Header().Set("Content-Type", "application/json")
+		_ = d.WriteSketchJSON(w)
+	case "binary":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(d.SketchBinary())
+	default:
+		ans, err := d.QuerySketch(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(ans)
+	}
 }
 
 // Connection timeouts for the API server. ReadTimeout caps the whole

@@ -10,6 +10,7 @@ import (
 	"dynamips/internal/core"
 	"dynamips/internal/netutil"
 	"dynamips/internal/obs"
+	"dynamips/internal/sketch"
 	"dynamips/internal/stats"
 )
 
@@ -36,6 +37,12 @@ type Report struct {
 	PerOp       []OperatorDurations
 	// Zeros buckets unique fixed /64s by inferred delegation length.
 	Zeros *core.TrailingZeroBuckets
+	// Sketches holds the streaming pipeline's merged online summaries
+	// (durations, degrees, heavy hitters, cardinalities). The in-memory
+	// oracle leaves it nil — exact answers need no sketch — and Render
+	// ignores it, so the byte-identity contract between the two paths is
+	// untouched.
+	Sketches *sketch.Set
 }
 
 // OperatorDurations is one operator's episode-duration summary, keyed and

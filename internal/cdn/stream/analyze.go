@@ -13,6 +13,7 @@ import (
 	"dynamips/internal/core"
 	"dynamips/internal/netutil"
 	"dynamips/internal/obs"
+	"dynamips/internal/sketch"
 	"dynamips/internal/stats"
 )
 
@@ -54,14 +55,17 @@ type partMeta struct {
 	Counts  []int64
 }
 
-// shardMeta journals one shard unit: its sorted run file and the
-// per-/24 degree summaries (complete, because a /24 maps to exactly one
-// shard).
+// shardMeta journals one shard unit: its sorted run file, the per-/24
+// degree summaries (complete, because a /24 maps to exactly one shard),
+// and the shard's encoded sketch partial. Journals written before the
+// sketch plane existed carry a nil Sketch; decShard rejects those, and
+// checkpoint.Stage answers by recomputing the unit.
 type shardMeta struct {
 	File    string
 	Size    int64
 	Records int64
 	Sums    []k24Sum
+	Sketch  []byte
 }
 
 // k24Sum is one /24's degree: its distinct-/64 count.
@@ -201,7 +205,8 @@ func (az *analyzer) shard(si int) (shardMeta, error) {
 	if err != nil {
 		return shardMeta{}, err
 	}
-	return shardMeta{File: name, Size: size, Records: int64(len(recs)), Sums: sums}, nil
+	return shardMeta{File: name, Size: size, Records: int64(len(recs)), Sums: sums,
+		Sketch: buildShardSketch(recs, sums)}, nil
 }
 
 func (az *analyzer) decShard(b []byte) (shardMeta, error) {
@@ -210,6 +215,9 @@ func (az *analyzer) decShard(b []byte) (shardMeta, error) {
 		return shardMeta{}, err
 	}
 	if err := validateSpill(filepath.Join(az.dir, m.File), m.Size); err != nil {
+		return shardMeta{}, err
+	}
+	if _, err := sketch.DecodeSet(m.Sketch); err != nil {
 		return shardMeta{}, err
 	}
 	return m, nil
@@ -262,17 +270,23 @@ func (az *analyzer) reduce(shards []shardMeta) (*cdn.Report, error) {
 		}
 	}
 
+	sk, err := mergeShardSketches(shards)
+	if err != nil {
+		return nil, err
+	}
 	m, err := newMerger(paths)
 	if err != nil {
 		return nil, err
 	}
 	defer m.close()
 	red := &reducer{
-		gap:    cdn.DefaultEpisodeConfig().MaxGapDays,
-		mobile: mobile,
-		table:  az.cfg.Table,
-		perOp:  make(map[uint32]*durCounts),
-		zeros:  &core.TrailingZeroBuckets{Counts: make(map[int]int)},
+		gap:      cdn.DefaultEpisodeConfig().MaxGapDays,
+		mobile:   mobile,
+		table:    az.cfg.Table,
+		perOp:    make(map[uint32]*durCounts),
+		zeros:    &core.TrailingZeroBuckets{Counts: make(map[int]int)},
+		skFixed:  sk.Quantile(SkDurFixed),
+		skMobile: sk.Quantile(SkDurMobile),
 	}
 	for {
 		a, ok, err := m.next()
@@ -295,6 +309,7 @@ func (az *analyzer) reduce(shards []shardMeta) (*cdn.Report, error) {
 		MobilePeak: mu.PeakX(),
 		FixedPeak:  fu.PeakX(),
 		Zeros:      red.zeros,
+		Sketches:   sk,
 	}
 	if az.cfg.Table != nil {
 		r.PerOperator = true
@@ -362,6 +377,12 @@ type reducer struct {
 	perOp     map[uint32]*durCounts
 	asns      []uint32
 	zeros     *core.TrailingZeroBuckets
+
+	// skFixed and skMobile receive every episode duration; the barrier
+	// is the only place episodes exist, so the duration sketches are
+	// folded here rather than per shard.
+	skFixed  *sketch.Quantile
+	skMobile *sketch.Quantile
 }
 
 func (r *reducer) record(a cdn.Association) {
@@ -409,8 +430,10 @@ func (r *reducer) endEpisode() {
 	d := r.epEnd - r.epStart + 1
 	if r.mobile[r.epK24] {
 		r.mobileDur.add(d)
+		r.skMobile.Add(float64(d))
 	} else {
 		r.fixedDur.add(d)
+		r.skFixed.Add(float64(d))
 	}
 	if r.table != nil {
 		if asn, _, ok := r.table.Origin(netutil.AddrFrom128(r.epK64, 0)); ok {

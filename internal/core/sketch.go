@@ -1,0 +1,100 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"dynamips/internal/parallel"
+	"dynamips/internal/sketch"
+)
+
+// Atlas-side sketch schema parameters. They mirror the CDN stream
+// pipeline's choices (rank error ≤ alpha·n, heavy-hitter error ≤ N/k,
+// cardinality RSE ≈ 0.8%) but are declared independently: the two
+// planes version their schemas separately.
+const (
+	sketchAlpha    = 0.01
+	sketchTopK     = 1024
+	sketchCardP    = 14
+	sketchCardSeed = 0x64796E616D495073
+)
+
+// Canonical sketch names in the atlas analysis set.
+const (
+	SkChurnAS = "churn_as" // top-k: ASNs by observed assignment changes
+	SkDurV4   = "dur_v4"   // quantile: sandwiched IPv4 durations (hours)
+	SkDurV6   = "dur_v6"   // quantile: sandwiched IPv6 /64 durations (hours)
+	SkPfx64   = "pfx64"    // cardinality: distinct assigned /64s
+)
+
+// NewSketchSet returns an empty sketch set with the atlas schema.
+func NewSketchSet() *sketch.Set {
+	s := sketch.NewSet()
+	put := func(name string, sk sketch.Sketch) {
+		if err := s.Put(name, sk); err != nil {
+			panic(err)
+		}
+	}
+	put(SkChurnAS, sketch.NewTopK(sketchTopK))
+	put(SkDurV4, sketch.NewQuantile(sketchAlpha))
+	put(SkDurV6, sketch.NewQuantile(sketchAlpha))
+	put(SkPfx64, sketch.NewCard(sketchCardP, sketchCardSeed))
+	return s
+}
+
+// sketchChunk is the fixed per-partial probe count. The partition into
+// partials depends only on the input order, never on the worker count,
+// so BuildSketches is worker-count invariant byte for byte.
+const sketchChunk = 64
+
+// FoldProbe folds one probe analysis into a sketch set: its sandwiched
+// duration samples, its assignment-change churn attributed to the
+// probe's AS, and every distinct /64 it was ever assigned.
+func FoldProbe(s *sketch.Set, pa *ProbeAnalysis) {
+	durV4 := s.Quantile(SkDurV4)
+	for _, a := range pa.V4 {
+		if a.Sandwiched() {
+			durV4.Add(float64(a.Duration()))
+		}
+	}
+	durV6 := s.Quantile(SkDurV6)
+	pfx64 := s.Card(SkPfx64)
+	for _, a := range pa.V6 {
+		if a.Sandwiched() {
+			durV6.Add(float64(a.Duration()))
+		}
+		b := a.Value.Addr().As16()
+		pfx64.Add(binary.BigEndian.Uint64(b[:8]))
+	}
+	s.TopK(SkChurnAS).Add(uint64(pa.Probe.ASN), uint64(Changes(pa.V4)+Changes(pa.V6)))
+}
+
+// BuildSketches folds every probe analysis into the atlas sketch set.
+// Probes are chunked into fixed-size partials built concurrently under
+// workers, then merged in chunk order — so the encoded result is
+// identical for any worker count, and identical to a serial fold
+// (sketch state is a commutative-monoid function of the input
+// multiset).
+func BuildSketches(pas []ProbeAnalysis, workers int) *sketch.Set {
+	chunks := (len(pas) + sketchChunk - 1) / sketchChunk
+	if chunks == 0 {
+		return NewSketchSet()
+	}
+	parts := parallel.Map(chunks, workers, func(ci int) *sketch.Set {
+		s := NewSketchSet()
+		lo := ci * sketchChunk
+		hi := min(lo+sketchChunk, len(pas))
+		for i := lo; i < hi; i++ {
+			FoldProbe(s, &pas[i])
+		}
+		return s
+	})
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		if err := acc.Merge(p); err != nil {
+			// Partials share one schema by construction; a mismatch is
+			// a programming error, not an input condition.
+			panic(err)
+		}
+	}
+	return acc
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"net/netip"
+	"sort"
+	"testing"
+
+	"dynamips/internal/atlas"
+)
+
+// sketchFixture builds n synthetic probe analyses with seeded,
+// reproducible assignment sequences spanning several ASes.
+func sketchFixture(n int) []ProbeAnalysis {
+	rng := uint64(0x5EED)
+	next := func() uint64 {
+		rng += 0x9E3779B97F4A7C15
+		x := rng
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		return x
+	}
+	pas := make([]ProbeAnalysis, n)
+	for i := range pas {
+		pa := ProbeAnalysis{Probe: atlas.Probe{ID: i, ASN: uint32(1000 + next()%7)}}
+		hour := int64(0)
+		for j := 0; j < 3+int(next()%5); j++ {
+			d := int64(1 + next()%200)
+			pa.V4 = append(pa.V4, Assignment[netip.Addr]{
+				Value: netip.AddrFrom4([4]byte{10, byte(i), byte(j), 1}),
+				Start: hour, End: hour + d - 1,
+				LeftExact: j > 0, RightExact: true,
+			})
+			hour += d
+		}
+		hour = 0
+		for j := 0; j < 2+int(next()%4); j++ {
+			d := int64(1 + next()%400)
+			pa.V6 = append(pa.V6, Assignment[netip.Prefix]{
+				Value: netip.PrefixFrom(netip.AddrFrom16(
+					[16]byte{0x20, 0x01, byte(next()), byte(next()), byte(i), byte(j)}), 64),
+				Start: hour, End: hour + d - 1,
+				LeftExact: j > 0, RightExact: j < 4,
+			})
+			hour += d
+		}
+		pas[i] = pa
+	}
+	return pas
+}
+
+// TestBuildSketchesWorkerInvariance: the encoded sketch bytes must be
+// identical at any worker count, and identical to a serial fold.
+func TestBuildSketchesWorkerInvariance(t *testing.T) {
+	pas := sketchFixture(300)
+	serial := NewSketchSet()
+	for i := range pas {
+		FoldProbe(serial, &pas[i])
+	}
+	want := serial.Encode()
+	for _, workers := range []int{1, 4, 16} {
+		if got := BuildSketches(pas, workers).Encode(); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: sketch bytes differ from serial fold", workers)
+		}
+	}
+	if got := BuildSketches(nil, 4); got.Len() != 4 {
+		t.Fatalf("empty input: schema has %d sketches, want 4", got.Len())
+	}
+}
+
+// TestBuildSketchesMatchesOracle: the sketched duration quantiles, AS
+// churn counts, and /64 cardinality must match exact recomputation
+// within their theoretical bounds.
+func TestBuildSketchesMatchesOracle(t *testing.T) {
+	pas := sketchFixture(300)
+	s := BuildSketches(pas, 0)
+
+	var v4D, v6D []float64
+	churn := map[uint64]uint64{}
+	pfx := map[uint64]bool{}
+	for i := range pas {
+		pa := &pas[i]
+		v4D = append(v4D, SandwichedDurations(pa.V4)...)
+		v6D = append(v6D, SandwichedDurations(pa.V6)...)
+		churn[uint64(pa.Probe.ASN)] += uint64(Changes(pa.V4) + Changes(pa.V6))
+		for _, a := range pa.V6 {
+			b := a.Value.Addr().As16()
+			var k uint64
+			for _, x := range b[:8] {
+				k = k<<8 | uint64(x)
+			}
+			pfx[k] = true
+		}
+	}
+
+	for _, tc := range []struct {
+		name string
+		data []float64
+	}{{SkDurV4, v4D}, {SkDurV6, v6D}} {
+		q := s.Quantile(tc.name)
+		if q.Count() != uint64(len(tc.data)) {
+			t.Fatalf("%s: count %d, exact %d", tc.name, q.Count(), len(tc.data))
+		}
+		sorted := append([]float64(nil), tc.data...)
+		sort.Float64s(sorted)
+		for _, p := range []float64{0.25, 0.5, 0.9} {
+			est := q.Query(p)
+			lo := sort.SearchFloat64s(sorted, est) + 1
+			hi := sort.SearchFloat64s(sorted, math.Nextafter(est, math.Inf(1)))
+			if hi < lo {
+				hi = lo
+			}
+			target := math.Ceil(p * float64(len(sorted)))
+			rankErr := 0.0
+			if float64(lo) > target {
+				rankErr = float64(lo) - target
+			} else if float64(hi) < target {
+				rankErr = target - float64(hi)
+			}
+			if bound := sketchAlpha*float64(len(sorted)) + 1; rankErr > bound {
+				t.Errorf("%s p=%.2f: rank error %.1f > %.1f", tc.name, p, rankErr, bound)
+			}
+		}
+	}
+
+	// Seven ASes, far below capacity: exact regime, zero slack.
+	tk := s.TopK(SkChurnAS)
+	if tk.Slack() != 0 {
+		t.Fatalf("churn_as slack %d in exact regime", tk.Slack())
+	}
+	for asn, want := range churn {
+		if est, ok := tk.Est(asn); !ok || est != want {
+			t.Fatalf("churn_as %d: est %d tracked=%v, exact %d", asn, est, ok, want)
+		}
+	}
+
+	c := s.Card(SkPfx64)
+	rel := math.Abs(c.Estimate()-float64(len(pfx))) / float64(len(pfx))
+	if bound := 4 * c.RSE(); rel > bound {
+		t.Errorf("pfx64: estimate %.0f for %d distinct, relative error %.4f > %.4f",
+			c.Estimate(), len(pfx), rel, bound)
+	}
+}

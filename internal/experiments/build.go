@@ -44,6 +44,13 @@ type Config struct {
 	// invariance above holds under any profile, and a non-nil all-zero
 	// profile reproduces the nil output byte-for-byte.
 	Faults *faultnet.Profile
+	// RelayHops, when positive, routes every AS simulation's assignment
+	// exchanges through that many aggregation relay hops (isp.Config's
+	// relay topology); RelayFaults is the per-hop fault profile (nil
+	// reuses Faults). Like Faults, both are deterministic knobs: the
+	// fault schedules derive from seeded streams.
+	RelayHops   int
+	RelayFaults *faultnet.Profile
 	// Checkpoint, when non-nil, journals every completed work unit —
 	// per-profile fleet builds, per-series core analyses, per-operator
 	// CDN chunks — so an interrupted build resumes from the journal's
@@ -129,6 +136,8 @@ func BuildAtlas(cfg Config) (*AtlasData, error) {
 				Hours:       cfg.Hours,
 				Seed:        cfg.Seed + int64(i)*1000,
 				Faults:      cfg.Faults,
+				RelayHops:   cfg.RelayHops,
+				RelayFaults: cfg.RelayFaults,
 			})
 			if err != nil {
 				return fleetUnit{}, fmt.Errorf("experiments: simulating %s: %w", prof.Name, err)

@@ -63,6 +63,7 @@ func DefaultConfig() Config {
 			"internal/rtrie",
 			"internal/bng",
 			"internal/bng/stripe",
+			"internal/sketch",
 		},
 		SpawnPackages: []string{
 			"internal/parallel",
@@ -71,6 +72,7 @@ func DefaultConfig() Config {
 			"internal/rtrie",
 			"internal/cdn/stream",
 			"internal/bng/stripe",
+			"internal/sketch",
 		},
 	}
 }

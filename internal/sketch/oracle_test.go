@@ -1,0 +1,311 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// testRNG is a SplitMix64 stream: the same generator the simulators
+// use, so oracle inputs are seeded and reproducible.
+type testRNG uint64
+
+func (r *testRNG) next() uint64 {
+	*r += 0x9E3779B97F4A7C15
+	return mix64(uint64(*r))
+}
+
+func (r *testRNG) f64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// dist is one seeded input distribution for the batch-vs-sketch
+// oracle: gen returns the value stream, eps is the asserted rank-error
+// bound for quantile queries against the exact ECDF.
+type dist struct {
+	name string
+	eps  float64
+	gen  func(seed uint64, n int) []float64
+}
+
+// oracleDists are the seeded distributions the error bounds are
+// asserted on: integer episode durations (the CDN shape, exact in the
+// sketch's linear region), exponential session durations in seconds
+// (the BNG shape, log region), and a bimodal fixed/mobile mixture
+// spanning both regions.
+var oracleDists = []dist{
+	{
+		name: "uniform-int-days",
+		eps:  1e-12, // linear region: unit buckets, rank error is zero
+		gen: func(seed uint64, n int) []float64 {
+			r := testRNG(seed)
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = float64(1 + r.next()%150)
+			}
+			return out
+		},
+	},
+	{
+		name: "exp-session-seconds",
+		eps:  0.02, // log region: alpha-wide buckets on a smooth CDF
+		gen: func(seed uint64, n int) []float64 {
+			r := testRNG(seed)
+			out := make([]float64, n)
+			for i := range out {
+				u := r.f64()
+				if u >= 1 {
+					u = 0.5
+				}
+				out[i] = -86400 * math.Log(1-u)
+			}
+			return out
+		},
+	},
+	{
+		name: "bimodal-fixed-mobile",
+		eps:  0.02,
+		gen: func(seed uint64, n int) []float64 {
+			r := testRNG(seed)
+			out := make([]float64, n)
+			for i := range out {
+				if r.f64() < 0.6 {
+					out[i] = float64(1 + r.next()%30) // short mobile episodes
+				} else {
+					out[i] = 3600 * (1 + 200*r.f64()) // long fixed sessions
+				}
+			}
+			return out
+		},
+	},
+}
+
+// exactQuantile is the batch oracle: nearest-rank quantile over the
+// sorted data, matching stats.ECDF.Quantile.
+func exactQuantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	r := int(math.Ceil(p * float64(len(sorted))))
+	if r < 1 {
+		r = 1
+	}
+	if r > len(sorted) {
+		r = len(sorted)
+	}
+	return sorted[r-1]
+}
+
+// exactRank counts values at or below x: the oracle CDF numerator.
+func exactRank(sorted []float64, x float64) int {
+	return sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))
+}
+
+// TestQuantileOracle proves the rank-error bound: for every seeded
+// distribution and a grid of probabilities, the sketch's estimate has
+// an exact rank within eps·n of the target rank.
+func TestQuantileOracle(t *testing.T) {
+	const n = 50000
+	const alpha = 0.01
+	probs := []float64{0.01, 0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}
+	for _, d := range oracleDists {
+		t.Run(d.name, func(t *testing.T) {
+			data := d.gen(0xD15C0, n)
+			q := NewQuantile(alpha)
+			for _, x := range data {
+				q.Add(x)
+			}
+			if q.Count() != n {
+				t.Fatalf("Count = %d, want %d", q.Count(), n)
+			}
+			sorted := append([]float64(nil), data...)
+			sort.Float64s(sorted)
+			for _, p := range probs {
+				est := q.Query(p)
+				exact := exactQuantile(sorted, p)
+				// Rank error: the estimate's true rank must sit within
+				// eps of the target rank. A repeated value covers a
+				// whole rank interval, and bucket representatives can
+				// land between data points, so measure the distance
+				// from the target rank to the rank interval spanned by
+				// the estimate and the exact quantile.
+				minV, maxV := math.Min(est, exact), math.Max(est, exact)
+				lo := sort.SearchFloat64s(sorted, minV) + 1 // lowest rank with value >= minV
+				hi := exactRank(sorted, maxV)               // highest rank with value <= maxV
+				if hi < lo {
+					hi = lo // estimate fell in a gap between data points
+				}
+				target := math.Ceil(p * n)
+				rankErr := 0.0
+				if float64(lo) > target {
+					rankErr = float64(lo) - target
+				} else if float64(hi) < target {
+					rankErr = target - float64(hi)
+				}
+				if rankErr > d.eps*n {
+					t.Errorf("p=%.2f: est %.4g (exact %.4g) rank error %.1f > eps*n = %.1f",
+						p, est, exact, rankErr, d.eps*n)
+				}
+				// Value error in the log region is bounded by alpha
+				// relative to the exact quantile's bucket.
+				if exact > linCut {
+					if rel := math.Abs(est-exact) / exact; rel > 2*alpha {
+						t.Errorf("p=%.2f: relative value error %.4f > 2*alpha", p, rel)
+					}
+				}
+			}
+			// The CDF at exact integer bucket bounds is exact.
+			if d.name == "uniform-int-days" {
+				for _, x := range []float64{1, 50, 150} {
+					want := float64(exactRank(sorted, x)) / n
+					if got := q.CDF(x); math.Abs(got-want) > 1e-12 {
+						t.Errorf("CDF(%v) = %v, want %v", x, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// topkDist generates a seeded key stream with skewed weights.
+func topkDist(seed uint64, n, keys int, skew float64) []uint64 {
+	r := testRNG(seed)
+	// Inverse-CDF sampling over 1/rank^skew weights.
+	w := make([]float64, keys)
+	sum := 0.0
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), skew)
+		sum += w[i]
+	}
+	cum := make([]float64, keys)
+	acc := 0.0
+	for i := range w {
+		acc += w[i] / sum
+		cum[i] = acc
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		u := r.f64()
+		j := sort.SearchFloat64s(cum, u)
+		if j >= keys {
+			j = keys - 1
+		}
+		// Scatter key identities so they are not dense small ints.
+		out[i] = mix64(uint64(j) + seed)
+	}
+	return out
+}
+
+// TestTopKOracle proves the heavy-hitter bound on three seeded skews:
+// every key's true count exceeds its estimate by at most Slack, Slack
+// stays at or below N/k, and every key heavier than N/k is tracked.
+func TestTopKOracle(t *testing.T) {
+	const n = 200000
+	const k = 64
+	for _, tc := range []struct {
+		name string
+		keys int
+		skew float64
+	}{
+		{"zipf-1.1", 5000, 1.1},
+		{"zipf-1.5", 2000, 1.5},
+		{"near-uniform", 300, 0.2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			stream := topkDist(0xBEEF, n, tc.keys, tc.skew)
+			truth := make(map[uint64]uint64)
+			tk := NewTopK(k)
+			for _, key := range stream {
+				truth[key]++
+				tk.Add(key, 1)
+			}
+			if tk.N() != n {
+				t.Fatalf("N = %d, want %d", tk.N(), n)
+			}
+			if tk.Slack() > n/k {
+				t.Fatalf("Slack %d > N/k = %d", tk.Slack(), n/k)
+			}
+			for key, want := range truth {
+				est, ok := tk.Est(key)
+				if !ok {
+					est = 0
+				}
+				if est > want {
+					t.Fatalf("key %#x overcounted: est %d > true %d", key, est, want)
+				}
+				if want-est > tk.Slack() {
+					t.Fatalf("key %#x undercount %d exceeds slack %d", key, want-est, tk.Slack())
+				}
+				if want > n/k && !ok {
+					t.Fatalf("heavy key %#x (true %d > N/k) not tracked", key, want)
+				}
+			}
+			// Top must be count-descending and within-slack accurate.
+			top := tk.Top(10)
+			for i := 1; i < len(top); i++ {
+				if top[i].Count > top[i-1].Count {
+					t.Fatalf("Top not sorted at %d", i)
+				}
+			}
+			for _, e := range top {
+				if want := truth[e.Key]; want-e.Count > tk.Slack() {
+					t.Fatalf("top key %#x est %d true %d beyond slack", e.Key, e.Count, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCardOracle proves the cardinality estimator stays within a few
+// multiples of its theoretical RSE across the linear-counting range,
+// the HLL range, and a high-collision range.
+func TestCardOracle(t *testing.T) {
+	const p = 12 // m = 4096, RSE ≈ 1.6%
+	for _, tc := range []struct {
+		name     string
+		distinct int
+	}{
+		{"linear-counting-small", 200},
+		{"mid-range", 5000},
+		{"hll-large", 250000},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCard(p, 0x5EED)
+			r := testRNG(0xCAFE)
+			seen := make(map[uint64]bool)
+			for len(seen) < tc.distinct {
+				key := r.next()
+				seen[key] = true
+				// Duplicates must not move the estimate.
+				c.Add(key)
+				c.Add(key)
+			}
+			est := c.Estimate()
+			rel := math.Abs(est-float64(tc.distinct)) / float64(tc.distinct)
+			if bound := 4 * c.RSE(); rel > bound {
+				t.Fatalf("estimate %.0f for %d distinct: relative error %.4f > %.4f",
+					est, tc.distinct, rel, bound)
+			}
+		})
+	}
+}
+
+// TestCardSeedIndependence checks distinct seeds give independent (not
+// identical) registers while each stays within bound, and that the
+// estimator is deterministic for a fixed seed.
+func TestCardSeedIndependence(t *testing.T) {
+	a, b, c2 := NewCard(10, 1), NewCard(10, 2), NewCard(10, 1)
+	r := testRNG(7)
+	for i := 0; i < 10000; i++ {
+		k := r.next()
+		a.Add(k)
+		b.Add(k)
+		c2.Add(k)
+	}
+	if string(a.appendBody(nil)) == string(b.appendBody(nil)) {
+		t.Fatal("different seeds produced identical registers")
+	}
+	if string(a.appendBody(nil)) != string(c2.appendBody(nil)) {
+		t.Fatal("same seed produced different registers")
+	}
+}

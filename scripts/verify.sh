@@ -7,14 +7,17 @@
 #   TestPipelineUnderLoss), the golden regression corpus, the crash-injection
 #   kill-and-resume smoke, the seeded HA failover matrix (lease-preserving
 #   and renumbering takeovers under -race plus the serve-bng standby
-#   promotion), a metrics/stats CLI smoke, a coverage floor over
+#   promotion), a metrics/stats CLI smoke, a 'dynamips watch' smoke
+#   against a live serve-bng /sketch endpoint, a coverage floor over
 #   the assignment-plane protocol packages, the CGN substrate, the
-#   checkpoint layer, and the observability layer, the non-race
+#   checkpoint layer, and the observability layer (plus a stricter
+#   floor over the sketch plane), the non-race
 #   million-session BNG soak (>=10^6 concurrent sessions at >=10^6
 #   events/sec with worker-count hash identity), a bench regression
 #   smoke against the checked-in
 #   baseline, and a bounded fuzz smoke over every wire-codec,
-#   fault-injection, and journal-decoding Fuzz* target. FUZZTIME bounds
+#   fault-injection, journal-decoding, sketch-codec, and
+#   sketch-query-parsing Fuzz* target. FUZZTIME bounds
 #   each fuzz run (default 10s); BENCH_THRESHOLD bounds the allowed ns/op
 #   slowdown factor (default 2.0).
 set -eu
@@ -22,6 +25,7 @@ set -eu
 cd "$(dirname "$0")/.."
 FUZZTIME="${FUZZTIME:-10s}"
 COVERAGE_FLOOR="${COVERAGE_FLOOR:-80}"
+SKETCH_COVERAGE_FLOOR="${SKETCH_COVERAGE_FLOOR:-90}"
 BENCH_THRESHOLD="${BENCH_THRESHOLD:-2.0}"
 
 echo "==> go build ./..."
@@ -65,6 +69,35 @@ go build -o "$smokedir/dynamips" ./cmd/dynamips
 	-metrics "$smokedir/metrics.json" sanitize >/dev/null
 "$smokedir/dynamips" stats "$smokedir/metrics.json" >/dev/null
 
+echo "==> watch smoke (dynamips watch -once against a live serve-bng /sketch)"
+"$smokedir/dynamips" serve-bng -subscribers 2000 -shards 3 -churn-hours 24 -round-hours 6 \
+	-listen 127.0.0.1:0 >"$smokedir/serve.log" 2>&1 &
+bngpid=$!
+trap 'kill "$bngpid" 2>/dev/null; rm -rf "$smokedir"' EXIT
+bngurl=""
+i=0
+while [ $i -lt 100 ]; do
+	bngurl=$(sed -n 's,.*API on \(http://[^ ]*\).*,\1,p' "$smokedir/serve.log")
+	[ -n "$bngurl" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$bngurl" ]; then
+	echo "FAIL: serve-bng never published its API address:" >&2
+	cat "$smokedir/serve.log" >&2
+	exit 1
+fi
+"$smokedir/dynamips" watch -bng "$bngurl" -once >"$smokedir/watch.out"
+kill "$bngpid" 2>/dev/null
+wait "$bngpid" 2>/dev/null || true
+for want in "virtual hour" churn24 dur_hours pfx64; do
+	if ! grep -q "$want" "$smokedir/watch.out"; then
+		echo "FAIL: watch output missing $want:" >&2
+		cat "$smokedir/watch.out" >&2
+		exit 1
+	fi
+done
+
 echo "==> coverage floor (>=${COVERAGE_FLOOR}% of statements)"
 for pkg in internal/dhcp4 internal/dhcp6 internal/radius internal/faultnet internal/checkpoint internal/obs internal/cgnat internal/bng; do
 	line=$(go test -cover "./$pkg" | tail -n 1)
@@ -79,6 +112,19 @@ for pkg in internal/dhcp4 internal/dhcp6 internal/radius internal/faultnet inter
 		exit 1
 	fi
 done
+
+echo "==> sketch coverage floor (internal/sketch >=${SKETCH_COVERAGE_FLOOR}% of statements)"
+line=$(go test -cover ./internal/sketch | tail -n 1)
+echo "$line"
+pct=$(echo "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+if [ -z "$pct" ]; then
+	echo "FAIL: no coverage figure for internal/sketch" >&2
+	exit 1
+fi
+if awk -v p="$pct" -v f="$SKETCH_COVERAGE_FLOOR" 'BEGIN{exit !(p < f)}'; then
+	echo "FAIL: internal/sketch coverage ${pct}% below floor ${SKETCH_COVERAGE_FLOOR}%" >&2
+	exit 1
+fi
 
 echo "==> bench regression smoke (<=${BENCH_THRESHOLD}x of baseline; streaming RSS ceiling)"
 go test -run '^$' -bench '^(BenchmarkTable1|BenchmarkFig1|BenchmarkGlobalDurations|BenchmarkBuildAtlasPipeline|BenchmarkBuildCDNPipeline|BenchmarkStreamCDNPipeline|BenchmarkBNGChurn)$' \
@@ -96,5 +142,7 @@ go test ./internal/faultnet -run '^$' -fuzz '^FuzzReorder$' -fuzztime "$FUZZTIME
 go test ./internal/checkpoint -run '^$' -fuzz '^FuzzJournalScan$' -fuzztime "$FUZZTIME"
 go test ./internal/cdn/stream -run '^$' -fuzz '^FuzzChunkCodec$' -fuzztime "$FUZZTIME"
 go test ./internal/cdn/stream -run '^$' -fuzz '^FuzzScanCSV$' -fuzztime "$FUZZTIME"
+go test ./internal/sketch -run '^$' -fuzz '^FuzzSketchCodec$' -fuzztime "$FUZZTIME"
+go test ./internal/bng -run '^$' -fuzz '^FuzzSketchQuery$' -fuzztime "$FUZZTIME"
 
 echo "==> verify OK"
